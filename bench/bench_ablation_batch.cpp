@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Batch-scaling study following the paper's comparison methodology
+ * (Sec. VI-A: "when benchmarking with GPUs w/ larger batch size, we
+ * scale up the accelerators' hardware resource to have a comparable
+ * peak throughput for a fair comparison following [30]"). Larger
+ * batches amortize the GPU's dispatch overhead and raise its matmul
+ * efficiency; the ViTCoD side scales MAC lines and DRAM bandwidth
+ * by the batch factor and processes the batch as independent
+ * samples. This is the extension experiment behind Fig. 15's GPU
+ * column.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "accel/platform.h"
+#include "accel/vitcod_accel.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader(
+        "Batch scaling - GPU vs throughput-matched ViTCoD",
+        "Sec. VI-A methodology; ViTCoD resources scale with batch, "
+        "GPU amortizes dispatch and gains efficiency");
+
+    bench::PlanCache cache;
+    const auto &plan = cache.get(model::deitBase(), 0.9, true);
+
+    Table t({"Batch", "GPU attn/img (us)", "ViTCoD attn/img (us)",
+             "ViTCoD MACs", "Speedup/img", "GPU img/s",
+             "ViTCoD img/s"});
+    for (size_t batch : {1, 2, 4, 8, 16, 32}) {
+        // GPU: dispatch is per kernel, not per image; efficiency
+        // grows with the batched matmul size (saturating).
+        accel::PlatformConfig g = accel::gpu2080Ti();
+        g.dispatchSeconds /= static_cast<double>(batch);
+        g.attnMatmulEff = std::min(
+            0.35, g.attnMatmulEff * static_cast<double>(batch));
+        accel::PlatformModel gpu(g);
+
+        // ViTCoD: scale compute and bandwidth with the batch, run
+        // the batch as independent samples on the scaled fabric.
+        accel::ViTCoDConfig v;
+        v.macArray.macLines = 64 * batch;
+        v.dram.bandwidthGBps = 76.8 * static_cast<double>(batch);
+        v.qkvBufBytes = 128 * 1024 * batch;
+        v.sBufferBytes = 96 * 1024 * batch;
+        accel::ViTCoDAccelerator vitcod(v);
+
+        const double gpu_img = gpu.runAttention(plan).seconds;
+        const double acc_img = vitcod.runAttention(plan).seconds;
+        t.row()
+            .cell(static_cast<uint64_t>(batch))
+            .cell(gpu_img * 1e6, 1)
+            .cell(acc_img * 1e6, 1)
+            .cell(static_cast<uint64_t>(v.macArray.totalMacs()))
+            .cellRatio(gpu_img / acc_img, 1)
+            .cell(1.0 / gpu_img, 0)
+            .cell(1.0 / acc_img, 0);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: batching closes part of the GPU's "
+                 "dispatch-bound gap, but the throughput-matched "
+                 "ViTCoD keeps a large lead - the reason the paper "
+                 "scales accelerator resources rather than "
+                 "comparing batch-1 only.\n";
+    return 0;
+}

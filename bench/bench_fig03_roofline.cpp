@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Regenerates Fig. 3: roofline analysis of the key attention
+ * bottleneck (S = Q.K^T) on the ViTCoD accelerator. Three scenarios
+ * bracket the design space, as in the paper:
+ *
+ *  - "Sparse ViTs, no reuse": the diagonal pattern at 90% sparsity
+ *    with every score loading its own Q/K rows — the paper's 0.6
+ *    ops/byte worst case that motivates the whole design;
+ *  - "Dense ViTs": dense attention with window-limited row reuse
+ *    (the paper's ~3.9 ops/byte);
+ *  - "ViTCoD": polarized denser/sparser masks + AE compression +
+ *    Q forwarding, measured from the simulator's actual SDDMM
+ *    traffic — pushed toward/past the compute ridge.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "accel/vitcod_accel.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader("Fig. 3 - roofline analysis (S = Q.K^T)",
+                       "Fig. 3; dense ~3.9 ops/B, sparse ~0.6 ops/B, "
+                       "ViTCoD pushed toward the compute roof");
+
+    accel::ViTCoDAccelerator acc;
+    const auto &hw = acc.config();
+    const double peak_gops =
+        2.0 * hw.macArray.totalMacs() * hw.freqGhz; // MAC = 2 ops
+    const double bw = hw.dram.bandwidthGBps;
+    const double ridge = peak_gops / bw;
+    std::printf("Compute roof: %.0f GOPS | Bandwidth roof: %.1f GB/s"
+                " | ridge point: %.2f ops/byte\n\n",
+                peak_gops, bw, ridge);
+
+    bench::PlanCache cache;
+    const auto model_cfg = model::deitBase();
+    const auto &sparse_plan = cache.get(model_cfg, 0.9, true);
+    const auto &nude_plan = cache.get(model_cfg, 0.9, false);
+    const auto &dense_plan = cache.get(model_cfg, 0.0, false);
+
+    const size_t layer = 6;
+    const auto shapes = model::attentionShapes(model_cfg);
+    const double n = static_cast<double>(shapes[layer].tokens);
+    const double dk = static_cast<double>(shapes[layer].headDim);
+    const double h = static_cast<double>(shapes[layer].heads);
+    const double eb = 2.0;
+
+    Table t({"Workload", "SDDMM ops", "DRAM bytes", "Ops/Byte",
+             "Attainable GOPS", "Bound"});
+    auto add_row = [&](const std::string &name, double ops,
+                       double bytes) {
+        const double intensity = ops / bytes;
+        const double attain =
+            std::min(peak_gops, intensity * bw);
+        t.row()
+            .cell(name)
+            .cell(formatOps(ops))
+            .cell(formatBytes(bytes))
+            .cell(intensity, 2)
+            .cell(attain, 1)
+            .cell(intensity < ridge ? "memory" : "compute");
+    };
+
+    // Worst case: every surviving score gathers its own Q and K row.
+    {
+        double nnz = 0.0;
+        for (const auto &head : sparse_plan.heads)
+            if (head.layer == layer)
+                nnz += static_cast<double>(head.plan.mask.nnz());
+        add_row("Sparse ViTs (no reuse)", 2.0 * nnz * dk,
+                nnz * 2.0 * dk * eb);
+    }
+
+    // Dense attention, generic K-stationary engine: every K column
+    // streams all Q rows (no cross-column reuse) — the paper's
+    // "Dense ViTs" placement below the ridge.
+    add_row("Dense ViTs (per-column Q streams)",
+            2.0 * n * n * dk * h,
+            (n * n + n) * dk * eb * h);
+
+    // Dense attention on ViTCoD's Q-block-tiled buffers, from the
+    // simulator.
+    {
+        const auto st = acc.simulateAttentionLayer(dense_plan, layer);
+        add_row("Dense ViTs (ViTCoD buffers)", 2.0 * n * n * dk * h,
+                static_cast<double>(st.sddmmRead));
+    }
+
+    // Polarized masks without the AE module.
+    {
+        const auto st = acc.simulateAttentionLayer(nude_plan, layer);
+        add_row("Sparse+Polarized (no AE)",
+                static_cast<double>(st.attentionMacs),
+                static_cast<double>(st.sddmmRead));
+    }
+
+    // Full ViTCoD: polarized + AE compression + Q forwarding.
+    {
+        const auto st = acc.simulateAttentionLayer(sparse_plan, layer);
+        add_row("ViTCoD (denser/sparser + AE)",
+                static_cast<double>(st.attentionMacs + st.decodeMacs),
+                static_cast<double>(st.sddmmRead));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: without reuse the diagonal sparse "
+                 "pattern sits far below the ridge (bandwidth "
+                 "bound); ViTCoD's polarization + AE raise the "
+                 "intensity toward the compute roof, matching the "
+                 "paper's Fig. 3 arrow.\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Regenerates Fig. 2 / Fig. 8: the structure of DeiT-Base's 144
+ * attention maps before and after the split-and-conquer algorithm.
+ * Instead of bitmap plots, the harness reports the structural
+ * statistics the figures visualize — diagonal concentration, dense
+ * (global-token) columns, per-column imbalance and the density of
+ * the fronted block — plus an ASCII rendering of one example head.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/split_conquer.h"
+#include "model/attention_gen.h"
+#include "sparse/mask_io.h"
+
+using namespace vitcod;
+
+namespace {
+
+void
+asciiRender(const sparse::BitMask &mask, size_t cells)
+{
+    const size_t n = mask.rows();
+    for (size_t br = 0; br < cells; ++br) {
+        for (size_t bc = 0; bc < cells; ++bc) {
+            size_t nnz = 0, tot = 0;
+            for (size_t r = br * n / cells; r < (br + 1) * n / cells;
+                 ++r)
+                for (size_t c = bc * n / cells;
+                     c < (bc + 1) * n / cells; ++c) {
+                    nnz += mask.get(r, c);
+                    ++tot;
+                }
+            const double d =
+                static_cast<double>(nnz) / static_cast<double>(tot);
+            std::cout << (d > 0.6   ? '#'
+                          : d > 0.3 ? '+'
+                          : d > 0.1 ? '.'
+                                    : ' ');
+        }
+        std::cout << '\n';
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 2/8 - attention map structure under split & conquer",
+        "Fig. 8: 144 DeiT-Base heads pruned (90%) + reordered show "
+        "a clustered dense block at the left and a sparse diagonal "
+        "remainder");
+
+    const auto m = model::deitBase();
+    const model::AttentionMapGenerator gen(m);
+    core::SplitConquerConfig sc;
+    sc.mode = core::PruneMode::TargetSparsity;
+    sc.targetSparsity = 0.9;
+
+    RunningStat diag_pruned, diag_full, ngt_stat, cv_pruned,
+        cv_reordered, front_density, retained;
+    const auto shapes = gen.shapes();
+    for (size_t l = 0; l < shapes.size(); ++l) {
+        for (size_t head = 0; head < shapes[l].heads; ++head) {
+            const auto a = gen.generate(l, head);
+            const auto pruned = core::pruneOnly(a, sc);
+            const auto full = core::splitConquer(a, sc);
+            const auto prof_p =
+                sparse::profileMask(pruned.mask, 10, 0.3, 0);
+            const auto prof_f = sparse::profileMask(
+                full.mask, 10, 0.3,
+                std::max<size_t>(1, full.numGlobalTokens));
+            diag_pruned.add(prof_p.diagonalFraction);
+            diag_full.add(prof_f.diagonalFraction);
+            ngt_stat.add(static_cast<double>(full.numGlobalTokens));
+            cv_pruned.add(prof_p.columnCv);
+            cv_reordered.add(prof_f.columnCv);
+            if (full.numGlobalTokens > 0)
+                front_density.add(prof_f.firstBlockDensity);
+            retained.add(full.retainedMass);
+        }
+    }
+
+    Table t({"Statistic (144 heads)", "Prune only",
+             "Prune + Reorder"});
+    t.row()
+        .cell("diagonal fraction (|i-j|<=10)")
+        .cell(diag_pruned.mean(), 3)
+        .cell(diag_full.mean(), 3);
+    t.row()
+        .cell("per-column nnz CV (imbalance)")
+        .cell(cv_pruned.mean(), 3)
+        .cell(cv_reordered.mean(), 3);
+    t.row()
+        .cell("global tokens Ngt (mean)")
+        .cell("0")
+        .cell(ngt_stat.mean(), 1);
+    t.row()
+        .cell("fronted-block density")
+        .cell("-")
+        .cell(front_density.mean(), 3);
+    t.row()
+        .cell("retained attention mass")
+        .cell(retained.mean(), 3)
+        .cell(retained.mean(), 3);
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Example head (layer 11, head 0): pruned mask "
+                "before reordering");
+    {
+        const auto a = gen.generate(11, 0);
+        asciiRender(core::pruneOnly(a, sc).mask, 48);
+    }
+    printBanner(std::cout,
+                "Same head after reordering (global tokens fronted)");
+    {
+        const auto a = gen.generate(11, 0);
+        asciiRender(core::splitConquer(a, sc).mask, 48);
+    }
+    // Dump the example head as real PBM images (viewable with any
+    // image tool) - the literal Fig. 8 panels.
+    {
+        const auto a = gen.generate(11, 0);
+        sparse::writePbmFile("fig08_prune_only.pbm",
+                             core::pruneOnly(a, sc).mask);
+        sparse::writePbmFile("fig08_prune_reorder.pbm",
+                             core::splitConquer(a, sc).mask);
+        std::cout << "\nwrote fig08_prune_only.pbm and "
+                     "fig08_prune_reorder.pbm (197x197 bitmaps)\n";
+    }
+
+    std::cout << "\nReading: reordering fronts a dense block (left "
+                 "columns) and leaves a diagonal-dominated sparse "
+                 "remainder - Fig. 8(c)'s structure.\n";
+    return 0;
+}

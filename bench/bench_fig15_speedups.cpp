@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Fig. 15: (a) core attention speedups at each model's
+ * nominal sparsity (normalized to CPU, plus the ViTCoD-relative
+ * averages the text quotes: 235.3x / 142.9x / 86.0x / 10.1x / 6.8x
+ * over CPU / EdgeGPU / GPU / SpAtten / Sanger at 90%), and (b)
+ * end-to-end ViT speedups. Also prints the Sec. VI-B 80%-sparsity
+ * comparison (paper: 4.8x / 3.2x) and the end-to-end accelerator
+ * comparison (paper: 3.1x / 2.1x).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+namespace {
+
+void
+speedupTable(bench::PlanCache &cache, double sparsity_override,
+             bool end_to_end, const char *title)
+{
+    auto devices = accel::makeAllDevices();
+    printBanner(std::cout, title);
+
+    std::vector<std::string> headers = {"Model", "Sparsity"};
+    for (const auto &d : devices)
+        headers.push_back(d->name());
+    Table t(headers);
+
+    std::map<std::string, RunningStat> vs_vitcod;
+    for (const auto &m : model::allSevenModels()) {
+        const double s = sparsity_override > 0 ? sparsity_override
+                                               : m.nominalSparsity;
+        const auto &plan = cache.get(m, s, true);
+        std::map<std::string, double> secs;
+        for (auto &d : devices)
+            secs[d->name()] = bench::runSeconds(*d, plan, end_to_end);
+
+        t.row().cell(m.name).cell(s * 100.0, 0);
+        const double cpu = secs["CPU"];
+        for (auto &d : devices)
+            t.cellRatio(cpu / secs[d->name()], 1);
+        for (auto &d : devices)
+            if (d->name() != "ViTCoD")
+                vs_vitcod[d->name()].add(secs[d->name()] /
+                                         secs["ViTCoD"]);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nViTCoD average speedup over each baseline "
+                 "(geomean over 7 models):\n";
+    Table avg({"Baseline", "Speedup"});
+    for (auto &[name, stat] : vs_vitcod)
+        avg.row().cell(name).cellRatio(stat.geomean(), 1);
+    avg.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Fig. 15 - overall performance comparison",
+                       "Sec. VI-B, Fig. 15(a)/(b); paper reports "
+                       "235.3x/142.9x/86.0x/10.1x/6.8x core-attention "
+                       "speedups at 90% sparsity");
+    bench::PlanCache cache;
+
+    speedupTable(cache, /*override=*/0.0, /*e2e=*/false,
+                 "Fig. 15(a): core attention speedups, normalized "
+                 "to CPU (nominal sparsity: DeiT 90%, LeViT 80%)");
+    speedupTable(cache, /*override=*/0.9, /*e2e=*/false,
+                 "Sec. VI-B: core attention at uniform 90% sparsity "
+                 "(paper: 10.1x over SpAtten, 6.8x over Sanger)");
+    speedupTable(cache, /*override=*/0.8, /*e2e=*/false,
+                 "Sec. VI-B: core attention at uniform 80% sparsity "
+                 "(paper: 4.8x over SpAtten, 3.2x over Sanger)");
+    speedupTable(cache, /*override=*/0.0, /*e2e=*/true,
+                 "Fig. 15(b): end-to-end ViT speedups, normalized "
+                 "to CPU (paper: 33.8x over CPU, 5.6x over EdgeGPU; "
+                 "3.1x/2.1x over SpAtten/Sanger)");
+    return 0;
+}

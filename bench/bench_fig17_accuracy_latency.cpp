@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Fig. 17: accuracy-vs-latency trade-off of the full
+ * ViTCoD algorithm (split & conquer + 50% AE) against unpruned
+ * baselines on the ViTCoD accelerator, for the six DeiT/LeViT
+ * models — the paper reports 45.1-85.8% (DeiT) and 72.0-84.3%
+ * (LeViT) attention-latency reductions at <1% accuracy drop, and an
+ * ablation over sparsity ratios 50-95%.
+ */
+
+#include <iostream>
+
+#include "accel/vitcod_accel.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 17 - accuracy vs attention latency",
+        "Fig. 17 + Sec. VI-C; DeiT sustains 90% sparsity, LeViT "
+        "80%, both at <1% accuracy drop");
+
+    accel::ViTCoDAccelerator acc;
+    bench::PlanCache cache;
+
+    printBanner(std::cout,
+                "Operating points (nominal sparsity, AE 50%)");
+    Table t({"Model", "Sparsity", "Top-1 dense", "Top-1 ViTCoD",
+             "Attn lat (us) dense", "Attn lat (us) ViTCoD",
+             "Latency reduction"});
+    for (const auto &m : model::coreSixModels()) {
+        const auto &dense = cache.get(m, 0.0, false);
+        const auto &sparse = cache.get(m, m.nominalSparsity, true);
+        const double t_d = acc.runAttention(dense).seconds * 1e6;
+        const double t_s = acc.runAttention(sparse).seconds * 1e6;
+        t.row()
+            .cell(m.name)
+            .cell(m.nominalSparsity * 100.0, 0)
+            .cell(m.baselineQuality, 1)
+            .cell(sparse.estimatedQuality, 1)
+            .cell(t_d, 1)
+            .cell(t_s, 1)
+            .cell(100.0 * (1.0 - t_s / t_d), 1);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Sparsity-ratio ablation (DeiT-Base & LeViT-256)");
+    Table a({"Model", "Sparsity", "Top-1 est.", "Accuracy drop",
+             "Attn latency (us)", "Reduction vs dense"});
+    for (const auto &m : {model::deitBase(), model::levit256()}) {
+        const auto &dense = cache.get(m, 0.0, false);
+        const double t_d = acc.runAttention(dense).seconds * 1e6;
+        for (double s : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+            const auto &plan = cache.get(m, s, true);
+            const double t_s = acc.runAttention(plan).seconds * 1e6;
+            a.row()
+                .cell(m.name)
+                .cell(s * 100.0, 0)
+                .cell(plan.estimatedQuality, 2)
+                .cell(m.baselineQuality - plan.estimatedQuality, 2)
+                .cell(t_s, 1)
+                .cell(100.0 * (1.0 - t_s / t_d), 1);
+        }
+    }
+    a.print(std::cout);
+
+    std::cout << "\nReading: large attention-latency cuts at <1% "
+                 "drop up to each family's nominal sparsity; drops "
+                 "grow past it (DeiT tolerates 90%, LeViT 80%).\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates Table I: the taxonomy of representative sparse
+ * accelerators.
+ */
+
+#include <iostream>
+
+#include "accel/taxonomy.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace vitcod;
+
+int
+main()
+{
+    bench::printHeader("Table I - sparse accelerator taxonomy",
+                       "Table I");
+    Table t({"Accelerator", "Field", "Workloads", "Dataflow",
+             "Pattern", "Regularity", "Traffic", "BandW", "Sparsity",
+             "Co-design"});
+    for (const auto &row : accel::taxonomyTable()) {
+        t.row()
+            .cell(row.name)
+            .cell(row.applicationField)
+            .cell(row.workloads)
+            .cell(row.dataflow)
+            .cell(row.sparsityPattern)
+            .cell(row.patternRegularity)
+            .cell(row.offChipTraffic)
+            .cell(row.bandwidthRequirement)
+            .cell(row.sparsity)
+            .cell(row.algoHwCoDesign ? "yes" : "no");
+    }
+    t.print(std::cout);
+    return 0;
+}

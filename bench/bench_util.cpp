@@ -1,0 +1,48 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vitcod::bench {
+
+const core::ModelPlan &
+PlanCache::get(const model::VitModelConfig &m, double sparsity,
+               bool use_ae)
+{
+    std::ostringstream key;
+    key << m.name << '/' << sparsity << '/' << use_ae;
+    auto it = cache_.find(key.str());
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key.str(),
+                          core::buildModelPlan(
+                              m, core::makePipelineConfig(sparsity,
+                                                          use_ae)))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+runSeconds(accel::Device &dev, const core::ModelPlan &plan,
+           bool end_to_end)
+{
+    return end_to_end ? dev.runEndToEnd(plan).seconds
+                      : dev.runAttention(plan).seconds;
+}
+
+void
+printHeader(const std::string &experiment,
+            const std::string &paper_reference)
+{
+    std::printf("=============================================="
+                "==============\n");
+    std::printf("ViTCoD reproduction | %s\n", experiment.c_str());
+    std::printf("Paper reference: %s\n", paper_reference.c_str());
+    std::printf("HW config: 64 MAC lines x 8 MACs @ 500 MHz, "
+                "320 KB SRAM, DDR4 76.8 GB/s\n");
+    std::printf("=============================================="
+                "==============\n");
+}
+
+} // namespace vitcod::bench

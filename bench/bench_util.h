@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: plan caching (plans
+ * are deterministic, so one build per (model, sparsity, AE) tuple
+ * suffices), speedup aggregation and a standard header that records
+ * the hardware configuration every experiment ran with.
+ */
+
+#ifndef VITCOD_BENCH_BENCH_UTIL_H
+#define VITCOD_BENCH_BENCH_UTIL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "core/pipeline.h"
+
+namespace vitcod::bench {
+
+/** Cache of deterministic model plans keyed by (name, sparsity, ae). */
+class PlanCache
+{
+  public:
+    const core::ModelPlan &get(const model::VitModelConfig &m,
+                               double sparsity, bool use_ae);
+
+  private:
+    std::map<std::string, core::ModelPlan> cache_;
+};
+
+/** Latency of one device on one plan, core attention or end-to-end. */
+double runSeconds(accel::Device &dev, const core::ModelPlan &plan,
+                  bool end_to_end);
+
+/** Print the standard experiment banner (paper Sec. VI-A config). */
+void printHeader(const std::string &experiment,
+                 const std::string &paper_reference);
+
+} // namespace vitcod::bench
+
+#endif // VITCOD_BENCH_BENCH_UTIL_H

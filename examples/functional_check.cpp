@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional verification of a ViTCoD deployment: before trusting a
+ * compiled plan on hardware, check numerically that executing the
+ * fixed masks in the accelerator's permuted schedule preserves the
+ * block's output. Runs one DeiT-Tiny block on random weights and
+ * inputs through the dense reference and through the sparse-plan
+ * path at several sparsity ratios, reporting the output drift (the
+ * quantity the finetuning step absorbs).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/reference_block.h"
+#include "linalg/kernels.h"
+
+int
+main()
+{
+    using namespace vitcod;
+
+    const auto m = model::deitTiny();
+    const auto &stage = m.stages[0];
+    Rng rng(2026);
+    const core::ReferenceBlock blk(
+        stage, core::BlockWeights::random(stage, rng));
+    const linalg::Matrix x = linalg::Matrix::randomNormal(
+        stage.tokens, stage.embedDim, rng);
+    const linalg::Matrix dense = blk.forwardDense(x);
+
+    std::printf("DeiT-Tiny block, n=%zu d=%zu h=%zu | output RMS "
+                "%.4f\n\n",
+                stage.tokens, stage.embedDim, stage.heads,
+                linalg::frobeniusNorm(dense) /
+                    std::sqrt(static_cast<double>(dense.rows() *
+                                                  dense.cols())));
+    std::printf("%-10s %-14s %-16s %-12s\n", "sparsity",
+                "mass retained", "max |drift|", "rel. drift");
+
+    for (double s : {0.0, 0.5, 0.7, 0.9, 0.95}) {
+        auto cfg = core::makePipelineConfig(s, true);
+        const auto plan = core::buildModelPlan(m, cfg);
+        std::vector<core::SparseAttentionPlan> plans;
+        double mass = 0.0;
+        for (size_t head = 0; head < stage.heads; ++head) {
+            plans.push_back(plan.planOf(5, head));
+            mass += plans.back().retainedMass;
+        }
+        mass /= static_cast<double>(stage.heads);
+
+        const linalg::Matrix sparse = blk.forwardSparse(x, plans);
+        const double drift = linalg::maxAbsDiff(sparse, dense);
+        const double rms =
+            linalg::frobeniusNorm(dense) /
+            std::sqrt(static_cast<double>(dense.rows() *
+                                          dense.cols()));
+        std::printf("%-10.0f %-14.3f %-16.5f %-12.4f\n", s * 100.0,
+                    mass, drift, drift / rms);
+    }
+
+    std::printf("\nReading: a full mask is bit-equivalent; drift "
+                "grows smoothly with pruned mass, which is exactly "
+                "the error the paper's finetuning step trains "
+                "around.\n");
+    return 0;
+}

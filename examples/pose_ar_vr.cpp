@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AR/VR scenario (the paper's Strided Transformer motivation): 3D
+ * human pose estimation inside a head-mounted display's latency
+ * budget. An HMD pipeline wants pose updates well under the frame
+ * time (11.1 ms at 90 Hz); the example checks which devices meet
+ * the budget for the Strided Transformer at 90% attention sparsity
+ * and how much of the budget attention alone consumes.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "accel/device.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+
+int
+main()
+{
+    using namespace vitcod;
+
+    const double frame_budget_ms = 1000.0 / 90.0; // 90 Hz HMD
+
+    const auto m = model::stridedTransformer();
+    const auto plan = core::buildModelPlan(
+        m, core::makePipelineConfig(m.nominalSparsity, true));
+
+    std::printf("Strided Transformer (n=351 frames, d=256): est. "
+                "MPJPE %.1f mm (dense %.1f mm) at %.0f%% attention "
+                "sparsity\n",
+                plan.estimatedQuality, m.baselineQuality,
+                100.0 * plan.avgSparsity);
+
+    printBanner(std::cout,
+                "90 Hz AR/VR budget check (11.1 ms per frame)");
+    Table t({"Device", "Attention (ms)", "End-to-end (ms)",
+             "Budget share", "Meets 90Hz?", "Energy/frame (mJ)"});
+    auto devices = accel::makeAllDevices();
+    for (auto &d : devices) {
+        const accel::RunStats attn = d->runAttention(plan);
+        const accel::RunStats e2e = d->runEndToEnd(plan);
+        const double ms = e2e.seconds * 1e3;
+        t.row()
+            .cell(d->name())
+            .cell(attn.seconds * 1e3, 3)
+            .cell(ms, 3)
+            .cell(100.0 * ms / frame_budget_ms, 1)
+            .cell(ms <= frame_budget_ms ? "yes" : "no")
+            .cell(e2e.energyJoules() * 1e3, 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: the pose workload fits comfortably "
+                 "inside the 90 Hz budget on the accelerators, "
+                 "while general platforms burn most of the frame "
+                 "time on attention alone.\n";
+    return 0;
+}

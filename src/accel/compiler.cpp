@@ -1,0 +1,491 @@
+#include "compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "common/logging.h"
+#include "accel/dense_phases.h"
+#include "model/flops.h"
+#include "sim/dram.h"
+#include "sim/energy.h"
+#include "sim/tile_scheduler.h"
+
+namespace vitcod::accel {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConfigLines:
+        return "CFG.LINES";
+      case Opcode::SetAccumMode:
+        return "CFG.ACCUM";
+      case Opcode::LoadIndex:
+        return "LD.IDX";
+      case Opcode::LoadTile:
+        return "LD.TILE";
+      case Opcode::GatherRows:
+        return "LD.GATHER";
+      case Opcode::Decode:
+        return "AE.DEC";
+      case Opcode::Encode:
+        return "AE.ENC";
+      case Opcode::SddmmDense:
+        return "SDDMM.D";
+      case Opcode::SddmmSparse:
+        return "SDDMM.S";
+      case Opcode::Softmax:
+        return "SOFTMAX";
+      case Opcode::SpmmDense:
+        return "SPMM.D";
+      case Opcode::SpmmSparse:
+        return "SPMM.S";
+      case Opcode::Gemm:
+        return "GEMM";
+      case Opcode::Elementwise:
+        return "ELWISE";
+      case Opcode::Predict:
+        return "PREDICT";
+      case Opcode::StoreTile:
+        return "ST.TILE";
+      case Opcode::Barrier:
+        return "BARRIER";
+      default:
+        panic("bad opcode");
+    }
+}
+
+size_t
+Program::count(Opcode op) const
+{
+    size_t n = 0;
+    for (const auto &i : code)
+        n += i.op == op;
+    return n;
+}
+
+void
+Program::disassemble(std::ostream &os, size_t max_instrs) const
+{
+    os << "; program for " << modelName
+       << (endToEnd ? " (end-to-end)" : " (attention)") << ", "
+       << code.size() << " instructions\n";
+    size_t shown = 0;
+    for (const auto &i : code) {
+        if (max_instrs && shown++ >= max_instrs) {
+            os << "; ... truncated\n";
+            break;
+        }
+        os << "L" << i.layer << "\t" << opcodeName(i.op) << "\t"
+           << i.arg0;
+        if (i.arg1)
+            os << ", " << i.arg1;
+        os << '\n';
+    }
+}
+
+Compiler::Compiler(ViTCoDConfig cfg) : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.twoPronged,
+                  "the compiler targets the two-pronged architecture");
+}
+
+void
+Compiler::emitAttentionLayer(Program &prog,
+                             const core::ModelPlan &plan,
+                             size_t layer) const
+{
+    const auto shapes = model::attentionShapes(plan.model);
+    const auto &shape = shapes[layer];
+    const size_t n = shape.tokens;
+    const size_t dk = shape.headDim;
+    const size_t h = shape.heads;
+    const auto eb = static_cast<double>(cfg_.elemBytes);
+    const auto L = static_cast<uint32_t>(layer);
+
+    std::vector<const core::SparseAttentionPlan *> hp;
+    for (const auto &head : plan.heads)
+        if (head.layer == layer)
+            hp.push_back(&head.plan);
+    VITCOD_ASSERT(hp.size() == h, "plan missing heads");
+
+    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
+    double ratio = 1.0;
+    size_t c_heads = h;
+    if (ae_on) {
+        ratio = plan.ae[layer].ratio();
+        c_heads = plan.ae[layer].compressed;
+    }
+
+    // ---- Workload extraction (the "network parser" of Fig. 14).
+    MacOps denser_sddmm = 0, sparser_sddmm = 0;
+    uint64_t s_elems = 0;
+    double idx_bytes = 0.0;
+    for (const auto *p : hp) {
+        denser_sddmm +=
+            static_cast<MacOps>(n) * p->numGlobalTokens * dk;
+        sparser_sddmm += static_cast<MacOps>(p->sparserNnz) * dk;
+        s_elems += n * p->numGlobalTokens + p->sparserNnz;
+        if (p->numGlobalTokens < p->tokens)
+            idx_bytes += static_cast<double>(
+                p->sparserCsc.indexBytes(cfg_.indexBytes));
+    }
+
+    const size_t lines = cfg_.macArray.macLines;
+    const size_t mpl = cfg_.macArray.macsPerLine;
+    const auto alloc = allocateEngineLines(
+        {static_cast<double>(denser_sddmm),
+         static_cast<double>(sparser_sddmm)},
+        lines);
+
+    // ---- Optional dynamic-mask prediction (NLP mode), a serial
+    // preprocessing phase.
+    if (cfg_.dynamicMaskPrediction) {
+        const auto pred_macs = static_cast<MacOps>(
+            static_cast<double>(n) * n * h * dk *
+            cfg_.predictionCostFactor);
+        prog.code.push_back(
+            {Opcode::Predict, L, pred_macs, 2 * n});
+    }
+
+    // ---- Phase 1: SDDMM.
+    prog.code.push_back({Opcode::ConfigLines, L, alloc[0], alloc[1]});
+    prog.code.push_back({Opcode::SetAccumMode, L, 0, 0});
+
+    const double q_row_bytes = dk * eb * ratio;
+    const size_t window_rows = std::max<size_t>(
+        1, static_cast<size_t>(
+               static_cast<double>(cfg_.qkvBufBytes) / 2.0 /
+               (static_cast<double>(h) * q_row_bytes)));
+    double k_bytes = static_cast<double>(n) * h * dk * eb * ratio;
+    double q_bytes = 0.0;
+    uint64_t gather_misses = 0;
+    for (const auto *p : hp) {
+        if (p->numGlobalTokens > 0 || p->sparserNnz == 0) {
+            q_bytes += static_cast<double>(n) * q_row_bytes;
+            if (window_rows < n) {
+                const auto extra = static_cast<double>(
+                    ceilDiv(n, window_rows) - 1);
+                k_bytes += static_cast<double>(p->numGlobalTokens) *
+                           dk * eb * ratio * extra;
+            }
+        } else {
+            const uint64_t misses = ViTCoDAccelerator::lruQMisses(
+                p->sparserCsc, window_rows);
+            gather_misses += misses;
+            q_bytes += static_cast<double>(misses) * q_row_bytes;
+        }
+    }
+    prog.code.push_back({Opcode::LoadIndex, L,
+                         static_cast<uint64_t>(idx_bytes), 0});
+    prog.code.push_back(
+        {Opcode::LoadTile, L,
+         static_cast<uint64_t>(k_bytes + q_bytes), 0});
+    if (gather_misses > 0) {
+        prog.code.push_back(
+            {Opcode::GatherRows, L, gather_misses,
+             static_cast<uint64_t>(std::max(1.0, q_row_bytes))});
+    }
+    if (ae_on) {
+        prog.code.push_back(
+            {Opcode::Decode, L,
+             static_cast<MacOps>(2) * n * dk * h * c_heads, 0});
+    }
+    prog.code.push_back({Opcode::SddmmDense, L, denser_sddmm, 0});
+    prog.code.push_back(
+        {Opcode::SddmmSparse, L,
+         sparserEngineCycles(hp, dk, alloc[1], mpl,
+                             cfg_.colOverheadCycles),
+         sparser_sddmm});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+
+    // ---- Phase 2: softmax over stored scores.
+    prog.code.push_back({Opcode::Softmax, L, s_elems, 0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+
+    // ---- Phase 3: SpMM (output stationary; reconfiguration).
+    const auto spmm_alloc = allocateEngineLines(
+        {static_cast<double>(denser_sddmm),
+         static_cast<double>(sparser_sddmm)},
+        lines);
+    prog.code.push_back(
+        {Opcode::ConfigLines, L, spmm_alloc[0], spmm_alloc[1]});
+    prog.code.push_back({Opcode::SetAccumMode, L, 1, 0});
+
+    const double s_bytes = static_cast<double>(s_elems) * eb;
+    const double spill =
+        std::max(0.0, s_bytes - static_cast<double>(cfg_.sBufferBytes));
+    const double v_bytes = static_cast<double>(n) * h * dk * eb;
+    const double out_bytes = static_cast<double>(n) * h * dk * eb;
+    prog.code.push_back({Opcode::LoadTile, L,
+                         static_cast<uint64_t>(v_bytes + spill), 0});
+    prog.code.push_back({Opcode::SpmmDense, L, denser_sddmm, 0});
+    prog.code.push_back(
+        {Opcode::SpmmSparse, L,
+         sparserEngineCycles(hp, dk, spmm_alloc[1], mpl,
+                             cfg_.colOverheadCycles),
+         sparser_sddmm});
+    prog.code.push_back({Opcode::StoreTile, L,
+                         static_cast<uint64_t>(out_bytes + spill),
+                         0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+}
+
+void
+Compiler::emitDenseBlock(Program &prog, const core::ModelPlan &plan,
+                         size_t layer) const
+{
+    const auto shapes = model::attentionShapes(plan.model);
+    const auto &s = shapes[layer];
+    const double n = static_cast<double>(s.tokens);
+    const double d = static_cast<double>(s.embedDim);
+    const double hd = static_cast<double>(s.heads) * s.headDim;
+    const auto eb = static_cast<double>(cfg_.elemBytes);
+    const auto L = static_cast<uint32_t>(layer);
+    const size_t ratio = mlpRatioOfLayer(plan.model, layer);
+    const double mlp_hidden = d * static_cast<double>(ratio);
+
+    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
+    const double ae_ratio = ae_on ? plan.ae[layer].ratio() : 1.0;
+    const double c_heads =
+        ae_on ? static_cast<double>(plan.ae[layer].compressed) : 0.0;
+
+    // Q/K/V projection (+ encoder overlapped).
+    const double proj_macs = n * d * 3.0 * hd;
+    const double proj_in = n * d * eb + 3.0 * d * hd * eb;
+    const double proj_out =
+        2.0 * n * hd * eb * ae_ratio + n * hd * eb;
+    prog.code.push_back({Opcode::LoadTile, L,
+                         static_cast<uint64_t>(proj_in), 0});
+    prog.code.push_back({Opcode::Gemm, L,
+                         static_cast<MacOps>(proj_macs), 0});
+    if (ae_on) {
+        prog.code.push_back(
+            {Opcode::Encode, L,
+             static_cast<MacOps>(2.0 * n * s.headDim * s.heads *
+                                 c_heads),
+             0});
+    }
+    prog.code.push_back({Opcode::StoreTile, L,
+                         static_cast<uint64_t>(proj_out), 0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+
+    // Output projection.
+    const double op_macs = n * hd * d;
+    const double op_bytes = hd * d * eb + n * hd * eb + n * d * eb;
+    prog.code.push_back({Opcode::LoadTile, L,
+                         static_cast<uint64_t>(op_bytes), 0});
+    prog.code.push_back({Opcode::Gemm, L,
+                         static_cast<MacOps>(op_macs), 0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+
+    // MLP.
+    const double mlp_macs = 2.0 * n * d * mlp_hidden;
+    const double mlp_bytes =
+        2.0 * d * mlp_hidden * eb + 2.0 * n * d * eb;
+    prog.code.push_back({Opcode::LoadTile, L,
+                         static_cast<uint64_t>(mlp_bytes), 0});
+    prog.code.push_back({Opcode::Gemm, L,
+                         static_cast<MacOps>(mlp_macs), 0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+
+    // LayerNorms.
+    prog.code.push_back({Opcode::Elementwise, L,
+                         static_cast<uint64_t>(2.0 * n * d), 0});
+    prog.code.push_back({Opcode::Barrier, L, 0, 0});
+}
+
+Program
+Compiler::compile(const core::ModelPlan &plan, bool end_to_end) const
+{
+    Program prog;
+    prog.modelName = plan.model.name;
+    prog.endToEnd = end_to_end;
+    const auto shapes = model::attentionShapes(plan.model);
+    for (size_t l = 0; l < shapes.size(); ++l) {
+        emitAttentionLayer(prog, plan, l);
+        if (end_to_end)
+            emitDenseBlock(prog, plan, l);
+    }
+    if (end_to_end && plan.model.stemFlops > 0.0) {
+        prog.code.push_back(
+            {Opcode::Gemm, static_cast<uint32_t>(shapes.size()),
+             static_cast<MacOps>(plan.model.stemFlops / 2.0), 0});
+        prog.code.push_back({Opcode::Barrier,
+                             static_cast<uint32_t>(shapes.size()), 0,
+                             0});
+    }
+    return prog;
+}
+
+Interpreter::Interpreter(ViTCoDConfig cfg) : cfg_(std::move(cfg)) {}
+
+RunStats
+Interpreter::execute(const Program &prog) const
+{
+    const sim::DramModel dram(cfg_.dram);
+    const size_t mpl = cfg_.macArray.macsPerLine;
+    const size_t all_lines = cfg_.macArray.macLines;
+    const auto eb = static_cast<double>(cfg_.elemBytes);
+
+    RunStats rs;
+    rs.device = cfg_.name + "/interp";
+    rs.model = prog.modelName;
+
+    // Per-layer groups of phase tiles: the double-buffer recurrence
+    // is applied within a layer (as in the analytic simulator) and
+    // layers execute back-to-back.
+    Cycles total = 0;
+    Cycles compute = 0;
+    Cycles preprocess = 0;
+    MacOps macs = 0;
+
+    std::vector<sim::TileCost> layer_tiles;
+    uint32_t cur_layer = prog.code.empty() ? 0 : prog.code[0].layer;
+
+    // Phase accumulation state. Load/store bytes convert to cycles
+    // once per phase so burst quantization matches the analytic
+    // simulator's whole-phase streams.
+    Bytes ph_load_bytes = 0, ph_store_bytes = 0;
+    Cycles ph_load_extra = 0; // gather latency
+    Cycles ph_dense = 0, ph_sparse = 0, ph_ae = 0, ph_elwise = 0;
+    Cycles ph_extra = 0; // reconfiguration etc.
+    size_t l_d = all_lines, l_s = 0;
+
+    auto dense_cycles = [&](MacOps m, size_t use_lines,
+                            double eff) -> Cycles {
+        if (m == 0 || use_lines == 0)
+            return 0;
+        return static_cast<Cycles>(std::ceil(
+            static_cast<double>(ceilDiv(m, use_lines * mpl)) / eff));
+    };
+
+    auto close_phase = [&]() {
+        const Cycles ph_compute =
+            std::max({ph_dense, ph_sparse, ph_ae, ph_elwise}) +
+            ph_extra;
+        layer_tiles.push_back(
+            {dram.streamCycles(ph_load_bytes) + ph_load_extra,
+             ph_compute, dram.streamCycles(ph_store_bytes)});
+        compute += ph_compute;
+        ph_load_bytes = ph_store_bytes = 0;
+        ph_load_extra = 0;
+        ph_dense = ph_sparse = ph_ae = ph_elwise = 0;
+        ph_extra = 0;
+    };
+
+    auto close_layer = [&]() {
+        total += sim::doubleBufferedCycles(layer_tiles);
+        layer_tiles.clear();
+    };
+
+    for (const auto &ins : prog.code) {
+        if (ins.layer != cur_layer) {
+            close_layer();
+            cur_layer = ins.layer;
+        }
+        switch (ins.op) {
+          case Opcode::ConfigLines:
+            l_d = ins.arg0;
+            l_s = ins.arg1;
+            break;
+          case Opcode::SetAccumMode:
+            if (ins.arg0 == 1)
+                ph_extra += cfg_.reconfigCycles;
+            break;
+          case Opcode::LoadIndex:
+          case Opcode::LoadTile:
+            ph_load_bytes += ins.arg0;
+            rs.dramRead += ins.arg0;
+            break;
+          case Opcode::GatherRows:
+            ph_load_extra += dram.gatherCycles(ins.arg0, ins.arg1);
+            break;
+          case Opcode::Decode:
+            ph_ae = std::max(
+                ph_ae,
+                ceilDiv(ins.arg0,
+                        static_cast<MacOps>(
+                            static_cast<double>(cfg_.aeLines * mpl) *
+                            cfg_.aeDecodeRate)));
+            macs += ins.arg0;
+            break;
+          case Opcode::Encode:
+            ph_ae = std::max(ph_ae,
+                             ceilDiv(ins.arg0, cfg_.aeLines * mpl));
+            macs += ins.arg0;
+            break;
+          case Opcode::SddmmDense:
+          case Opcode::SpmmDense:
+            ph_dense +=
+                dense_cycles(ins.arg0, l_d, cfg_.denseEff);
+            macs += ins.arg0;
+            break;
+          case Opcode::SddmmSparse:
+          case Opcode::SpmmSparse:
+            ph_sparse += ins.arg0; // statically scheduled cycles
+            macs += ins.arg1;
+            break;
+          case Opcode::Softmax:
+            ph_elwise += ceilDiv(2 * ins.arg0,
+                                 cfg_.softmaxLanesPerEngine * 2);
+            break;
+          case Opcode::Gemm:
+            ph_dense +=
+                dense_cycles(ins.arg0, all_lines, cfg_.gemmEff);
+            macs += ins.arg0;
+            break;
+          case Opcode::Elementwise:
+            ph_elwise += static_cast<Cycles>(
+                static_cast<double>(ins.arg0) /
+                static_cast<double>(cfg_.softmaxLanesPerEngine * 2));
+            break;
+          case Opcode::Predict: {
+            const Cycles c =
+                dense_cycles(ins.arg0, all_lines, cfg_.denseEff) +
+                ins.arg1;
+            total += c;      // serial preprocessing
+            preprocess += c;
+            macs += ins.arg0;
+            break;
+          }
+          case Opcode::StoreTile:
+            ph_store_bytes += ins.arg0;
+            rs.dramWrite += ins.arg0;
+            break;
+          case Opcode::Barrier:
+            close_phase();
+            break;
+          default:
+            panic("unhandled opcode");
+        }
+    }
+    if (ph_load_bytes || ph_dense || ph_sparse || ph_ae ||
+        ph_elwise || ph_store_bytes || ph_extra || ph_load_extra)
+        close_phase();
+    close_layer();
+
+    rs.cycles = total;
+    rs.seconds = cyclesToSeconds(total, cfg_.freqGhz);
+    rs.computeSeconds = cyclesToSeconds(compute, cfg_.freqGhz);
+    rs.preprocessSeconds = cyclesToSeconds(preprocess, cfg_.freqGhz);
+    rs.dataMoveSeconds =
+        rs.seconds - rs.computeSeconds - rs.preprocessSeconds;
+    rs.macs = macs;
+    rs.sramRead = static_cast<Bytes>(
+        static_cast<double>(macs) * 2.0 * eb / 4.0);
+    rs.sramWrite =
+        static_cast<Bytes>(static_cast<double>(macs) * eb / 8.0);
+    const sim::EnergyModel em(cfg_.energy);
+    rs.energy = em.compute(macs, rs.sramRead, rs.sramWrite,
+                           rs.dramTotal(), total);
+    const double offered = static_cast<double>(total) *
+                           static_cast<double>(all_lines * mpl);
+    rs.utilization =
+        offered > 0 ? static_cast<double>(macs) / offered : 0.0;
+    return rs;
+}
+
+} // namespace vitcod::accel

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The algorithm-hardware interface pipeline of the paper's Fig. 14:
+ * a *network parser* extracts hardware-relevant configuration from a
+ * ViTCoD-trained sparse ViT (global-token counts, CSC indices,
+ * buffer needs, dataflow phases), and a *compiler* lowers it into
+ * the instruction stream that reconfigures and drives the
+ * accelerator — "one-time compilation cost for each task" (Sec.
+ * V-B3). An Interpreter executes a compiled Program against the
+ * same simulation primitives the analytic simulator uses; tests
+ * assert the two agree cycle-for-cycle, which validates the static
+ * schedule end-to-end.
+ */
+
+#ifndef VITCOD_ACCEL_COMPILER_H
+#define VITCOD_ACCEL_COMPILER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "accel/vitcod_accel.h"
+
+namespace vitcod::accel {
+
+/** Instruction opcodes of the ViTCoD accelerator. */
+enum class Opcode : uint8_t
+{
+    ConfigLines,  //!< arg0 = denser lines, arg1 = sparser lines
+    SetAccumMode, //!< arg0: 0 = inter-PE (SDDMM), 1 = intra-PE (SpMM)
+    LoadIndex,    //!< arg0 = index bytes -> IdxBuf
+    LoadTile,     //!< arg0 = DRAM bytes -> activation buffers
+    GatherRows,   //!< arg0 = row count, arg1 = bytes/row (LRU misses)
+    Decode,       //!< arg0 = decoder MACs (dedicated engine)
+    Encode,       //!< arg0 = encoder MACs (dedicated engine)
+    SddmmDense,   //!< arg0 = MACs on the denser engine
+    SddmmSparse,  //!< arg0 = precomputed engine cycles, arg1 = MACs
+    Softmax,      //!< arg0 = stored score elements
+    SpmmDense,    //!< arg0 = MACs on the denser engine
+    SpmmSparse,   //!< arg0 = precomputed engine cycles, arg1 = MACs
+    Gemm,         //!< arg0 = MACs on the whole array (proj/MLP)
+    Elementwise,  //!< arg0 = elements (LayerNorm / activation)
+    Predict,      //!< arg0 = MACs of dynamic mask prediction (NLP)
+    StoreTile,    //!< arg0 = DRAM bytes written back
+    Barrier,      //!< close the current overlap phase
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** One instruction; args are op-specific (see Opcode docs). */
+struct Instruction
+{
+    Opcode op;
+    uint32_t layer = 0;
+    uint64_t arg0 = 0;
+    uint64_t arg1 = 0;
+};
+
+/** A compiled instruction stream plus bookkeeping. */
+struct Program
+{
+    std::vector<Instruction> code;
+    std::string modelName;
+    bool endToEnd = false;
+
+    /** Number of instructions with opcode @p op. */
+    size_t count(Opcode op) const;
+
+    /** Human-readable disassembly. */
+    void disassemble(std::ostream &os, size_t max_instrs = 0) const;
+};
+
+/**
+ * Parser + compiler: lowers a ModelPlan into a Program for a given
+ * hardware configuration. Pure function of (plan, cfg).
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(ViTCoDConfig cfg = {});
+
+    const ViTCoDConfig &config() const { return cfg_; }
+
+    /** Compile the attention workload (optionally the full model). */
+    Program compile(const core::ModelPlan &plan,
+                    bool end_to_end) const;
+
+  private:
+    /** Emit one layer's attention phases. */
+    void emitAttentionLayer(Program &prog, const core::ModelPlan &plan,
+                            size_t layer) const;
+
+    /** Emit one layer's dense (projection/MLP) phases. */
+    void emitDenseBlock(Program &prog, const core::ModelPlan &plan,
+                        size_t layer) const;
+
+    ViTCoDConfig cfg_;
+};
+
+/**
+ * Executes a Program on the simulation primitives (MAC array, DRAM
+ * channel, double-buffered phase schedule) and reports RunStats.
+ * Within a phase (between Barriers), engines run concurrently; the
+ * phase cost is max(load-side, compute-side per engine, store-side)
+ * folded through the standard double-buffer recurrence.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(ViTCoDConfig cfg = {});
+
+    RunStats execute(const Program &prog) const;
+
+  private:
+    ViTCoDConfig cfg_;
+};
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_COMPILER_H

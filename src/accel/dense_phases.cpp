@@ -1,0 +1,78 @@
+#include "dense_phases.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/tile_scheduler.h"
+
+namespace vitcod::accel {
+
+DensePhaseStats
+simulateDenseBlock(const model::AttnShape &shape, size_t mlp_ratio,
+                   const sim::DramModel &dram, const DensePhaseParams &p)
+{
+    VITCOD_ASSERT(p.totalMacs > 0 && p.gemmEff > 0, "bad array params");
+    const double n =
+        static_cast<double>(shape.tokens) * p.tokenKeep;
+    const double d = static_cast<double>(shape.embedDim);
+    const double hd =
+        static_cast<double>(shape.heads) * shape.headDim;
+    const double hidden = d * static_cast<double>(mlp_ratio);
+    const auto eb = static_cast<double>(p.elemBytes);
+
+    auto gemm_cycles = [&](double macs) -> Cycles {
+        return static_cast<Cycles>(std::ceil(
+            static_cast<double>(
+                ceilDiv(static_cast<MacOps>(macs), p.totalMacs)) /
+            p.gemmEff));
+    };
+
+    const double proj_macs = n * d * 3.0 * hd;
+    const double proj_in = n * d * eb + 3.0 * d * hd * eb;
+    const double proj_out = 3.0 * n * hd * eb;
+
+    const double op_macs = n * hd * d;
+    const double op_bytes = hd * d * eb + n * hd * eb + n * d * eb;
+
+    const double mlp_macs = 2.0 * n * d * hidden;
+    const double mlp_bytes = 2.0 * d * hidden * eb + 2.0 * n * d * eb;
+
+    const Cycles ln_cycles = static_cast<Cycles>(
+        2.0 * n * d / static_cast<double>(p.elwiseLanes));
+
+    const std::vector<sim::TileCost> tiles = {
+        {dram.streamCycles(static_cast<Bytes>(proj_in)),
+         gemm_cycles(proj_macs),
+         dram.streamCycles(static_cast<Bytes>(proj_out))},
+        {dram.streamCycles(static_cast<Bytes>(op_bytes)),
+         gemm_cycles(op_macs), 0},
+        {dram.streamCycles(static_cast<Bytes>(mlp_bytes)),
+         gemm_cycles(mlp_macs), 0},
+        {0, ln_cycles, 0},
+    };
+
+    DensePhaseStats st;
+    st.total = sim::doubleBufferedCycles(tiles);
+    st.compute = gemm_cycles(proj_macs) + gemm_cycles(op_macs) +
+                 gemm_cycles(mlp_macs) + ln_cycles;
+    st.macs = static_cast<MacOps>(proj_macs + op_macs + mlp_macs);
+    st.dramRead =
+        static_cast<Bytes>(proj_in + op_bytes + mlp_bytes);
+    st.dramWrite = static_cast<Bytes>(proj_out);
+    return st;
+}
+
+size_t
+mlpRatioOfLayer(const model::VitModelConfig &cfg, size_t layer)
+{
+    size_t idx = 0;
+    for (const auto &stage : cfg.stages) {
+        if (layer < idx + stage.layers)
+            return stage.mlpRatio;
+        idx += stage.layers;
+    }
+    panic("layer ", layer, " out of range for model ", cfg.name);
+}
+
+} // namespace vitcod::accel

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared model of a transformer block's dense (non-attention)
+ * phases — Q/K/V generation, output projection, MLP, LayerNorm — as
+ * executed on a MAC-line accelerator with double-buffered DRAM
+ * streams. Used by the baseline accelerator simulators for their
+ * end-to-end runs (each attention accelerator reuses its array for
+ * GEMMs, as the paper notes all of them do).
+ */
+
+#ifndef VITCOD_ACCEL_DENSE_PHASES_H
+#define VITCOD_ACCEL_DENSE_PHASES_H
+
+#include "common/units.h"
+#include "model/flops.h"
+#include "sim/dram.h"
+
+namespace vitcod::accel {
+
+/** Array/memory parameters of the executing accelerator. */
+struct DensePhaseParams
+{
+    size_t totalMacs = 512;     //!< lines x MACs-per-line
+    double gemmEff = 0.9;       //!< achieved MAC efficiency on GEMM
+    size_t elemBytes = 2;
+    size_t elwiseLanes = 32;    //!< lanes for LN/activation
+    double tokenKeep = 1.0;     //!< token-pruning survivors (SpAtten)
+};
+
+/** Cycle/traffic summary of the dense phases of one block. */
+struct DensePhaseStats
+{
+    Cycles total = 0;
+    Cycles compute = 0;
+    MacOps macs = 0;
+    Bytes dramRead = 0;
+    Bytes dramWrite = 0;
+};
+
+/**
+ * Simulate the dense phases of one transformer block.
+ *
+ * @param shape Token/head/width shape of the block.
+ * @param mlp_ratio Hidden expansion of the block's MLP.
+ * @param dram DRAM model used for stream latencies.
+ * @param p Array parameters.
+ */
+DensePhaseStats simulateDenseBlock(const model::AttnShape &shape,
+                                   size_t mlp_ratio,
+                                   const sim::DramModel &dram,
+                                   const DensePhaseParams &p);
+
+/** Look up the mlpRatio of layer @p layer in @p cfg. */
+size_t mlpRatioOfLayer(const model::VitModelConfig &cfg, size_t layer);
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_DENSE_PHASES_H

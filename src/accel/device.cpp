@@ -1,0 +1,42 @@
+#include "device.h"
+
+#include "accel/platform.h"
+#include "accel/sanger.h"
+#include "accel/spatten.h"
+#include "accel/vitcod_accel.h"
+
+namespace vitcod::accel {
+
+RunStats &
+RunStats::operator+=(const RunStats &o)
+{
+    seconds += o.seconds;
+    cycles += o.cycles;
+    computeSeconds += o.computeSeconds;
+    dataMoveSeconds += o.dataMoveSeconds;
+    preprocessSeconds += o.preprocessSeconds;
+    macs += o.macs;
+    dramRead += o.dramRead;
+    dramWrite += o.dramWrite;
+    sramRead += o.sramRead;
+    sramWrite += o.sramWrite;
+    energy += o.energy;
+    return *this;
+}
+
+std::vector<std::unique_ptr<Device>>
+makeAllDevices()
+{
+    std::vector<std::unique_ptr<Device>> devices;
+    devices.push_back(
+        std::make_unique<PlatformModel>(cpuXeon6230R()));
+    devices.push_back(
+        std::make_unique<PlatformModel>(edgeGpuXavierNX()));
+    devices.push_back(std::make_unique<PlatformModel>(gpu2080Ti()));
+    devices.push_back(std::make_unique<SpAttenAccelerator>());
+    devices.push_back(std::make_unique<SangerAccelerator>());
+    devices.push_back(std::make_unique<ViTCoDAccelerator>());
+    return devices;
+}
+
+} // namespace vitcod::accel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Common result currency and device interface of the evaluation.
+ * Every execution target — the ViTCoD accelerator, the rebuilt
+ * SpAtten/Sanger baselines and the CPU/GPU/EdgeGPU platform models —
+ * consumes a core::ModelPlan (each reads the parts its own execution
+ * scheme needs) and returns RunStats, so benches can sweep devices
+ * uniformly (paper Fig. 15/19).
+ */
+
+#ifndef VITCOD_ACCEL_DEVICE_H
+#define VITCOD_ACCEL_DEVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/pipeline.h"
+#include "sim/energy.h"
+
+namespace vitcod::accel {
+
+/** Outcome of one simulated run. */
+struct RunStats
+{
+    std::string device;
+    std::string model;
+
+    /** Wall-clock latency; the universal comparison unit. */
+    Seconds seconds = 0.0;
+
+    /** Core cycles (0 for platform models, which work in seconds). */
+    Cycles cycles = 0;
+
+    /** @name Latency decomposition (Fig. 19). Sums to ~seconds.
+     *  computeSeconds counts cycles where the datapath bounds
+     *  progress, dataMoveSeconds counts exposed (non-overlapped)
+     *  memory cycles, preprocessSeconds counts mask
+     *  prediction/packing work.
+     *  @{ */
+    Seconds computeSeconds = 0.0;
+    Seconds dataMoveSeconds = 0.0;
+    Seconds preprocessSeconds = 0.0;
+    /** @} */
+
+    MacOps macs = 0;
+    Bytes dramRead = 0;
+    Bytes dramWrite = 0;
+    Bytes sramRead = 0;
+    Bytes sramWrite = 0;
+
+    sim::EnergyBreakdown energy;
+
+    /** MAC-array utilization where meaningful (else 0). */
+    double utilization = 0.0;
+
+    /** Total DRAM traffic. */
+    Bytes dramTotal() const { return dramRead + dramWrite; }
+
+    /** Total energy in joules. */
+    double energyJoules() const { return energy.totalPj() * 1e-12; }
+
+    /** Aggregate another run (phase or layer) into this one. */
+    RunStats &operator+=(const RunStats &o);
+};
+
+/** Execution target interface. */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    /** Display name ("CPU", "Sanger", "ViTCoD", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Simulate only the core attention workload — SDDMM, softmax and
+     * SpMM over all layers/heads (paper: "core attention speedups").
+     */
+    virtual RunStats runAttention(const core::ModelPlan &plan) = 0;
+
+    /**
+     * Simulate a full inference pass: attention plus Q/K/V
+     * generation, projections, MLPs, LayerNorms and the stem.
+     */
+    virtual RunStats runEndToEnd(const core::ModelPlan &plan) = 0;
+};
+
+/**
+ * The paper's five baselines plus ViTCoD, in Fig. 15 order:
+ * CPU, EdgeGPU, GPU, SpAtten, Sanger, ViTCoD.
+ */
+std::vector<std::unique_ptr<Device>> makeAllDevices();
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_DEVICE_H

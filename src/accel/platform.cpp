@@ -1,0 +1,232 @@
+#include "platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::accel {
+
+namespace {
+
+/** Eager-mode kernel count of one op group, per transformer block. */
+size_t
+kernelsOfGroup(model::OpGroup g)
+{
+    using model::OpGroup;
+    switch (g) {
+      case OpGroup::QkvProj:
+        return 3; // three linears
+      case OpGroup::AttnMatMul:
+        return 2; // two batched matmuls
+      case OpGroup::Reshape:
+        return 6; // head split/merge, transposes, contiguous()
+      case OpGroup::Softmax:
+        return 2; // scale + softmax
+      case OpGroup::OutProj:
+        return 1;
+      case OpGroup::Mlp:
+        return 4; // fc1, gelu, fc2, residual
+      case OpGroup::LayerNorm:
+        return 2;
+      case OpGroup::Other:
+        return 0; // stem dispatch charged once, below
+      default:
+        return 0;
+    }
+}
+
+/** Groups that constitute the "core attention" workload. */
+bool
+isCoreAttentionGroup(model::OpGroup g)
+{
+    using model::OpGroup;
+    return g == OpGroup::AttnMatMul || g == OpGroup::Softmax ||
+           g == OpGroup::Reshape;
+}
+
+/** Groups whose roofline uses the big-GEMM efficiency. */
+bool
+isGemmGroup(model::OpGroup g)
+{
+    using model::OpGroup;
+    return g == OpGroup::QkvProj || g == OpGroup::OutProj ||
+           g == OpGroup::Mlp || g == OpGroup::Other;
+}
+
+} // namespace
+
+PlatformModel::PlatformModel(PlatformConfig cfg) : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.peakGflops > 0 && cfg_.bandwidthGBps > 0,
+                  "bad platform config");
+}
+
+Seconds
+PlatformModel::kernelSeconds(double flops, double bytes,
+                             double eff) const
+{
+    const double t_compute =
+        eff > 0 ? flops / (cfg_.peakGflops * eff * 1e9) : 0.0;
+    const double t_mem =
+        bytes / (cfg_.bandwidthGBps * cfg_.memEff * 1e9);
+    return std::max(t_compute, t_mem);
+}
+
+Seconds
+PlatformModel::opGroupSeconds(const model::VitModelConfig &m,
+                              model::OpGroup group,
+                              double attn_sparsity) const
+{
+    const double s_eff = attn_sparsity * cfg_.sparseExploit;
+    const model::Breakdown bd =
+        model::modelBreakdown(m, s_eff, cfg_.elemBytes);
+    const model::OpCount &c = model::groupOf(bd, group);
+
+    double eff = 0.0; // memory-bound by default
+    if (group == model::OpGroup::AttnMatMul)
+        eff = cfg_.attnMatmulEff;
+    else if (isGemmGroup(group))
+        eff = cfg_.gemmEff;
+
+    const Seconds roofline = kernelSeconds(c.flops, c.bytes, eff);
+    const double blocks = static_cast<double>(m.totalLayers());
+    Seconds dispatch = static_cast<double>(kernelsOfGroup(group)) *
+                       blocks * cfg_.dispatchSeconds;
+    if (group == model::OpGroup::Other)
+        dispatch += 2.0 * cfg_.dispatchSeconds; // stem + head
+    return roofline + dispatch;
+}
+
+RunStats
+PlatformModel::run(const core::ModelPlan &plan, bool end_to_end) const
+{
+    const auto &m = plan.model;
+    const double s = plan.avgSparsity;
+    const double s_eff = s * cfg_.sparseExploit;
+    const model::Breakdown bd =
+        model::modelBreakdown(m, s_eff, cfg_.elemBytes);
+    const double blocks = static_cast<double>(m.totalLayers());
+
+    RunStats rs;
+    rs.device = name();
+    rs.model = m.name;
+
+    for (size_t gi = 0;
+         gi < static_cast<size_t>(model::OpGroup::NumGroups); ++gi) {
+        const auto g = static_cast<model::OpGroup>(gi);
+        if (!end_to_end && !isCoreAttentionGroup(g))
+            continue;
+
+        const model::OpCount &c = model::groupOf(bd, g);
+        double eff = 0.0;
+        if (g == model::OpGroup::AttnMatMul)
+            eff = cfg_.attnMatmulEff;
+        else if (isGemmGroup(g))
+            eff = cfg_.gemmEff;
+
+        const double t_compute =
+            eff > 0 ? c.flops / (cfg_.peakGflops * eff * 1e9) : 0.0;
+        const double t_mem =
+            c.bytes / (cfg_.bandwidthGBps * cfg_.memEff * 1e9);
+        const Seconds roofline = std::max(t_compute, t_mem);
+        Seconds dispatch = static_cast<double>(kernelsOfGroup(g)) *
+                           blocks * cfg_.dispatchSeconds;
+        if (end_to_end && g == model::OpGroup::Other)
+            dispatch += 2.0 * cfg_.dispatchSeconds;
+
+        rs.seconds += roofline + dispatch;
+        if (t_compute >= t_mem)
+            rs.computeSeconds += roofline;
+        else
+            rs.dataMoveSeconds += roofline;
+        rs.preprocessSeconds += dispatch; // framework overhead
+        rs.macs += static_cast<MacOps>(c.flops / 2.0);
+        rs.dramRead += static_cast<Bytes>(c.bytes * 0.7);
+        rs.dramWrite += static_cast<Bytes>(c.bytes * 0.3);
+    }
+
+    // Platform energy: measured-wall-power x time, reported under
+    // the static component of the breakdown.
+    rs.energy.staticPj = cfg_.powerWatts * rs.seconds * 1e12;
+    return rs;
+}
+
+RunStats
+PlatformModel::runAttention(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/false);
+}
+
+RunStats
+PlatformModel::runEndToEnd(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/true);
+}
+
+PlatformConfig
+cpuXeon6230R()
+{
+    PlatformConfig c;
+    c.name = "CPU";
+    c.peakGflops = 2100.0; // 26c x AVX-512 FMA @ ~2.1 GHz
+    c.bandwidthGBps = 140.0;
+    c.attnMatmulEff = 0.008; // eager-mode small-matrix BLAS
+    c.gemmEff = 0.15;
+    c.memEff = 0.50;
+    c.dispatchSeconds = 60e-6;
+    c.powerWatts = 150.0;
+    c.elemBytes = 4;
+    return c;
+}
+
+PlatformConfig
+gpu2080Ti()
+{
+    PlatformConfig c;
+    c.name = "GPU";
+    c.peakGflops = 13400.0;
+    c.bandwidthGBps = 616.0;
+    c.attnMatmulEff = 0.006; // batch-1, per-head eager bmm tiles
+    c.gemmEff = 0.45;
+    c.memEff = 0.70;
+    c.dispatchSeconds = 25e-6;
+    c.kernelsPerAttnLayer = 40; // per-head loops in eager mode
+    c.powerWatts = 250.0;
+    c.elemBytes = 4;
+    return c;
+}
+
+PlatformConfig
+edgeGpuXavierNX()
+{
+    PlatformConfig c;
+    c.name = "EdgeGPU";
+    c.peakGflops = 1690.0; // fp16 CUDA-core peak
+    c.bandwidthGBps = 51.2;
+    c.attnMatmulEff = 0.020;
+    c.gemmEff = 0.35;
+    c.memEff = 0.50;
+    c.dispatchSeconds = 40e-6;
+    c.powerWatts = 15.0;
+    c.elemBytes = 2;
+    return c;
+}
+
+PlatformConfig
+edgeGpuTx2()
+{
+    PlatformConfig c;
+    c.name = "EdgeGPU-TX2";
+    c.peakGflops = 1330.0;
+    c.bandwidthGBps = 59.7;
+    c.attnMatmulEff = 0.020;
+    c.gemmEff = 0.35;
+    c.memEff = 0.50;
+    c.dispatchSeconds = 45e-6;
+    c.powerWatts = 12.0;
+    c.elemBytes = 2;
+    return c;
+}
+
+} // namespace vitcod::accel

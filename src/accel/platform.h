@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Roofline-plus-dispatch models of the paper's general computing
+ * platforms (substitution S4 in DESIGN.md): CPU (Intel Xeon Gold
+ * 6230R), GPU (NVIDIA RTX 2080Ti), EdgeGPU (Jetson Xavier NX for the
+ * speedup comparisons, Jetson TX2 for the Fig. 4 latency
+ * breakdowns). Each kernel's time is
+ *
+ *   max(flops / (peak * eff), bytes / (bw * memEff)) + dispatch,
+ *
+ * where the dispatch term models framework/kernel-launch overhead —
+ * the dominant cost for ViT-sized attention at batch 1, and the
+ * reason measured platform latencies dwarf their rooflines (the
+ * paper's own Fig. 4 bars are eager-mode PyTorch measurements).
+ * General platforms run attention *densely*: unstructured 90%
+ * sparsity is not exploitable by cuBLAS/oneDNN-class kernels
+ * (sparseExploit = 0 by default).
+ */
+
+#ifndef VITCOD_ACCEL_PLATFORM_H
+#define VITCOD_ACCEL_PLATFORM_H
+
+#include "accel/device.h"
+#include "model/flops.h"
+
+namespace vitcod::accel {
+
+/** Platform description and efficiency calibration. */
+struct PlatformConfig
+{
+    std::string name = "CPU";
+
+    double peakGflops = 1000.0;   //!< datasheet dense peak
+    double bandwidthGBps = 100.0; //!< datasheet memory bandwidth
+
+    /** Achieved fraction of peak on attention-size matmuls. */
+    double attnMatmulEff = 0.02;
+    /** Achieved fraction of peak on projection/MLP GEMMs. */
+    double gemmEff = 0.30;
+    /** Achieved fraction of bandwidth on elementwise kernels. */
+    double memEff = 0.60;
+
+    /** Per-kernel dispatch/launch overhead (seconds). */
+    double dispatchSeconds = 30e-6;
+    /** Unfused eager-mode kernels per attention layer. */
+    size_t kernelsPerAttnLayer = 24;
+    /** Kernels per block for the dense phases (proj/MLP/LN). */
+    size_t kernelsPerBlockDense = 10;
+
+    double powerWatts = 100.0;
+    size_t elemBytes = 4;
+
+    /** Fraction of attention sparsity convertible into speedup. */
+    double sparseExploit = 0.0;
+};
+
+/** Roofline + dispatch execution model of a general platform. */
+class PlatformModel : public Device
+{
+  public:
+    explicit PlatformModel(PlatformConfig cfg);
+
+    const PlatformConfig &config() const { return cfg_; }
+
+    std::string name() const override { return cfg_.name; }
+
+    RunStats runAttention(const core::ModelPlan &plan) override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+
+    /**
+     * Latency of one op-group of the model at @p sparsity — used by
+     * the Fig. 4 breakdown bench.
+     */
+    Seconds opGroupSeconds(const model::VitModelConfig &model,
+                           model::OpGroup group,
+                           double attn_sparsity = 0.0) const;
+
+  private:
+    RunStats run(const core::ModelPlan &plan, bool end_to_end) const;
+
+    /** Roofline time of one kernel (no dispatch). */
+    Seconds kernelSeconds(double flops, double bytes,
+                          double eff) const;
+
+    PlatformConfig cfg_;
+};
+
+/** @name Platform presets (paper Sec. VI-A)
+ *  @{ */
+PlatformConfig cpuXeon6230R();
+PlatformConfig gpu2080Ti();
+PlatformConfig edgeGpuXavierNX();
+PlatformConfig edgeGpuTx2();
+/** @} */
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_PLATFORM_H

@@ -1,0 +1,165 @@
+#include "sanger.h"
+
+#include <cmath>
+#include <vector>
+
+#include "accel/dense_phases.h"
+#include "common/logging.h"
+#include "model/flops.h"
+#include "sim/tile_scheduler.h"
+
+namespace vitcod::accel {
+
+SangerAccelerator::SangerAccelerator(SangerConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.operatingSparsity >= 0 &&
+                      cfg_.operatingSparsity < 1.0,
+                  "bad operating sparsity");
+    VITCOD_ASSERT(cfg_.packEfficiency > 0 && cfg_.packEfficiency <= 1,
+                  "bad pack efficiency");
+}
+
+RunStats
+SangerAccelerator::run(const core::ModelPlan &plan,
+                       bool end_to_end) const
+{
+    const auto shapes = model::attentionShapes(plan.model);
+    const size_t total_macs = cfg_.macArray.totalMacs();
+    const auto eb = static_cast<double>(cfg_.elemBytes);
+    const double keep = 1.0 - cfg_.operatingSparsity;
+    const sim::DramModel dram(cfg_.dram);
+
+    RunStats rs;
+    rs.device = name();
+    rs.model = plan.model.name;
+
+    Cycles total = 0;
+    Cycles compute = 0;
+    Cycles preprocess = 0;
+    MacOps macs = 0;
+
+    for (size_t l = 0; l < shapes.size(); ++l) {
+        const auto &s = shapes[l];
+        const double n = static_cast<double>(s.tokens);
+        const double h = static_cast<double>(s.heads);
+        const double dk = static_cast<double>(s.headDim);
+        const double nnz = n * n * keep * h;
+
+        // (1) Low-precision prediction pass: full quantized Q.K^T.
+        const double pred_macs =
+            n * n * dk * h * cfg_.predictionCostFactor;
+        const Cycles pred_cycles = static_cast<Cycles>(std::ceil(
+            static_cast<double>(
+                ceilDiv(static_cast<MacOps>(pred_macs), total_macs)) /
+            0.9));
+
+        // (2) Pack & split of the predicted mask, per row per head.
+        const Cycles pack_cycles = static_cast<Cycles>(
+            n * h * static_cast<double>(cfg_.packCyclesPerRow));
+
+        // (3) Sparse SDDMM + SpMM on the reconfigurable EUs.
+        auto eu_cycles = [&](double m) -> Cycles {
+            return static_cast<Cycles>(std::ceil(
+                static_cast<double>(ceilDiv(static_cast<MacOps>(m),
+                                            total_macs)) /
+                cfg_.packEfficiency));
+        };
+        const double sddmm_macs = nnz * dk;
+        const double spmm_macs = nnz * dk;
+        const Cycles attn_compute =
+            eu_cycles(sddmm_macs) + eu_cycles(spmm_macs);
+        const Cycles softmax = static_cast<Cycles>(
+            2.0 * nnz / static_cast<double>(cfg_.softmaxLanes));
+
+        // Traffic: full Q/K/V (S-stationary reuses them fully once
+        // loaded), predicted-mask bitmaps, sparse S spill if any.
+        const double qkv_bytes = 3.0 * n * h * dk * eb;
+        const double mask_bytes = n * n * h / 8.0;
+        const double s_bytes = nnz * eb;
+        const double spill = std::max(
+            0.0, s_bytes - static_cast<double>(cfg_.sBufferBytes));
+        const double out_bytes = n * h * dk * eb;
+
+        const Cycles load = dram.streamCycles(
+            static_cast<Bytes>(qkv_bytes + mask_bytes + spill));
+        const Cycles store = dram.streamCycles(
+            static_cast<Bytes>(out_bytes + spill));
+
+        const std::vector<sim::TileCost> tiles = {
+            {load, attn_compute + softmax, store},
+        };
+        const Cycles layer_total = sim::doubleBufferedCycles(tiles) +
+                                   pred_cycles + pack_cycles;
+
+        total += layer_total;
+        compute += attn_compute + softmax;
+        preprocess += pred_cycles + pack_cycles;
+        macs += static_cast<MacOps>(pred_macs + sddmm_macs +
+                                    spmm_macs);
+        rs.dramRead +=
+            static_cast<Bytes>(qkv_bytes + mask_bytes + spill);
+        rs.dramWrite += static_cast<Bytes>(out_bytes + spill);
+
+        if (end_to_end) {
+            DensePhaseParams p;
+            p.totalMacs = total_macs;
+            p.gemmEff = 0.9;
+            p.elemBytes = cfg_.elemBytes;
+            p.elwiseLanes = cfg_.softmaxLanes;
+            const DensePhaseStats d = simulateDenseBlock(
+                s, mlpRatioOfLayer(plan.model, l), dram, p);
+            total += d.total;
+            compute += d.compute;
+            macs += d.macs;
+            rs.dramRead += d.dramRead;
+            rs.dramWrite += d.dramWrite;
+        }
+    }
+
+    if (end_to_end && plan.model.stemFlops > 0.0) {
+        const auto stem_macs =
+            static_cast<MacOps>(plan.model.stemFlops / 2.0);
+        const Cycles stem = static_cast<Cycles>(std::ceil(
+            static_cast<double>(ceilDiv(stem_macs, total_macs)) /
+            0.9));
+        total += stem;
+        compute += stem;
+        macs += stem_macs;
+    }
+
+    rs.cycles = total;
+    rs.seconds = cyclesToSeconds(total, cfg_.freqGhz);
+    rs.computeSeconds = cyclesToSeconds(compute, cfg_.freqGhz);
+    rs.preprocessSeconds = cyclesToSeconds(preprocess, cfg_.freqGhz);
+    rs.dataMoveSeconds =
+        rs.seconds - rs.computeSeconds - rs.preprocessSeconds;
+    rs.macs = macs;
+    rs.sramRead = static_cast<Bytes>(
+        static_cast<double>(macs) * 2.0 * eb / 4.0);
+    rs.sramWrite =
+        static_cast<Bytes>(static_cast<double>(macs) * eb / 8.0);
+
+    const sim::EnergyModel em(cfg_.energy);
+    rs.energy = em.compute(macs, rs.sramRead, rs.sramWrite,
+                           rs.dramTotal(), total);
+    rs.utilization =
+        total ? static_cast<double>(macs) /
+                    (static_cast<double>(total) * total_macs)
+              : 0.0;
+    return rs;
+}
+
+RunStats
+SangerAccelerator::runAttention(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/false);
+}
+
+RunStats
+SangerAccelerator::runEndToEnd(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/true);
+}
+
+} // namespace vitcod::accel

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Rebuilt Sanger baseline (Lu et al., MICRO 2021) sized to the same
+ * MAC/SRAM budget as ViTCoD. Sanger enables *dynamic* fine-grained
+ * sparse attention through:
+ *
+ *  1. a low-precision (4-bit) prediction pass computing quantized
+ *     Q.K^T to derive a per-input mask — paid every inference;
+ *  2. "pack and split" preprocessing that condenses the unstructured
+ *     mask into balanced EU rows — paid every inference;
+ *  3. an S-stationary reconfigurable PE array: scores are spatially
+ *     mapped, Q/K fully reused once loaded (low DRAM traffic), but
+ *     partial sums live in PE registers and the effective EU
+ *     utilization depends on the pack efficiency.
+ *
+ * Its operating sparsity on ViTs is the accuracy-preserving medium
+ * level the paper's Table I lists for dynamic NLP-style masks.
+ */
+
+#ifndef VITCOD_ACCEL_SANGER_H
+#define VITCOD_ACCEL_SANGER_H
+
+#include "accel/device.h"
+#include "sim/dram.h"
+#include "sim/energy.h"
+#include "sim/mac_array.h"
+
+namespace vitcod::accel {
+
+/** Sanger operating point and hardware shape. */
+struct SangerConfig
+{
+    std::string name = "Sanger";
+
+    sim::MacArrayConfig macArray{64, 8};
+    double freqGhz = 0.5;
+    sim::DramConfig dram{};
+    sim::EnergyConfig energy{};
+
+    size_t elemBytes = 2;
+
+    /** Dynamic-mask sparsity Sanger sustains on ViTs. */
+    double operatingSparsity = 0.55;
+
+    /** Cost factor of the 4-bit prediction pass (vs full MACs). */
+    double predictionCostFactor = 0.25;
+
+    /** EU utilization after pack-and-split load balancing. */
+    double packEfficiency = 0.65;
+
+    /** Preprocessing cycles per attention row (pack & split). */
+    Cycles packCyclesPerRow = 8;
+
+    /** On-chip budget for the sparse S working set. */
+    Bytes sBufferBytes = 96 * 1024;
+
+    size_t softmaxLanes = 32;
+};
+
+/** Cycle-level Sanger model. */
+class SangerAccelerator : public Device
+{
+  public:
+    explicit SangerAccelerator(SangerConfig cfg = {});
+
+    const SangerConfig &config() const { return cfg_; }
+
+    std::string name() const override { return cfg_.name; }
+
+    RunStats runAttention(const core::ModelPlan &plan) override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+
+  private:
+    RunStats run(const core::ModelPlan &plan, bool end_to_end) const;
+
+    SangerConfig cfg_;
+};
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_SANGER_H

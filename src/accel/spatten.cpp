@@ -1,0 +1,173 @@
+#include "spatten.h"
+
+#include <cmath>
+#include <vector>
+
+#include "accel/dense_phases.h"
+#include "common/logging.h"
+#include "model/flops.h"
+#include "sim/tile_scheduler.h"
+
+namespace vitcod::accel {
+
+SpAttenAccelerator::SpAttenAccelerator(SpAttenConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.tokenKeepFinal > 0 && cfg_.tokenKeepFinal <= 1.0,
+                  "bad token keep ratio");
+    VITCOD_ASSERT(cfg_.headKeepFinal > 0 && cfg_.headKeepFinal <= 1.0,
+                  "bad head keep ratio");
+}
+
+double
+SpAttenAccelerator::tokenKeepAt(size_t l, size_t layers) const
+{
+    if (layers <= 1)
+        return cfg_.tokenKeepFinal;
+    const double t =
+        static_cast<double>(l) / static_cast<double>(layers - 1);
+    return 1.0 - (1.0 - cfg_.tokenKeepFinal) * t;
+}
+
+double
+SpAttenAccelerator::headKeepAt(size_t l, size_t layers) const
+{
+    if (layers <= 1)
+        return cfg_.headKeepFinal;
+    const double t =
+        static_cast<double>(l) / static_cast<double>(layers - 1);
+    return 1.0 - (1.0 - cfg_.headKeepFinal) * t;
+}
+
+RunStats
+SpAttenAccelerator::run(const core::ModelPlan &plan,
+                        bool end_to_end) const
+{
+    const auto shapes = model::attentionShapes(plan.model);
+    const size_t layers = shapes.size();
+    const size_t total_macs = cfg_.macArray.totalMacs();
+    const auto eb = static_cast<double>(cfg_.elemBytes);
+    const sim::DramModel dram(cfg_.dram);
+
+    RunStats rs;
+    rs.device = name();
+    rs.model = plan.model.name;
+
+    Cycles total = 0;
+    Cycles compute = 0;
+    Cycles preprocess = 0;
+    MacOps macs = 0;
+
+    for (size_t l = 0; l < layers; ++l) {
+        const auto &s = shapes[l];
+        const double keep_t = tokenKeepAt(l, layers);
+        const double keep_h = headKeepAt(l, layers);
+        const double n = static_cast<double>(s.tokens) * keep_t;
+        const double h = static_cast<double>(s.heads) * keep_h;
+        const double dk = static_cast<double>(s.headDim);
+
+        // Dense attention on survivors: Q.K^T then S.V, row-
+        // stationary with streaming softmax (S never stored).
+        const double qk_macs = n * n * dk * h;
+        const double sv_macs = n * n * dk * h;
+        auto arr_cycles = [&](double m) -> Cycles {
+            return static_cast<Cycles>(std::ceil(
+                static_cast<double>(ceilDiv(static_cast<MacOps>(m),
+                                            total_macs)) /
+                cfg_.denseEff));
+        };
+        const Cycles attn_compute =
+            arr_cycles(qk_macs) + arr_cycles(sv_macs);
+        const Cycles softmax = static_cast<Cycles>(
+            2.0 * n * n * h /
+            static_cast<double>(cfg_.softmaxLanes));
+
+        // Top-k token-importance ranking (the cascade decision).
+        const Cycles topk = static_cast<Cycles>(
+            n * static_cast<double>(cfg_.topkCyclesPerToken));
+
+        // Traffic: quantized Q/K/V of survivors in, V' out.
+        const double qkv_bytes =
+            3.0 * n * h * dk * eb * cfg_.quantTrafficFactor;
+        const double out_bytes = n * h * dk * eb;
+        const Cycles load =
+            dram.streamCycles(static_cast<Bytes>(qkv_bytes));
+        const Cycles store =
+            dram.streamCycles(static_cast<Bytes>(out_bytes));
+
+        const std::vector<sim::TileCost> tiles = {
+            {load, attn_compute + softmax, store},
+        };
+        const Cycles layer_total =
+            sim::doubleBufferedCycles(tiles) + topk;
+
+        total += layer_total;
+        compute += attn_compute + softmax;
+        preprocess += topk;
+        macs += static_cast<MacOps>(qk_macs + sv_macs);
+        rs.dramRead += static_cast<Bytes>(qkv_bytes);
+        rs.dramWrite += static_cast<Bytes>(out_bytes);
+
+        if (end_to_end) {
+            DensePhaseParams p;
+            p.totalMacs = total_macs;
+            p.gemmEff = 0.9;
+            p.elemBytes = cfg_.elemBytes;
+            p.elwiseLanes = cfg_.softmaxLanes;
+            p.tokenKeep = keep_t; // pruned tokens skip MLP too
+            const DensePhaseStats d = simulateDenseBlock(
+                s, mlpRatioOfLayer(plan.model, l), dram, p);
+            total += d.total;
+            compute += d.compute;
+            macs += d.macs;
+            rs.dramRead += d.dramRead;
+            rs.dramWrite += d.dramWrite;
+        }
+    }
+
+    if (end_to_end && plan.model.stemFlops > 0.0) {
+        const auto stem_macs =
+            static_cast<MacOps>(plan.model.stemFlops / 2.0);
+        const Cycles stem = static_cast<Cycles>(std::ceil(
+            static_cast<double>(ceilDiv(stem_macs, total_macs)) /
+            0.9));
+        total += stem;
+        compute += stem;
+        macs += stem_macs;
+    }
+
+    rs.cycles = total;
+    rs.seconds = cyclesToSeconds(total, cfg_.freqGhz);
+    rs.computeSeconds = cyclesToSeconds(compute, cfg_.freqGhz);
+    rs.preprocessSeconds = cyclesToSeconds(preprocess, cfg_.freqGhz);
+    rs.dataMoveSeconds =
+        rs.seconds - rs.computeSeconds - rs.preprocessSeconds;
+    rs.macs = macs;
+    rs.sramRead = static_cast<Bytes>(
+        static_cast<double>(macs) * 2.0 * eb / 4.0);
+    rs.sramWrite =
+        static_cast<Bytes>(static_cast<double>(macs) * eb / 8.0);
+
+    const sim::EnergyModel em(cfg_.energy);
+    rs.energy = em.compute(macs, rs.sramRead, rs.sramWrite,
+                           rs.dramTotal(), total);
+    rs.utilization =
+        total ? static_cast<double>(macs) /
+                    (static_cast<double>(total) * total_macs)
+              : 0.0;
+    return rs;
+}
+
+RunStats
+SpAttenAccelerator::runAttention(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/false);
+}
+
+RunStats
+SpAttenAccelerator::runEndToEnd(const core::ModelPlan &plan)
+{
+    return run(plan, /*end_to_end=*/true);
+}
+
+} // namespace vitcod::accel

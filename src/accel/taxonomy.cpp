@@ -1,0 +1,37 @@
+#include "taxonomy.h"
+
+namespace vitcod::accel {
+
+std::vector<AcceleratorTraits>
+taxonomyTable()
+{
+    return {
+        {"OuterSpace", "Tensor Algebra", "SpGEMM",
+         "Outer-product (Input-stationary)", "Static", "Unstructured",
+         "High", "Medium", "High~Ultra High", true},
+        {"ExTensor", "Tensor Algebra", "SpGEMM",
+         "Hybrid Outer&Inner-product (Input-&Output-stationary)",
+         "Static", "Unstructured", "Low~Medium", "Medium~High",
+         "High~Ultra High", false},
+        {"SpArch", "Tensor Algebra", "SpGEMM",
+         "Condensed Outer-product (Input-stationary)", "Static",
+         "Unstructured", "Low~Medium", "Low", "High~Ultra High",
+         false},
+        {"Gamma", "Tensor Algebra", "SpGEMM",
+         "Gustavson(Row)-stationary", "Static", "Unstructured", "Low",
+         "Low", "High~Ultra High", false},
+        {"SpAtten", "NLP Transformer", "Sparse Attention: SDDMM; SpMM",
+         "Top-k Selection", "Dynamic & Input-dependent",
+         "Coarse-grained & Structured", "Medium", "Medium~High",
+         "Low", true},
+        {"Sanger", "NLP Transformer", "Sparse Attention: SDDMM; SpMM",
+         "S-stationary", "Dynamic & Input-dependent",
+         "Fine-grained & Structured", "High", "Medium~High", "Medium",
+         true},
+        {"ViTCoD (Ours)", "ViT", "Sparse Attention: SDDMM; SpMM",
+         "K-stationary; Output-stationary", "Static",
+         "Denser & Sparser", "Low", "Low", "High", true},
+    };
+}
+
+} // namespace vitcod::accel

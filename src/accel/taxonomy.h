@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The sparse-accelerator taxonomy of the paper's Table I: seven
+ * representative designs classified by application field, workload,
+ * dataflow, sparsity pattern, regularity, traffic, bandwidth need,
+ * sparsity regime and whether they co-design algorithm and hardware.
+ */
+
+#ifndef VITCOD_ACCEL_TAXONOMY_H
+#define VITCOD_ACCEL_TAXONOMY_H
+
+#include <string>
+#include <vector>
+
+namespace vitcod::accel {
+
+/** One row of Table I. */
+struct AcceleratorTraits
+{
+    std::string name;
+    std::string applicationField;
+    std::string workloads;
+    std::string dataflow;
+    std::string sparsityPattern;
+    std::string patternRegularity;
+    std::string offChipTraffic;
+    std::string bandwidthRequirement;
+    std::string sparsity;
+    bool algoHwCoDesign = false;
+};
+
+/** All seven rows of Table I, in the paper's column order. */
+std::vector<AcceleratorTraits> taxonomyTable();
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_TAXONOMY_H

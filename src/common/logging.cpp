@@ -1,0 +1,51 @@
+#include "logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vitcod {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatalImpl(const char *, int, const std::string &msg)
+{
+    emit("fatal: ", msg);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *, int, const std::string &msg)
+{
+    emit("panic: ", msg);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace vitcod

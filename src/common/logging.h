@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the spirit of gem5's
+ * logging.hh: fatal() for user errors that make continuing impossible,
+ * panic() for internal invariant violations, warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#ifndef VITCOD_COMMON_LOGGING_H
+#define VITCOD_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace vitcod {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/**
+ * Process-wide log verbosity. Benches set this to Silent so that their
+ * table output stays machine-parsable; tests leave it at Warn.
+ */
+LogLevel logLevel();
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted message to stderr with a severity prefix. */
+void emit(const char *prefix, const std::string &msg);
+
+/** Emit and exit(1): the condition is the user's fault. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit and abort(): the condition is a simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report a user-caused error (bad config, invalid argument) and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl("", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl("", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a recoverable anomaly the user should know about. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn: ", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emit("info: ", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a simulator invariant; on failure, panic with the stringified
+ * condition and an explanatory message.
+ */
+#define VITCOD_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::vitcod::panic("assertion failed: ", #cond, ": ",            \
+                            ::vitcod::detail::concat(__VA_ARGS__));       \
+        }                                                                 \
+    } while (0)
+
+} // namespace vitcod
+
+#endif // VITCOD_COMMON_LOGGING_H

@@ -1,0 +1,121 @@
+#include "rng.h"
+
+#include <cmath>
+
+#include "logging.h"
+
+namespace vitcod {
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &s : s_)
+        s = sm.next();
+}
+
+uint64_t
+Rng::nextU64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    VITCOD_ASSERT(n > 0, "uniformInt needs n > 0");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spareNormal_ = mag * std::sin(two_pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::vector<uint32_t>
+Rng::permutation(uint32_t n)
+{
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i)
+        idx[i] = i;
+    for (uint32_t i = n; i > 1; --i) {
+        const uint32_t j = static_cast<uint32_t>(uniformInt(i));
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(nextU64());
+}
+
+} // namespace vitcod

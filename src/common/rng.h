@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the whole
+ * reproduction. Every stochastic input (synthetic attention maps, Q/K
+ * tensors, workload jitter) flows from a seeded Rng so that all tests
+ * and benches are reproducible bit-for-bit.
+ *
+ * The generator is xoshiro256** seeded through SplitMix64, following
+ * Blackman & Vigna. Both are implemented here rather than taken from
+ * <random> so results are identical across standard libraries.
+ */
+
+#ifndef VITCOD_COMMON_RNG_H
+#define VITCOD_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vitcod {
+
+/** SplitMix64 stepper, used for seeding and cheap hash mixing. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Advance and return the next 64-bit value. */
+    uint64_t next();
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ *
+ * Distributions are implemented directly (not via <random>) so that a
+ * given seed produces the same stream on every platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eed'0fde'201c'0d23ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached spare). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Fisher-Yates shuffle of indices [0, n). */
+    std::vector<uint32_t> permutation(uint32_t n);
+
+    /**
+     * Derive an independent child generator; used to give each
+     * (layer, head) pair its own stream.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace vitcod
+
+#endif // VITCOD_COMMON_RNG_H

@@ -1,0 +1,125 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.h"
+
+namespace vitcod {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    VITCOD_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    VITCOD_ASSERT(!rows_.empty(), "call row() before cell()");
+    VITCOD_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+Table &
+Table::cell(int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cellRatio(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value << "x";
+    return cell(oss.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << (c ? "  " : "") << std::left
+               << std::setw(static_cast<int>(widths[c])) << v;
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int s = 0;
+    while (bytes >= 1024.0 && s < 4) {
+        bytes /= 1024.0;
+        ++s;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1) << bytes << ' ' << suffix[s];
+    return oss.str();
+}
+
+std::string
+formatOps(double ops)
+{
+    static const char *suffix[] = {"OP", "KOP", "MOP", "GOP", "TOP"};
+    int s = 0;
+    while (ops >= 1000.0 && s < 4) {
+        ops /= 1000.0;
+        ++s;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2) << ops << ' ' << suffix[s];
+    return oss.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==" << '\n';
+}
+
+} // namespace vitcod

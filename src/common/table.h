@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text table printer used by every bench harness so that the
+ * regenerated paper tables/figures share one consistent, diffable
+ * format.
+ */
+
+#ifndef VITCOD_COMMON_TABLE_H
+#define VITCOD_COMMON_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vitcod {
+
+/**
+ * Column-aligned ASCII table. Cells are strings; numeric helpers
+ * format with fixed precision so rows line up.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted double cell (fixed, @p precision digits). */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(int64_t value);
+
+    /** Append an integer cell (unsigned overload). */
+    Table &cell(uint64_t value);
+
+    /** Append a "x.yz x" speedup-style cell. */
+    Table &cellRatio(double value, int precision = 1);
+
+    /** Render to the stream with a header rule and aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a byte count with a binary suffix (e.g. "320.0 KiB"). */
+std::string formatBytes(double bytes);
+
+/** Format an operation count with a metric suffix (e.g. "1.23 GOP"). */
+std::string formatOps(double ops);
+
+/** Print a section banner used between bench subsections. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace vitcod
+
+#endif // VITCOD_COMMON_TABLE_H

@@ -1,0 +1,60 @@
+#include "accuracy_proxy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::core {
+
+AccuracyProxy::AccuracyProxy(AccuracyProxyConfig cfg) : cfg_(cfg) {}
+
+double
+AccuracyProxy::dropFromMask(double retained_mass,
+                            model::Task task) const
+{
+    VITCOD_ASSERT(retained_mass >= 0.0 && retained_mass <= 1.0 + 1e-9,
+                  "retained mass out of [0,1]");
+    const double lost = std::max(0.0, 1.0 - retained_mass);
+    double drop = cfg_.pruneScale * std::pow(lost, cfg_.pruneExponent);
+    if (task == model::Task::NlpGlue)
+        drop *= cfg_.nlpPenaltyFactor;
+    return std::min(drop, cfg_.maxDropPct);
+}
+
+double
+AccuracyProxy::dropFromRecon(double rel_error) const
+{
+    VITCOD_ASSERT(rel_error >= 0.0, "negative reconstruction error");
+    const double drop =
+        cfg_.aeScale * std::pow(rel_error, cfg_.aeExponent);
+    return std::min(drop, cfg_.maxDropPct);
+}
+
+double
+AccuracyProxy::estimate(double baseline_quality, model::Task task,
+                        double retained_mass, double ae_rel_error) const
+{
+    const double drop = std::min(cfg_.maxDropPct,
+                                 dropFromMask(retained_mass, task) +
+                                     dropFromRecon(ae_rel_error));
+    if (task == model::Task::PoseEstimation)
+        return baseline_quality + drop * cfg_.poseMmPerDropPct;
+    return std::max(0.0, baseline_quality - drop);
+}
+
+std::vector<double>
+AccuracyProxy::finetuneCurve(size_t epochs, double start_quality,
+                             double final_quality, double tau_epochs)
+{
+    std::vector<double> curve(epochs);
+    for (size_t e = 0; e < epochs; ++e) {
+        const double t = static_cast<double>(e);
+        curve[e] = final_quality +
+                   (start_quality - final_quality) *
+                       std::exp(-t / tau_epochs);
+    }
+    return curve;
+}
+
+} // namespace vitcod::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Accuracy proxy (substitution S2 in DESIGN.md). The reproduction
+ * cannot finetune on ImageNet, so model quality after pruning + AE
+ * insertion is estimated from two measurable signals:
+ *
+ *  1. the attention mass the fixed mask retains (Algorithm 1 keeps
+ *     the highest-information entries, so retained mass is exactly
+ *     the paper's "information quantity" criterion), and
+ *  2. the AE's relative reconstruction error on Q/K.
+ *
+ * The mapping is calibrated to the paper's reported anchors: <1%
+ * top-1 drop at 90% sparsity for DeiT / 80% for LeViT (Sec. VI-C),
+ * <=1.5% at 95% (abstract), <0.5% extra from the AE after finetuning
+ * (Sec. IV-C), and -1.18% for a static 60% mask on BERT-MRPC (Sec.
+ * VI-B) via the NLP penalty factor.
+ */
+
+#ifndef VITCOD_CORE_ACCURACY_PROXY_H
+#define VITCOD_CORE_ACCURACY_PROXY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/vit_config.h"
+
+namespace vitcod::core {
+
+/** Calibration constants of the proxy. */
+struct AccuracyProxyConfig
+{
+    /**
+     * drop% = pruneScale * (1 - retained_mass)^pruneExponent.
+     * Calibrated against the synthetic map generator (which retains
+     * ~0.85 mass at 90% sparsity) so the paper's anchors hold:
+     * <1% drop at the nominal operating points, <=1.5% at 95%.
+     */
+    double pruneScale = 5.5;
+    double pruneExponent = 1.10;
+
+    /** drop% = aeScale * rel_error^aeExponent (post-finetuning). */
+    double aeScale = 3.0;
+    double aeExponent = 1.50;
+
+    /** Static masks hurt NLP more (input-dependent patterns). */
+    double nlpPenaltyFactor = 3.0;
+
+    /** Pose error (MPJPE, mm) grows by this many mm per drop%. */
+    double poseMmPerDropPct = 0.55;
+
+    /** Saturation of the total modeled drop. */
+    double maxDropPct = 60.0;
+};
+
+/** Maps retained-mass / reconstruction-error signals to quality. */
+class AccuracyProxy
+{
+  public:
+    explicit AccuracyProxy(AccuracyProxyConfig cfg = {});
+
+    const AccuracyProxyConfig &config() const { return cfg_; }
+
+    /** Accuracy drop (%) caused by a mask retaining @p mass. */
+    double dropFromMask(double retained_mass,
+                        model::Task task) const;
+
+    /** Accuracy drop (%) caused by AE rel. error @p rel_error. */
+    double dropFromRecon(double rel_error) const;
+
+    /**
+     * Estimated model quality. For classification/NLP this is
+     * baseline minus drops; for pose estimation (MPJPE) the error
+     * *increases* with the drop.
+     */
+    double estimate(double baseline_quality, model::Task task,
+                    double retained_mass, double ae_rel_error) const;
+
+    /**
+     * Exponential finetuning-recovery curve (the shape of Fig. 9(b)
+     * / Fig. 18 accuracy traces): starts at @p start_quality right
+     * after surgery and approaches @p final_quality with time
+     * constant @p tau_epochs.
+     */
+    static std::vector<double>
+    finetuneCurve(size_t epochs, double start_quality,
+                  double final_quality, double tau_epochs = 12.0);
+
+  private:
+    AccuracyProxyConfig cfg_;
+};
+
+} // namespace vitcod::core
+
+#endif // VITCOD_CORE_ACCURACY_PROXY_H

@@ -1,0 +1,177 @@
+#include "autoencoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/eigen.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::core {
+
+double
+AeTrainTrajectory::finalLoss() const
+{
+    return points.empty() ? 0.0 : points.back().reconLoss;
+}
+
+AutoEncoder::AutoEncoder(AutoEncoderConfig cfg) : cfg_(cfg)
+{
+    VITCOD_ASSERT(cfg_.compressed >= 1 && cfg_.compressed <= cfg_.heads,
+                  "bottleneck must be in [1, heads]");
+    Rng rng(cfg_.seed);
+    const auto scale =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(cfg_.heads)));
+    enc_ = linalg::Matrix::randomNormal(cfg_.compressed, cfg_.heads, rng,
+                                        0.0f, scale);
+    dec_ = linalg::Matrix::randomNormal(cfg_.heads, cfg_.compressed, rng,
+                                        0.0f, scale);
+}
+
+double
+AutoEncoder::compressionRatio() const
+{
+    return static_cast<double>(cfg_.compressed) /
+           static_cast<double>(cfg_.heads);
+}
+
+linalg::Matrix
+AutoEncoder::encode(const linalg::Matrix &x) const
+{
+    VITCOD_ASSERT(x.cols() == cfg_.heads, "encode: head dim mismatch");
+    return linalg::gemmTransB(x, enc_);
+}
+
+linalg::Matrix
+AutoEncoder::decode(const linalg::Matrix &z) const
+{
+    VITCOD_ASSERT(z.cols() == cfg_.compressed,
+                  "decode: bottleneck dim mismatch");
+    return linalg::gemmTransB(z, dec_);
+}
+
+linalg::Matrix
+AutoEncoder::reconstruct(const linalg::Matrix &x) const
+{
+    return decode(encode(x));
+}
+
+double
+AutoEncoder::reconstructionMse(const linalg::Matrix &x) const
+{
+    return linalg::meanSquaredError(x, reconstruct(x));
+}
+
+double
+AutoEncoder::relativeError(const linalg::Matrix &x) const
+{
+    const double num = linalg::frobeniusNorm(
+        linalg::axpby(1.0f, x, -1.0f, reconstruct(x)));
+    const double den = linalg::frobeniusNorm(x);
+    return den > 0 ? num / den : 0.0;
+}
+
+AeTrainTrajectory
+AutoEncoder::trainSgd(const linalg::Matrix &data,
+                      const AeTrainConfig &train)
+{
+    VITCOD_ASSERT(data.cols() == cfg_.heads, "train: head dim mismatch");
+    const size_t n = data.rows();
+    const size_t batch = std::min(train.batchSize, n);
+    VITCOD_ASSERT(batch > 0, "empty training data");
+
+    Rng rng(train.shuffleSeed);
+    linalg::Matrix m_enc(enc_.rows(), enc_.cols());
+    linalg::Matrix v_enc(enc_.rows(), enc_.cols());
+    linalg::Matrix m_dec(dec_.rows(), dec_.cols());
+    linalg::Matrix v_dec(dec_.rows(), dec_.cols());
+    size_t step = 0;
+
+    auto adam_update = [&](linalg::Matrix &w, linalg::Matrix &m,
+                           linalg::Matrix &v, const linalg::Matrix &g) {
+        const double b1 = train.beta1;
+        const double b2 = train.beta2;
+        const double bc1 =
+            1.0 - std::pow(b1, static_cast<double>(step));
+        const double bc2 =
+            1.0 - std::pow(b2, static_cast<double>(step));
+        for (size_t i = 0; i < w.rows(); ++i) {
+            for (size_t j = 0; j < w.cols(); ++j) {
+                const double gij = g(i, j);
+                m(i, j) = static_cast<float>(b1 * m(i, j) +
+                                             (1.0 - b1) * gij);
+                v(i, j) = static_cast<float>(b2 * v(i, j) +
+                                             (1.0 - b2) * gij * gij);
+                const double mhat = m(i, j) / bc1;
+                const double vhat = v(i, j) / bc2;
+                w(i, j) -= static_cast<float>(
+                    train.learningRate * mhat /
+                    (std::sqrt(vhat) + 1e-8));
+            }
+        }
+    };
+
+    AeTrainTrajectory traj;
+    for (size_t epoch = 0; epoch < train.epochs; ++epoch) {
+        const auto order = rng.permutation(static_cast<uint32_t>(n));
+        for (size_t start = 0; start + batch <= n; start += batch) {
+            // Gather the mini-batch.
+            linalg::Matrix xb(batch, cfg_.heads);
+            for (size_t i = 0; i < batch; ++i) {
+                const float *src = data.rowData(order[start + i]);
+                std::copy(src, src + cfg_.heads, xb.rowData(i));
+            }
+
+            const linalg::Matrix z = encode(xb);        // B x c
+            const linalg::Matrix xhat = decode(z);      // B x h
+            linalg::Matrix g = linalg::axpby(
+                2.0f / static_cast<float>(batch * cfg_.heads), xhat,
+                -2.0f / static_cast<float>(batch * cfg_.heads), xb);
+
+            // dD = G^T Z ; dE = (G D)^T X
+            const linalg::Matrix g_t = linalg::transpose(g);
+            const linalg::Matrix d_dec = linalg::gemm(g_t, z);
+            const linalg::Matrix gd = linalg::gemm(g, dec_);
+            const linalg::Matrix d_enc =
+                linalg::gemm(linalg::transpose(gd), xb);
+
+            ++step;
+            adam_update(dec_, m_dec, v_dec, d_dec);
+            adam_update(enc_, m_enc, v_enc, d_enc);
+        }
+        traj.points.push_back({epoch, reconstructionMse(data)});
+    }
+    return traj;
+}
+
+void
+AutoEncoder::fitPca(const linalg::Matrix &data)
+{
+    VITCOD_ASSERT(data.cols() == cfg_.heads, "fitPca: head dim mismatch");
+    const linalg::PcaResult pca =
+        linalg::fitPca(data, cfg_.compressed, /*center=*/false);
+    enc_ = pca.components;                 // c x h
+    dec_ = linalg::transpose(pca.components); // h x c
+}
+
+linalg::Matrix
+synthesizeHeadData(size_t samples, size_t heads, size_t latent_rank,
+                   double noise_std, Rng &rng)
+{
+    VITCOD_ASSERT(latent_rank >= 1 && latent_rank <= heads,
+                  "latent rank must be in [1, heads]");
+    // Mixing matrix: heads are random combinations of the latents.
+    const linalg::Matrix mixing = linalg::Matrix::randomNormal(
+        latent_rank, heads, rng, 0.0f,
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(
+                               latent_rank))));
+    const linalg::Matrix latents =
+        linalg::Matrix::randomNormal(samples, latent_rank, rng);
+    linalg::Matrix x = linalg::gemm(latents, mixing);
+    for (size_t i = 0; i < x.rows(); ++i)
+        for (size_t j = 0; j < x.cols(); ++j)
+            x(i, j) += static_cast<float>(rng.normal(0.0, noise_std));
+    return x;
+}
+
+} // namespace vitcod::core

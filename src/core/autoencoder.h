@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ViTCoD's lightweight learnable auto-encoder (paper Sec. IV-C): a
+ * pair of linear maps that compress Q/K vectors *along the attention
+ * head dimension* (e.g. 12 heads -> 6) before they travel to
+ * off-chip memory, and recover them on the way back — trading the
+ * dominant data movement for cheap computation. The hypothesis is
+ * inter-head redundancy; synthesizeHeadData() generates Q/K tensors
+ * with exactly that property (substitution S3 in DESIGN.md) so the
+ * module trains on a real signal.
+ *
+ * Two fitting paths are provided: Adam-based training that records
+ * the per-epoch reconstruction loss (regenerating the Fig. 9(b) /
+ * Fig. 18 trajectories) and a closed-form PCA optimum used by the
+ * fast pipeline.
+ */
+
+#ifndef VITCOD_CORE_AUTOENCODER_H
+#define VITCOD_CORE_AUTOENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace vitcod::core {
+
+/** Static shape of an auto-encoder module. */
+struct AutoEncoderConfig
+{
+    size_t heads = 12;      //!< input width h
+    size_t compressed = 6;  //!< bottleneck width c (50% by default)
+    uint64_t seed = 7;      //!< weight-init seed
+};
+
+/** Hyper-parameters of the Adam training loop. */
+struct AeTrainConfig
+{
+    size_t epochs = 100;
+    size_t batchSize = 256;
+    double learningRate = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    uint64_t shuffleSeed = 11;
+};
+
+/** Per-epoch training record. */
+struct AeTrainPoint
+{
+    size_t epoch;
+    double reconLoss; //!< mean squared reconstruction error
+};
+
+/** Whole-run training record. */
+struct AeTrainTrajectory
+{
+    std::vector<AeTrainPoint> points;
+
+    /** Final reconstruction loss (0 if empty). */
+    double finalLoss() const;
+};
+
+/**
+ * Linear auto-encoder across the head dimension. Data layout: rows
+ * are samples — one sample per (token, feature) pair — and columns
+ * are the h per-head values of that coordinate.
+ */
+class AutoEncoder
+{
+  public:
+    explicit AutoEncoder(AutoEncoderConfig cfg);
+
+    const AutoEncoderConfig &config() const { return cfg_; }
+
+    /** c/h, e.g. 0.5 for the paper's default. */
+    double compressionRatio() const;
+
+    /** Z = X E^T : (N x h) -> (N x c). */
+    linalg::Matrix encode(const linalg::Matrix &x) const;
+
+    /** X^ = Z D^T : (N x c) -> (N x h). */
+    linalg::Matrix decode(const linalg::Matrix &z) const;
+
+    /** decode(encode(x)). */
+    linalg::Matrix reconstruct(const linalg::Matrix &x) const;
+
+    /** Mean squared reconstruction error over @p x. */
+    double reconstructionMse(const linalg::Matrix &x) const;
+
+    /** ||X - X^||_F / ||X||_F. */
+    double relativeError(const linalg::Matrix &x) const;
+
+    /**
+     * Train encoder+decoder with Adam on mini-batches of @p data,
+     * minimizing the reconstruction MSE (the paper's L_Recons,
+     * jointly trainable with the task loss). Records one point per
+     * epoch.
+     */
+    AeTrainTrajectory trainSgd(const linalg::Matrix &data,
+                               const AeTrainConfig &train);
+
+    /**
+     * Closed-form optimum: PCA of the head covariance. Sets the
+     * encoder to the top-c principal directions and the decoder to
+     * their transpose.
+     */
+    void fitPca(const linalg::Matrix &data);
+
+    const linalg::Matrix &encoderWeights() const { return enc_; }
+    const linalg::Matrix &decoderWeights() const { return dec_; }
+
+  private:
+    AutoEncoderConfig cfg_;
+    linalg::Matrix enc_; //!< c x h
+    linalg::Matrix dec_; //!< h x c
+};
+
+/**
+ * Generate synthetic Q/K head data with genuine inter-head
+ * redundancy: each sample's h head values are a random mixture of
+ * @p latent_rank shared latent factors plus i.i.d. noise. With
+ * latent_rank < compressed width, a well-trained AE recovers the
+ * signal almost exactly; with latent_rank > compressed width it
+ * cannot — tests exploit both directions.
+ *
+ * @param samples Number of rows (tokens x features in practice).
+ * @param heads Number of columns h.
+ * @param latent_rank Shared-factor count (the redundancy knob).
+ * @param noise_std Standard deviation of the additive noise.
+ */
+linalg::Matrix synthesizeHeadData(size_t samples, size_t heads,
+                                  size_t latent_rank, double noise_std,
+                                  Rng &rng);
+
+} // namespace vitcod::core
+
+#endif // VITCOD_CORE_AUTOENCODER_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The unified ViTCoD algorithm pipeline (paper Fig. 10): starting
+ * from a pretrained model, Step 1 inserts auto-encoder modules and
+ * finetunes, Step 2 runs split-and-conquer on the averaged attention
+ * maps and finetunes again. The output is a ModelPlan carrying one
+ * SparseAttentionPlan per (layer, head) plus per-layer AE summaries
+ * — everything the ViTCoD accelerator simulator needs to schedule a
+ * model.
+ */
+
+#ifndef VITCOD_CORE_PIPELINE_H
+#define VITCOD_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accuracy_proxy.h"
+#include "core/autoencoder.h"
+#include "core/split_conquer.h"
+#include "model/attention_gen.h"
+#include "model/vit_config.h"
+
+namespace vitcod::core {
+
+/** Configuration of the full pipeline. */
+struct PipelineConfig
+{
+    SplitConquerConfig splitConquer;
+    model::AttentionGenConfig gen;
+    AccuracyProxyConfig proxy;
+
+    /** Insert AE modules (Step 1)? */
+    bool useAutoEncoder = true;
+
+    /** Head compression denominator: c = ceil(h / this). */
+    size_t aeCompressDenominator = 2;
+
+    /** Latent rank of the synthetic Q/K head data; 0 = heads/3. */
+    size_t aeLatentRank = 0;
+
+    /** Noise level of the synthetic Q/K head data. */
+    double aeNoiseStd = 0.15;
+
+    /** Samples used to fit each per-layer AE (cap for speed). */
+    size_t aeFitSamples = 4096;
+
+    uint64_t seed = 123;
+};
+
+/** One attention head's plan within a model. */
+struct HeadPlan
+{
+    size_t layer = 0;
+    size_t head = 0;
+    SparseAttentionPlan plan;
+};
+
+/** Per-layer AE fitting summary (Q and K share statistics). */
+struct LayerAeSummary
+{
+    size_t layer = 0;
+    size_t heads = 0;
+    size_t compressed = 0;
+    double relErrorQ = 0.0;
+    double relErrorK = 0.0;
+
+    /** compressed / heads. */
+    double ratio() const;
+};
+
+/** Complete algorithm output for one model. */
+struct ModelPlan
+{
+    model::VitModelConfig model;
+    PipelineConfig cfg;
+
+    std::vector<HeadPlan> heads;   //!< layer-major, head-minor
+    std::vector<LayerAeSummary> ae; //!< empty when AE disabled
+
+    double avgSparsity = 0.0;      //!< mean mask sparsity
+    double avgRetainedMass = 0.0;  //!< mean retained attention mass
+    double avgGlobalTokenFrac = 0.0; //!< mean Ngt / n
+    double aeRelError = 0.0;       //!< mean AE rel. error (0 w/o AE)
+    double estimatedQuality = 0.0; //!< proxy accuracy / MPJPE
+
+    /** Find the plan of (layer, head); panics when absent. */
+    const SparseAttentionPlan &planOf(size_t layer, size_t head) const;
+
+    /** Mean AE compression ratio across layers (1.0 when disabled). */
+    double aeCompressionRatio() const;
+};
+
+/**
+ * Run the full pipeline (Fig. 10) for one model. Deterministic in
+ * (model, cfg). AEs are fitted in closed form (PCA) here; the SGD
+ * trajectory benches train the very same module explicitly.
+ */
+ModelPlan buildModelPlan(const model::VitModelConfig &model,
+                         const PipelineConfig &cfg);
+
+/**
+ * Convenience: a PipelineConfig pinned at an exact target sparsity
+ * with/without the AE — the operating points of the paper's
+ * hardware evaluation sweeps.
+ */
+PipelineConfig makePipelineConfig(double target_sparsity, bool use_ae);
+
+} // namespace vitcod::core
+
+#endif // VITCOD_CORE_PIPELINE_H

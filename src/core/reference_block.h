@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional reference of one ViT transformer block: LayerNorm ->
+ * multi-head self-attention -> residual -> LayerNorm -> MLP (GELU)
+ * -> residual, computed numerically with the golden kernels. Two
+ * attention paths are provided: the dense baseline and the ViTCoD
+ * path that executes a SparseAttentionPlan (token permutation +
+ * fixed mask + SDDMM/softmax/SpMM). The cycle-level simulators
+ * model *time*; this module pins down *values*, so adopters can
+ * check that a plan is semantics-preserving on their own tensors.
+ */
+
+#ifndef VITCOD_CORE_REFERENCE_BLOCK_H
+#define VITCOD_CORE_REFERENCE_BLOCK_H
+
+#include <vector>
+
+#include "core/split_conquer.h"
+#include "linalg/matrix.h"
+#include "model/vit_config.h"
+
+namespace vitcod::core {
+
+/** Learnable parameters of one block. */
+struct BlockWeights
+{
+    linalg::Matrix wq; //!< d x (h*dk)
+    linalg::Matrix wk;
+    linalg::Matrix wv;
+    linalg::Matrix wo;  //!< (h*dk) x d
+    linalg::Matrix fc1; //!< d x hidden
+    linalg::Matrix fc2; //!< hidden x d
+    std::vector<float> ln1Gamma, ln1Beta;
+    std::vector<float> ln2Gamma, ln2Beta;
+
+    /** Random initialization scaled for stable activations. */
+    static BlockWeights random(const model::StageConfig &stage,
+                               Rng &rng);
+};
+
+/** Functional transformer block over one stage's shape. */
+class ReferenceBlock
+{
+  public:
+    ReferenceBlock(model::StageConfig stage, BlockWeights weights);
+
+    const model::StageConfig &stage() const { return stage_; }
+
+    /** Dense forward pass: x (n x d) -> y (n x d). */
+    linalg::Matrix forwardDense(const linalg::Matrix &x) const;
+
+    /**
+     * ViTCoD forward pass: per-head fixed masks applied in the
+     * plans' permuted token order, results un-permuted back.
+     * @param plans One SparseAttentionPlan per head.
+     */
+    linalg::Matrix
+    forwardSparse(const linalg::Matrix &x,
+                  const std::vector<SparseAttentionPlan> &plans) const;
+
+    /** The attention sub-module only (dense), exposed for tests. */
+    linalg::Matrix attentionDense(const linalg::Matrix &x) const;
+
+    /** The attention sub-module only (sparse plans). */
+    linalg::Matrix attentionSparse(
+        const linalg::Matrix &x,
+        const std::vector<SparseAttentionPlan> &plans) const;
+
+  private:
+    /** Per-head slice over the concatenated width. */
+    linalg::Matrix headSlice(const linalg::Matrix &m,
+                             size_t head) const;
+
+    linalg::Matrix layerNorm(const linalg::Matrix &x,
+                             const std::vector<float> &gamma,
+                             const std::vector<float> &beta) const;
+
+    model::StageConfig stage_;
+    BlockWeights w_;
+};
+
+} // namespace vitcod::core
+
+#endif // VITCOD_CORE_REFERENCE_BLOCK_H

@@ -1,0 +1,146 @@
+#include "eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vitcod::linalg {
+
+EigenDecomposition
+jacobiEigen(const Matrix &input, size_t max_sweeps)
+{
+    VITCOD_ASSERT(input.rows() == input.cols(),
+                  "jacobiEigen needs a square matrix");
+    const size_t n = input.rows();
+
+    // Work in double for accuracy; symmetrize the input.
+    std::vector<double> a(n * n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a[i * n + j] = 0.5 * (static_cast<double>(input(i, j)) +
+                                  input(j, i));
+    std::vector<double> v(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        v[i * n + i] = 1.0;
+
+    auto off_diag_norm = [&]() {
+        double s = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                s += a[i * n + j] * a[i * n + j];
+        return std::sqrt(2.0 * s);
+    };
+
+    const double eps = 1e-14 * std::max(1.0, off_diag_norm());
+    for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diag_norm() <= eps)
+            break;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (size_t i = 0; i < n; ++i) {
+                    const double aip = a[i * n + p];
+                    const double aiq = a[i * n + q];
+                    a[i * n + p] = c * aip - s * aiq;
+                    a[i * n + q] = s * aip + c * aiq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double api = a[p * n + i];
+                    const double aqi = a[q * n + i];
+                    a[p * n + i] = c * api - s * aqi;
+                    a[q * n + i] = s * api + c * aqi;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double vip = v[i * n + p];
+                    const double viq = v[i * n + q];
+                    v[i * n + p] = c * vip - s * viq;
+                    v[i * n + q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+
+    // Sort by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a[x * n + x] > a[y * n + y];
+    });
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        const size_t src = order[k];
+        out.values[k] = a[src * n + src];
+        for (size_t i = 0; i < n; ++i)
+            out.vectors(i, k) = static_cast<float>(v[i * n + src]);
+    }
+    return out;
+}
+
+PcaResult
+fitPca(const Matrix &data, size_t k, bool center)
+{
+    const size_t n = data.rows();
+    const size_t d = data.cols();
+    VITCOD_ASSERT(k >= 1 && k <= d, "fitPca: bad component count");
+    VITCOD_ASSERT(n >= 2, "fitPca: need at least two samples");
+
+    std::vector<double> mean(d, 0.0);
+    if (center) {
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < d; ++j)
+                mean[j] += data(i, j);
+        for (auto &m : mean)
+            m /= static_cast<double>(n);
+    }
+
+    // Covariance (d x d), d is the head count so this stays tiny.
+    Matrix cov(d, d);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t a = 0; a < d; ++a) {
+            const double xa = data(i, a) - mean[a];
+            for (size_t b = a; b < d; ++b) {
+                const double xb = data(i, b) - mean[b];
+                cov(a, b) += static_cast<float>(xa * xb /
+                                                static_cast<double>(n));
+            }
+        }
+    }
+    for (size_t a = 0; a < d; ++a)
+        for (size_t b = 0; b < a; ++b)
+            cov(a, b) = cov(b, a);
+
+    EigenDecomposition eig = jacobiEigen(cov);
+
+    PcaResult out;
+    out.components = Matrix(k, d);
+    out.explainedVariance.resize(k);
+    double total = 0.0;
+    for (double w : eig.values)
+        total += std::max(0.0, w);
+    double captured = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+        out.explainedVariance[c] = eig.values[c];
+        captured += std::max(0.0, eig.values[c]);
+        for (size_t j = 0; j < d; ++j)
+            out.components(c, j) = eig.vectors(j, c);
+    }
+    out.capturedFraction = total > 0 ? captured / total : 1.0;
+    return out;
+}
+
+} // namespace vitcod::linalg

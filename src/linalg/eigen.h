@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi method, plus a
+ * PCA helper. The auto-encoder's closed-form optimum (paper Sec.
+ * IV-C: linear compression across the head dimension) is the PCA of
+ * the head-covariance matrix, which is at most 16x16 — exactly the
+ * regime where Jacobi is simple, robust and accurate.
+ */
+
+#ifndef VITCOD_LINALG_EIGEN_H
+#define VITCOD_LINALG_EIGEN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace vitcod::linalg {
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct EigenDecomposition
+{
+    /** Eigenvalues in descending order. */
+    std::vector<double> values;
+    /** Columns are the matching eigenvectors (orthonormal). */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by cyclic Jacobi sweeps.
+ *
+ * @param a Symmetric matrix (only requires approximate symmetry; the
+ *          upper triangle is mirrored).
+ * @param max_sweeps Upper bound on full sweeps (default converges for
+ *        any sane head-covariance input).
+ * @return Eigenvalues (descending) and orthonormal eigenvectors.
+ */
+EigenDecomposition jacobiEigen(const Matrix &a, size_t max_sweeps = 64);
+
+/** Principal component analysis of row-sample data. */
+struct PcaResult
+{
+    /** k x d projection matrix (rows are principal directions). */
+    Matrix components;
+    /** Per-direction captured variance, descending. */
+    std::vector<double> explainedVariance;
+    /** Fraction of total variance captured by the k components. */
+    double capturedFraction = 0.0;
+};
+
+/**
+ * Fit PCA on @p data whose rows are samples and columns are features
+ * (for the AE: features = heads).
+ *
+ * @param data samples x features matrix.
+ * @param k Number of components to keep. @pre 1 <= k <= features.
+ * @param center Subtract the column means first (default true).
+ */
+PcaResult fitPca(const Matrix &data, size_t k, bool center = true);
+
+} // namespace vitcod::linalg
+
+#endif // VITCOD_LINALG_EIGEN_H

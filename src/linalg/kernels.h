@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dense golden kernels: GEMM (plain and B-transposed), row softmax,
+ * activations, transpose, permutation and matrix norms. These are the
+ * functional references the accelerator models and tests check
+ * against; they favor clarity over peak throughput but keep cache-
+ * friendly loop orders.
+ */
+
+#ifndef VITCOD_LINALG_KERNELS_H
+#define VITCOD_LINALG_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace vitcod::linalg {
+
+/** C = A * B. @pre a.cols == b.rows. */
+Matrix gemm(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T; the attention score kernel S = Q * K^T. */
+Matrix gemmTransB(const Matrix &a, const Matrix &b);
+
+/** C = alpha * A + beta * B elementwise. @pre shapes match. */
+Matrix axpby(float alpha, const Matrix &a, float beta, const Matrix &b);
+
+/** Transpose. */
+Matrix transpose(const Matrix &a);
+
+/** Numerically-stable softmax applied to each row independently. */
+Matrix softmaxRows(const Matrix &a);
+
+/** In-place ReLU. */
+void reluInPlace(Matrix &a);
+
+/** In-place GELU (tanh approximation, as used by ViT MLPs). */
+void geluInPlace(Matrix &a);
+
+/** Scale all elements in place. */
+void scaleInPlace(Matrix &a, float s);
+
+/** Permute rows: out.row(i) = a.row(perm[i]). */
+Matrix permuteRows(const Matrix &a, const std::vector<uint32_t> &perm);
+
+/** Frobenius norm. */
+double frobeniusNorm(const Matrix &a);
+
+/** max_ij |a - b|. @pre shapes match. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+/** Mean squared difference. @pre shapes match. */
+double meanSquaredError(const Matrix &a, const Matrix &b);
+
+} // namespace vitcod::linalg
+
+#endif // VITCOD_LINALG_KERNELS_H

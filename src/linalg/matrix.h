@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Row-major dense float matrix. Values are stored as float (the
+ * accelerators model 8/16-bit datapaths; float is ample as a golden
+ * reference) and accumulations are performed in double inside the
+ * kernels for numerical robustness.
+ */
+
+#ifndef VITCOD_LINALG_MATRIX_H
+#define VITCOD_LINALG_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vitcod::linalg {
+
+/** Dense row-major matrix of float. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized matrix of the given shape. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+    float
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Checked element access; panics when out of range. */
+    float
+    at(size_t r, size_t c) const
+    {
+        VITCOD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    const float *rowData(size_t r) const { return &data_[r * cols_]; }
+    float *rowData(size_t r) { return &data_[r * cols_]; }
+
+    /** Set every element to @p v. */
+    void fill(float v) { data_.assign(data_.size(), v); }
+
+    /** i.i.d. N(mean, stddev) entries from @p rng. */
+    static Matrix
+    randomNormal(size_t rows, size_t cols, Rng &rng, float mean = 0.0f,
+                 float stddev = 1.0f)
+    {
+        Matrix m(rows, cols);
+        for (auto &x : m.data_)
+            x = static_cast<float>(rng.normal(mean, stddev));
+        return m;
+    }
+
+    /** i.i.d. U[lo, hi) entries from @p rng. */
+    static Matrix
+    randomUniform(size_t rows, size_t cols, Rng &rng, float lo = 0.0f,
+                  float hi = 1.0f)
+    {
+        Matrix m(rows, cols);
+        for (auto &x : m.data_)
+            x = static_cast<float>(rng.uniform(lo, hi));
+        return m;
+    }
+
+    /** Identity matrix of order @p n. */
+    static Matrix
+    identity(size_t n)
+    {
+        Matrix m(n, n);
+        for (size_t i = 0; i < n; ++i)
+            m(i, i) = 1.0f;
+        return m;
+    }
+
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace vitcod::linalg
+
+#endif // VITCOD_LINALG_MATRIX_H

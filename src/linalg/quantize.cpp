@@ -1,0 +1,113 @@
+#include "quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::linalg {
+
+size_t
+QuantizedMatrix::storageBytes() const
+{
+    const size_t code_bits = rows * cols * static_cast<size_t>(bits);
+    return (code_bits + 7) / 8 + scales.size() * sizeof(float);
+}
+
+namespace {
+
+float
+maxAbsOfRange(const Matrix &a, size_t r0, size_t r1)
+{
+    float m = 0.0f;
+    for (size_t r = r0; r < r1; ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            m = std::max(m, std::abs(a(r, c)));
+    return m;
+}
+
+} // namespace
+
+QuantizedMatrix
+quantize(const Matrix &a, int bits, bool per_row)
+{
+    VITCOD_ASSERT(bits >= 2 && bits <= 16, "bits must be in [2,16]");
+    QuantizedMatrix q;
+    q.rows = a.rows();
+    q.cols = a.cols();
+    q.bits = bits;
+    q.perRow = per_row;
+    q.codes.resize(a.rows() * a.cols());
+    const auto qmax = static_cast<float>(q.qmax());
+
+    auto encode_rows = [&](size_t r0, size_t r1, float scale) {
+        const float inv = scale > 0 ? 1.0f / scale : 0.0f;
+        for (size_t r = r0; r < r1; ++r) {
+            for (size_t c = 0; c < a.cols(); ++c) {
+                const float v = a(r, c) * inv;
+                const float clamped =
+                    std::clamp(std::round(v), -qmax, qmax);
+                q.codes[r * a.cols() + c] =
+                    static_cast<int16_t>(clamped);
+            }
+        }
+    };
+
+    if (per_row) {
+        q.scales.resize(a.rows());
+        for (size_t r = 0; r < a.rows(); ++r) {
+            const float s = maxAbsOfRange(a, r, r + 1) / qmax;
+            q.scales[r] = s;
+            encode_rows(r, r + 1, s);
+        }
+    } else {
+        const float s = maxAbsOfRange(a, 0, a.rows()) / qmax;
+        q.scales.assign(1, s);
+        encode_rows(0, a.rows(), s);
+    }
+    return q;
+}
+
+Matrix
+dequantize(const QuantizedMatrix &q)
+{
+    Matrix a(q.rows, q.cols);
+    for (size_t r = 0; r < q.rows; ++r) {
+        const float s = q.perRow ? q.scales[r] : q.scales[0];
+        for (size_t c = 0; c < q.cols; ++c)
+            a(r, c) = static_cast<float>(q.codes[r * q.cols + c]) * s;
+    }
+    return a;
+}
+
+double
+quantizationError(const Matrix &a, int bits, bool per_row)
+{
+    return maxAbsDiff(a, dequantize(quantize(a, bits, per_row)));
+}
+
+Matrix
+quantizedScores(const Matrix &q, const Matrix &k, int bits)
+{
+    VITCOD_ASSERT(q.cols() == k.cols(), "score shape mismatch");
+    const QuantizedMatrix qq = quantize(q, bits, /*per_row=*/true);
+    const QuantizedMatrix qk = quantize(k, bits, /*per_row=*/true);
+
+    Matrix s(q.rows(), k.rows());
+    for (size_t i = 0; i < q.rows(); ++i) {
+        for (size_t j = 0; j < k.rows(); ++j) {
+            int64_t acc = 0;
+            for (size_t f = 0; f < q.cols(); ++f) {
+                acc += static_cast<int64_t>(
+                           qq.codes[i * q.cols() + f]) *
+                       qk.codes[j * k.cols() + f];
+            }
+            s(i, j) = static_cast<float>(acc) * qq.scales[i] *
+                      qk.scales[j];
+        }
+    }
+    return s;
+}
+
+} // namespace vitcod::linalg

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Symmetric linear quantization. Three consumers in this
+ * reproduction: the AE's compressed Q/K representation travels as
+ * 8-bit values (the decoder engines are dual-pumped for exactly this
+ * reason), Sanger's mask-prediction pass computes 4-bit Q.K^T, and
+ * SpAtten applies progressive (big-first) quantization to its DRAM
+ * traffic. The module provides per-tensor and per-row scales,
+ * round-trip error metrics, and a quantized GEMM reference used to
+ * validate that low-precision mask prediction ranks scores
+ * correctly.
+ */
+
+#ifndef VITCOD_LINALG_QUANTIZE_H
+#define VITCOD_LINALG_QUANTIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace vitcod::linalg {
+
+/** A quantized tensor: int codes plus the scale(s) to recover it. */
+struct QuantizedMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    int bits = 8;
+    /** Row-major codes in [-qmax, qmax]. */
+    std::vector<int16_t> codes;
+    /** One scale per row (per-row mode) or a single entry. */
+    std::vector<float> scales;
+    bool perRow = false;
+
+    /** Largest representable code magnitude: 2^(bits-1) - 1. */
+    int qmax() const { return (1 << (bits - 1)) - 1; }
+
+    /** Storage bytes at the nominal precision (ceil to bytes). */
+    size_t storageBytes() const;
+};
+
+/**
+ * Quantize symmetrically at @p bits (2..16).
+ *
+ * @param a Input matrix.
+ * @param bits Code width.
+ * @param per_row Use one scale per row (tighter for attention rows).
+ */
+QuantizedMatrix quantize(const Matrix &a, int bits,
+                         bool per_row = false);
+
+/** Recover a float matrix from codes and scales. */
+Matrix dequantize(const QuantizedMatrix &q);
+
+/** Max |a - dequantize(quantize(a))| for given settings. */
+double quantizationError(const Matrix &a, int bits,
+                         bool per_row = false);
+
+/**
+ * Low-precision score estimation, Sanger-style: quantize Q and K to
+ * @p bits, multiply in integer domain, return the dequantized
+ * scores. Used to predict attention masks cheaply.
+ */
+Matrix quantizedScores(const Matrix &q, const Matrix &k, int bits);
+
+} // namespace vitcod::linalg
+
+#endif // VITCOD_LINALG_QUANTIZE_H

@@ -1,0 +1,113 @@
+#include "sparse_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/kernels.h"
+
+namespace vitcod::linalg {
+
+sparse::Csr
+sddmm(const Matrix &q, const Matrix &k, const sparse::BitMask &mask,
+      float scale)
+{
+    VITCOD_ASSERT(q.cols() == k.cols(), "sddmm feature dim mismatch");
+    VITCOD_ASSERT(mask.rows() == q.rows() && mask.cols() == k.rows(),
+                  "sddmm mask shape mismatch");
+    return sparse::Csr::fromMask(mask, [&](size_t r, size_t c) {
+        const float *q_row = q.rowData(r);
+        const float *k_row = k.rowData(c);
+        double acc = 0.0;
+        for (size_t f = 0; f < q.cols(); ++f)
+            acc += static_cast<double>(q_row[f]) * k_row[f];
+        return static_cast<float>(acc * scale);
+    });
+}
+
+sparse::Csr
+maskedSoftmaxRows(const sparse::Csr &s)
+{
+    // Rebuild through COO to reuse validated construction.
+    sparse::Coo coo = s.toCoo();
+    const auto &row_ptr = s.rowPtr();
+    const auto &values = s.values();
+    size_t out_i = 0;
+    for (size_t r = 0; r < s.rows(); ++r) {
+        const uint32_t begin = row_ptr[r];
+        const uint32_t end = row_ptr[r + 1];
+        if (begin == end)
+            continue;
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (uint32_t i = begin; i < end; ++i)
+            max_v = std::max(max_v, values[i]);
+        double sum = 0.0;
+        for (uint32_t i = begin; i < end; ++i)
+            sum += std::exp(static_cast<double>(values[i] - max_v));
+        for (uint32_t i = begin; i < end; ++i) {
+            const double e =
+                std::exp(static_cast<double>(values[i] - max_v));
+            coo.entries[out_i++].value = static_cast<float>(e / sum);
+        }
+    }
+    return sparse::Csr::fromCoo(coo);
+}
+
+Matrix
+spmm(const sparse::Csr &s, const Matrix &v)
+{
+    VITCOD_ASSERT(s.cols() == v.rows(), "spmm shape mismatch");
+    Matrix out(s.rows(), v.cols());
+    const auto &row_ptr = s.rowPtr();
+    const auto &col_idx = s.colIdx();
+    const auto &values = s.values();
+    for (size_t r = 0; r < s.rows(); ++r) {
+        float *out_row = out.rowData(r);
+        for (uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const float sv = values[i];
+            const float *v_row = v.rowData(col_idx[i]);
+            for (size_t f = 0; f < v.cols(); ++f)
+                out_row[f] += sv * v_row[f];
+        }
+    }
+    return out;
+}
+
+Matrix
+denseMaskedAttention(const Matrix &q, const Matrix &k, const Matrix &v,
+                     const sparse::BitMask &mask, float scale)
+{
+    Matrix scores = gemmTransB(q, k);
+    scaleInPlace(scores, scale);
+    // Mask with -inf so softmax assigns exactly zero weight.
+    for (size_t r = 0; r < scores.rows(); ++r)
+        for (size_t c = 0; c < scores.cols(); ++c)
+            if (!mask.get(r, c))
+                scores(r, c) = -std::numeric_limits<float>::infinity();
+
+    // Stable softmax per row over unmasked entries only.
+    Matrix s(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (size_t c = 0; c < scores.cols(); ++c)
+            max_v = std::max(max_v, scores(r, c));
+        if (max_v == -std::numeric_limits<float>::infinity())
+            continue; // fully masked row: all-zero output
+        double sum = 0.0;
+        for (size_t c = 0; c < scores.cols(); ++c) {
+            if (mask.get(r, c))
+                sum += std::exp(
+                    static_cast<double>(scores(r, c) - max_v));
+        }
+        for (size_t c = 0; c < scores.cols(); ++c) {
+            if (mask.get(r, c)) {
+                const double e = std::exp(
+                    static_cast<double>(scores(r, c) - max_v));
+                s(r, c) = static_cast<float>(e / sum);
+            }
+        }
+    }
+    return gemm(s, v);
+}
+
+} // namespace vitcod::linalg

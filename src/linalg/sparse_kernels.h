@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse attention golden kernels (paper Fig. 6):
+ *
+ *  - SDDMM: sampled dense-dense matrix multiplication. Only the
+ *    attention scores at mask nonzeros are computed from Q and K.
+ *  - masked softmax: softmax over each row restricted to the mask.
+ *  - SpMM: sparse attention map times dense V.
+ *
+ * These define functional correctness for the accelerator models:
+ * a ViTCoD run over (mask, Q, K, V) must produce exactly
+ * spmm(maskedSoftmax(sddmm(Q, K, mask)), V).
+ */
+
+#ifndef VITCOD_LINALG_SPARSE_KERNELS_H
+#define VITCOD_LINALG_SPARSE_KERNELS_H
+
+#include "linalg/matrix.h"
+#include "sparse/formats.h"
+
+namespace vitcod::linalg {
+
+/**
+ * SDDMM producing CSR values: S(i,j) = scale * dot(Q.row(i), K.row(j))
+ * for every (i,j) in the mask.
+ *
+ * @param q n x d query matrix.
+ * @param k n x d key matrix.
+ * @param mask n x n binary attention mask.
+ * @param scale Score scaling, typically 1/sqrt(d_head).
+ */
+sparse::Csr sddmm(const Matrix &q, const Matrix &k,
+                  const sparse::BitMask &mask, float scale = 1.0f);
+
+/**
+ * Row softmax restricted to stored nonzeros: each CSR row is
+ * exponentiated (stably) and normalized over its own entries.
+ */
+sparse::Csr maskedSoftmaxRows(const sparse::Csr &s);
+
+/**
+ * SpMM: out = S * V, with S sparse (CSR) and V dense.
+ * @pre s.cols == v.rows.
+ */
+Matrix spmm(const sparse::Csr &s, const Matrix &v);
+
+/**
+ * Dense reference for sparse attention: computes softmax(mask ?
+ * scale*QK^T : -inf) * V densely. Used to cross-check the sparse
+ * path.
+ */
+Matrix denseMaskedAttention(const Matrix &q, const Matrix &k,
+                            const Matrix &v, const sparse::BitMask &mask,
+                            float scale = 1.0f);
+
+} // namespace vitcod::linalg
+
+#endif // VITCOD_LINALG_SPARSE_KERNELS_H

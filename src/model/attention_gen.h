@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic averaged-attention-map generator (substitution S1 in
+ * DESIGN.md). The paper extracts per-(layer, head) attention maps
+ * averaged over the ImageNet training set from a pretrained model;
+ * we generate maps with the same structure the paper documents
+ * (Figs. 2 and 8):
+ *
+ *  - a diagonal locality band (adjacent patches correlate strongly),
+ *    narrow in early layers and widening with depth;
+ *  - a handful of "global token" columns (CLS plus salient patches)
+ *    that every query attends to, more of them in deeper layers;
+ *  - a thin uniform background.
+ *
+ * Rows are normalized to sum to one, exactly like a softmax output,
+ * so Algorithm 1's information-quantity pruning applies unchanged.
+ */
+
+#ifndef VITCOD_MODEL_ATTENTION_GEN_H
+#define VITCOD_MODEL_ATTENTION_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "model/flops.h"
+#include "model/vit_config.h"
+
+namespace vitcod::model {
+
+/** Tunables of the statistical attention model. */
+struct AttentionGenConfig
+{
+    uint64_t seed = 42;
+
+    /** Locality band sigma as a fraction of n, first -> last layer. */
+    double sigmaFracNear = 0.015;
+    double sigmaFracFar = 0.04;
+
+    /** Row-mass fraction carried by global columns, first -> last. */
+    double globalMassNear = 0.12;
+    double globalMassFar = 0.42;
+
+    /** Row-mass fraction spread uniformly as background. */
+    double backgroundMass = 0.02;
+
+    /** Fraction of tokens acting as global columns, first -> last. */
+    double globalFracNear = 0.010;
+    double globalFracFar = 0.045;
+
+    /** Log-normal jitter applied to every entry (sigma in log space). */
+    double jitterSigma = 0.30;
+};
+
+/**
+ * Deterministic generator of averaged attention maps for a model.
+ * generate(l, h) is a pure function of (config, model, l, h): calling
+ * it twice returns identical matrices.
+ */
+class AttentionMapGenerator
+{
+  public:
+    AttentionMapGenerator(const VitModelConfig &model,
+                          AttentionGenConfig cfg = {});
+
+    /** Shape list, one entry per transformer block. */
+    const std::vector<AttnShape> &shapes() const { return shapes_; }
+
+    /**
+     * The averaged attention map of block @p layer, head @p head:
+     * an n x n matrix with rows summing to 1.
+     */
+    linalg::Matrix generate(size_t layer, size_t head) const;
+
+    /** Tokens of block @p layer. */
+    size_t tokens(size_t layer) const;
+
+    const VitModelConfig &model() const { return model_; }
+    const AttentionGenConfig &config() const { return cfg_; }
+
+  private:
+    /** Global-token column ids for (layer, head). */
+    std::vector<uint32_t> globalTokens(size_t layer, size_t head,
+                                       size_t n) const;
+
+    /** Per-(layer, head) stream seed. */
+    uint64_t streamSeed(size_t layer, size_t head) const;
+
+    /** Depth fraction in [0,1] for interpolating parameters. */
+    double depthFrac(size_t layer) const;
+
+    VitModelConfig model_;
+    AttentionGenConfig cfg_;
+    std::vector<AttnShape> shapes_;
+};
+
+} // namespace vitcod::model
+
+#endif // VITCOD_MODEL_ATTENTION_GEN_H

@@ -1,0 +1,151 @@
+#include "flops.h"
+
+#include "common/logging.h"
+
+namespace vitcod::model {
+
+const char *
+opGroupName(OpGroup g)
+{
+    switch (g) {
+      case OpGroup::QkvProj:
+        return "QKV-Proj";
+      case OpGroup::AttnMatMul:
+        return "Attn-MatMul";
+      case OpGroup::Reshape:
+        return "Reshape";
+      case OpGroup::Softmax:
+        return "Softmax";
+      case OpGroup::OutProj:
+        return "Out-Proj";
+      case OpGroup::Mlp:
+        return "MLP";
+      case OpGroup::LayerNorm:
+        return "LayerNorm";
+      case OpGroup::Other:
+        return "Other";
+      default:
+        panic("bad OpGroup");
+    }
+}
+
+double
+totalFlops(const Breakdown &b)
+{
+    double t = 0.0;
+    for (const auto &c : b)
+        t += c.flops;
+    return t;
+}
+
+double
+totalBytes(const Breakdown &b)
+{
+    double t = 0.0;
+    for (const auto &c : b)
+        t += c.bytes;
+    return t;
+}
+
+double
+attentionFlops(const Breakdown &b)
+{
+    return groupOf(b, OpGroup::QkvProj).flops +
+           groupOf(b, OpGroup::AttnMatMul).flops +
+           groupOf(b, OpGroup::Softmax).flops +
+           groupOf(b, OpGroup::OutProj).flops;
+}
+
+Breakdown
+modelBreakdown(const VitModelConfig &cfg, double attn_sparsity,
+               size_t elem_bytes)
+{
+    VITCOD_ASSERT(attn_sparsity >= 0.0 && attn_sparsity < 1.0,
+                  "sparsity out of [0,1)");
+    const double keep = 1.0 - attn_sparsity;
+    const auto eb = static_cast<double>(elem_bytes);
+
+    Breakdown b{};
+    for (const auto &s : cfg.stages) {
+        const auto n = static_cast<double>(s.tokens);
+        const auto h = static_cast<double>(s.heads);
+        const auto dk = static_cast<double>(s.headDim);
+        const auto d = static_cast<double>(s.embedDim);
+        const auto hidden = static_cast<double>(s.mlpRatio) * d;
+        const auto layers = static_cast<double>(s.layers);
+        const double hd = h * dk; // concatenated head width
+
+        // Q/K/V projections: three d -> h*dk linear maps.
+        OpCount qkv;
+        qkv.flops = 2.0 * n * d * 3.0 * hd;
+        qkv.bytes = (n * d + 3.0 * d * hd + 3.0 * n * hd) * eb;
+
+        // Q.K^T (SDDMM when sparse) and S.V (SpMM when sparse).
+        OpCount mm;
+        mm.flops = 2.0 * h * n * n * dk * keep   // Q.K^T
+                 + 2.0 * h * n * n * dk * keep;  // S.V
+        mm.bytes = (2.0 * n * hd                 // Q and K
+                    + h * n * n * keep           // S write
+                    + h * n * n * keep           // S read
+                    + n * hd                     // V
+                    + n * hd) * eb;              // V' write
+
+        // Head split before attention, concat after: pure movement.
+        OpCount rs;
+        rs.flops = 0.0;
+        rs.bytes = 2.0 * (3.0 * n * hd) * eb;
+
+        // Softmax: exp + accumulate + normalize per surviving score.
+        OpCount sm;
+        sm.flops = 5.0 * h * n * n * keep;
+        sm.bytes = 2.0 * h * n * n * keep * eb;
+
+        // Output projection h*dk -> d.
+        OpCount op;
+        op.flops = 2.0 * n * hd * d;
+        op.bytes = (n * hd + hd * d + n * d) * eb;
+
+        // Two-layer MLP with GELU.
+        OpCount mlp;
+        mlp.flops = 2.0 * n * d * hidden * 2.0 + 8.0 * n * hidden;
+        mlp.bytes = (2.0 * d * hidden + n * d * 2.0 + n * hidden) * eb;
+
+        // Two LayerNorms per block: ~5 ops/element each.
+        OpCount ln;
+        ln.flops = 2.0 * 5.0 * n * d;
+        ln.bytes = 2.0 * 2.0 * n * d * eb;
+
+        groupOf(b, OpGroup::QkvProj) +=
+            {qkv.flops * layers, qkv.bytes * layers};
+        groupOf(b, OpGroup::AttnMatMul) +=
+            {mm.flops * layers, mm.bytes * layers};
+        groupOf(b, OpGroup::Reshape) +=
+            {rs.flops * layers, rs.bytes * layers};
+        groupOf(b, OpGroup::Softmax) +=
+            {sm.flops * layers, sm.bytes * layers};
+        groupOf(b, OpGroup::OutProj) +=
+            {op.flops * layers, op.bytes * layers};
+        groupOf(b, OpGroup::Mlp) +=
+            {mlp.flops * layers, mlp.bytes * layers};
+        groupOf(b, OpGroup::LayerNorm) +=
+            {ln.flops * layers, ln.bytes * layers};
+    }
+
+    groupOf(b, OpGroup::Other) +=
+        {cfg.stemFlops, cfg.stemFlops / 4.0 * eb};
+    return b;
+}
+
+std::vector<AttnShape>
+attentionShapes(const VitModelConfig &cfg)
+{
+    std::vector<AttnShape> shapes;
+    size_t idx = 0;
+    for (const auto &s : cfg.stages)
+        for (size_t l = 0; l < s.layers; ++l)
+            shapes.push_back(
+                {s.tokens, s.heads, s.headDim, s.embedDim, idx++});
+    return shapes;
+}
+
+} // namespace vitcod::model

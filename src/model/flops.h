@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-op-group FLOPs and memory-traffic accounting for ViT inference
+ * (regenerates the Fig. 4 breakdowns and feeds the platform roofline
+ * models). Groups follow the paper's bars: the self-attention module
+ * decomposes into QKV projection, the Q.K^T / S.V matrix multiplies
+ * with their reshape/split data movement, softmax and the output
+ * projection; MLP, LayerNorm and "Other" (conv stem, task head) make
+ * up the rest of the network.
+ */
+
+#ifndef VITCOD_MODEL_FLOPS_H
+#define VITCOD_MODEL_FLOPS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "model/vit_config.h"
+
+namespace vitcod::model {
+
+/** Operation groups used in breakdowns. */
+enum class OpGroup : size_t
+{
+    QkvProj = 0,   //!< Q/K/V linear projections
+    AttnMatMul,    //!< Q.K^T and S.V multiplies
+    Reshape,       //!< head split/concat data movement (0 FLOPs)
+    Softmax,       //!< row softmax over attention scores
+    OutProj,       //!< attention output projection
+    Mlp,           //!< two-layer MLP with GELU
+    LayerNorm,     //!< both LayerNorms of a block
+    Other,         //!< conv stem / embedding / task head
+    NumGroups,
+};
+
+/** Printable name of an op group. */
+const char *opGroupName(OpGroup g);
+
+/** FLOPs plus bytes moved (activations + weights) for one group. */
+struct OpCount
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    OpCount &
+    operator+=(const OpCount &o)
+    {
+        flops += o.flops;
+        bytes += o.bytes;
+        return *this;
+    }
+};
+
+/** A full per-group breakdown. */
+using Breakdown =
+    std::array<OpCount, static_cast<size_t>(OpGroup::NumGroups)>;
+
+/** Access one group of a breakdown. */
+inline OpCount &
+groupOf(Breakdown &b, OpGroup g)
+{
+    return b[static_cast<size_t>(g)];
+}
+
+inline const OpCount &
+groupOf(const Breakdown &b, OpGroup g)
+{
+    return b[static_cast<size_t>(g)];
+}
+
+/** Sum of FLOPs across groups. */
+double totalFlops(const Breakdown &b);
+
+/** Sum of bytes across groups. */
+double totalBytes(const Breakdown &b);
+
+/** FLOPs of the self-attention module only (QKV..OutProj). */
+double attentionFlops(const Breakdown &b);
+
+/**
+ * Compute the breakdown of one full inference pass.
+ *
+ * @param cfg Model description.
+ * @param attn_sparsity Fraction of attention-map entries pruned; the
+ *        Q.K^T / softmax / S.V terms scale by (1 - sparsity). 0 gives
+ *        the dense model.
+ * @param elem_bytes Bytes per activation/weight element (default 2,
+ *        fp16/int16-class datapath).
+ */
+Breakdown modelBreakdown(const VitModelConfig &cfg,
+                         double attn_sparsity = 0.0,
+                         size_t elem_bytes = 2);
+
+/** Shape of one attention block's workload. */
+struct AttnShape
+{
+    size_t tokens;
+    size_t heads;
+    size_t headDim;
+    size_t embedDim;
+    size_t layerIndex; //!< global block index within the model
+};
+
+/** One AttnShape per transformer block, in execution order. */
+std::vector<AttnShape> attentionShapes(const VitModelConfig &cfg);
+
+} // namespace vitcod::model
+
+#endif // VITCOD_MODEL_FLOPS_H

@@ -1,0 +1,71 @@
+#include "tradeoff_curves.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vitcod::model {
+
+double
+TradeoffCurve::qualityAt(double sparsity) const
+{
+    VITCOD_ASSERT(!points.empty(), "empty tradeoff curve");
+    if (sparsity <= points.front().sparsity)
+        return points.front().quality;
+    if (sparsity >= points.back().sparsity)
+        return points.back().quality;
+    for (size_t i = 1; i < points.size(); ++i) {
+        if (sparsity <= points[i].sparsity) {
+            const auto &lo = points[i - 1];
+            const auto &hi = points[i];
+            const double t =
+                (sparsity - lo.sparsity) / (hi.sparsity - lo.sparsity);
+            return lo.quality + t * (hi.quality - lo.quality);
+        }
+    }
+    return points.back().quality;
+}
+
+std::vector<TradeoffCurve>
+nlpBleuCurves()
+{
+    // BLEU at sparsity {10, 30, 50, 70, 90, 95}%, following the
+    // IWSLT EN->DE collection in Fig. 1: graceful to ~50%, then a
+    // steep collapse — the motivation for dynamic NLP masks topping
+    // out near 50-70% sparsity.
+    auto mk = [](const std::string &name,
+                 std::vector<double> bleu) {
+        const double s[] = {0.10, 0.30, 0.50, 0.70, 0.90, 0.95};
+        TradeoffCurve c{name, true, {}};
+        for (size_t i = 0; i < bleu.size(); ++i)
+            c.points.push_back({s[i], bleu[i]});
+        return c;
+    };
+    return {
+        mk("BigBird", {34.4, 34.2, 33.8, 31.5, 26.0, 23.0}),
+        mk("Sf. k-means", {34.2, 33.8, 32.5, 29.5, 25.5, 23.0}),
+        mk("Reformer", {34.0, 33.5, 32.0, 29.0, 24.5, 22.0}),
+        mk("Sf. quant", {34.3, 34.0, 33.0, 30.0, 25.0, 22.5}),
+        mk("Routing", {33.9, 33.4, 31.8, 28.5, 24.0, 21.5}),
+        mk("Longformer", {34.1, 33.2, 31.0, 27.0, 23.0, 21.0}),
+    };
+}
+
+std::vector<TradeoffCurve>
+vitAccuracyCurves()
+{
+    // Top-1 at sparsity {10, 30, 50, 70, 90, 95}% with *fixed*
+    // info-pruned masks: <=1.5% drop at 90% (paper abstract).
+    const double s[] = {0.10, 0.30, 0.50, 0.70, 0.90, 0.95};
+    TradeoffCurve base{"DeiT-Base (InfoPruning)", false, {}};
+    const double base_acc[] = {81.8, 81.8, 81.7, 81.5, 81.0, 80.3};
+    TradeoffCurve small{"DeiT-Small (InfoPruning)", false, {}};
+    const double small_acc[] = {79.9, 79.9, 79.8, 79.5, 78.9, 77.9};
+    for (size_t i = 0; i < 6; ++i) {
+        base.points.push_back({s[i], base_acc[i]});
+        small.points.push_back({s[i], small_acc[i]});
+    }
+    return {base, small};
+}
+
+} // namespace vitcod::model

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Parametric quality-vs-sparsity trade-off curves regenerating the
+ * paper's Fig. 1 (substitution S5 in DESIGN.md): NLP Transformers
+ * with *dynamic* sparse attention lose BLEU rapidly past medium
+ * sparsity, while ViTs with *fixed* masks hold accuracy to 90-95%.
+ * The NLP curves encode the published IWSLT EN->DE trade-offs the
+ * paper collects from [39]; the ViT curves follow the info-pruning
+ * results of [19] as reported in Fig. 1.
+ */
+
+#ifndef VITCOD_MODEL_TRADEOFF_CURVES_H
+#define VITCOD_MODEL_TRADEOFF_CURVES_H
+
+#include <string>
+#include <vector>
+
+namespace vitcod::model {
+
+/** One (sparsity, quality) sample of a published trade-off curve. */
+struct TradeoffPoint
+{
+    double sparsity; //!< attention-map sparsity in [0, 1]
+    double quality;  //!< BLEU (NLP) or top-1 accuracy % (ViT)
+};
+
+/** A named quality-vs-sparsity curve. */
+struct TradeoffCurve
+{
+    std::string name;
+    bool dynamicPattern; //!< true: input-dependent masks (NLP)
+    std::vector<TradeoffPoint> points;
+
+    /** Piecewise-linear interpolation at @p sparsity (clamped). */
+    double qualityAt(double sparsity) const;
+};
+
+/** The six NLP curves of Fig. 1 (BLEU, IWSLT EN->DE). */
+std::vector<TradeoffCurve> nlpBleuCurves();
+
+/** The two ViT curves of Fig. 1 (top-1 %, info-pruned DeiT). */
+std::vector<TradeoffCurve> vitAccuracyCurves();
+
+} // namespace vitcod::model
+
+#endif // VITCOD_MODEL_TRADEOFF_CURVES_H

@@ -1,0 +1,33 @@
+#include "energy.h"
+
+namespace vitcod::sim {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    macPj += o.macPj;
+    sramPj += o.sramPj;
+    dramPj += o.dramPj;
+    staticPj += o.staticPj;
+    return *this;
+}
+
+EnergyModel::EnergyModel(EnergyConfig cfg) : cfg_(cfg) {}
+
+EnergyBreakdown
+EnergyModel::compute(MacOps macs, Bytes sram_read, Bytes sram_write,
+                     Bytes dram_bytes, Cycles cycles) const
+{
+    EnergyBreakdown e;
+    e.macPj = static_cast<double>(macs) * cfg_.macPj;
+    e.sramPj = static_cast<double>(sram_read) * cfg_.sramReadPjPerByte +
+               static_cast<double>(sram_write) * cfg_.sramWritePjPerByte;
+    e.dramPj = static_cast<double>(dram_bytes) * cfg_.dramPjPerByte;
+    // leakage (W) * time (s) -> J; expressed in pJ.
+    const double seconds =
+        cyclesToSeconds(cycles, cfg_.coreFreqGhz);
+    e.staticPj = cfg_.leakageWattsCore * seconds * 1e12;
+    return e;
+}
+
+} // namespace vitcod::sim

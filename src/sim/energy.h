@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-action energy model (substitution S4 in DESIGN.md). The paper
+ * derives MAC and memory-access costs from post-layout simulation of
+ * a 28 nm design (total power 323.9 mW at 500 MHz); we use published
+ * 28/45 nm-class per-action energies with the same structure:
+ * E = macs*e_mac + sram_bytes*e_sram + dram_bytes*e_dram +
+ * leakage*time. Absolute joules are not expected to match the
+ * authors' silicon; ratios between accelerators running on the same
+ * model are the meaningful output.
+ */
+
+#ifndef VITCOD_SIM_ENERGY_H
+#define VITCOD_SIM_ENERGY_H
+
+#include "common/units.h"
+
+namespace vitcod::sim {
+
+/** Energy constants (picojoules). */
+struct EnergyConfig
+{
+    double macPj = 0.6;           //!< one 16-bit-class MAC
+    double sramReadPjPerByte = 0.9;
+    double sramWritePjPerByte = 1.1;
+    double dramPjPerByte = 60.0;  //!< DDR4 access + I/O
+    double leakageWattsCore = 0.06; //!< static power of the core
+    double coreFreqGhz = 0.5;
+};
+
+/** Decomposed energy of one run. */
+struct EnergyBreakdown
+{
+    PicoJoules macPj = 0.0;
+    PicoJoules sramPj = 0.0;
+    PicoJoules dramPj = 0.0;
+    PicoJoules staticPj = 0.0;
+
+    PicoJoules
+    totalPj() const
+    {
+        return macPj + sramPj + dramPj + staticPj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/** Computes energy from activity counters. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyConfig cfg = {});
+
+    const EnergyConfig &config() const { return cfg_; }
+
+    /** Energy of a run described by its activity counters. */
+    EnergyBreakdown compute(MacOps macs, Bytes sram_read,
+                            Bytes sram_write, Bytes dram_bytes,
+                            Cycles cycles) const;
+
+  private:
+    EnergyConfig cfg_;
+};
+
+} // namespace vitcod::sim
+
+#endif // VITCOD_SIM_ENERGY_H

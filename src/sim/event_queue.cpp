@@ -1,0 +1,53 @@
+#include "event_queue.h"
+
+#include "common/logging.h"
+
+namespace vitcod::sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
+{
+    VITCOD_ASSERT(when >= curTick_, "scheduling into the past: ", when,
+                  " < ", curTick_);
+    heap_.push({when, priority, seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delta, std::function<void()> fn,
+                          int priority)
+{
+    schedule(curTick_ + delta, std::move(fn), priority);
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out before pop: the handler may schedule new events.
+    Item item = heap_.top();
+    heap_.pop();
+    curTick_ = item.when;
+    ++processed_;
+    item.fn();
+    return true;
+}
+
+Tick
+EventQueue::runUntilEmpty()
+{
+    while (step()) {
+    }
+    return curTick_;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        step();
+    if (curTick_ < limit)
+        curTick_ = limit;
+}
+
+} // namespace vitcod::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal gem5-style discrete-event kernel. Events are closures
+ * scheduled at absolute ticks; ties break by priority, then by
+ * insertion order (deterministic). The accelerator models use this
+ * to coordinate engine hand-offs and to cross-check the analytic
+ * double-buffering schedule (see tile_scheduler.h).
+ */
+
+#ifndef VITCOD_SIM_EVENT_QUEUE_H
+#define VITCOD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vitcod::sim {
+
+/** Simulation time in core clock cycles. */
+using Tick = uint64_t;
+
+/** Discrete-event queue with deterministic ordering. */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p fn at absolute tick @p when.
+     * @pre when >= curTick() — the past is immutable.
+     * @param priority Lower runs first among same-tick events.
+     */
+    void schedule(Tick when, std::function<void()> fn,
+                  int priority = 0);
+
+    /** Schedule @p fn @p delta ticks after now. */
+    void scheduleAfter(Tick delta, std::function<void()> fn,
+                       int priority = 0);
+
+    /** Current simulation time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Any events pending? */
+    bool empty() const { return heap_.empty(); }
+
+    /** Pending event count. */
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Process the next event (advancing time to it).
+     * @return false when the queue was empty.
+     */
+    bool step();
+
+    /** Run until no events remain; returns the final tick. */
+    Tick runUntilEmpty();
+
+    /**
+     * Run events up to and including tick @p limit; time advances to
+     * @p limit even if the queue drains earlier.
+     */
+    void runUntil(Tick limit);
+
+    /** Total events processed since construction. */
+    uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        int priority;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Tick curTick_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace vitcod::sim
+
+#endif // VITCOD_SIM_EVENT_QUEUE_H

@@ -1,0 +1,50 @@
+#include "mac_array.h"
+
+#include "common/logging.h"
+
+namespace vitcod::sim {
+
+MacArray::MacArray(MacArrayConfig cfg) : cfg_(cfg)
+{
+    VITCOD_ASSERT(cfg_.macLines > 0 && cfg_.macsPerLine > 0,
+                  "empty MAC array");
+}
+
+Cycles
+MacArray::cyclesFor(MacOps ops, size_t lines) const
+{
+    VITCOD_ASSERT(lines > 0 && lines <= cfg_.macLines,
+                  "bad line allocation: ", lines);
+    const MacOps per_cycle = lines * cfg_.macsPerLine;
+    return ceilDiv(ops, per_cycle);
+}
+
+void
+MacArray::recordWork(MacOps useful_ops, Cycles elapsed, size_t lines)
+{
+    VITCOD_ASSERT(lines > 0 && lines <= cfg_.macLines,
+                  "bad line allocation: ", lines);
+    usefulOps_ += useful_ops;
+    busyCycles_ += elapsed;
+    offeredMacCycles_ += static_cast<double>(elapsed) *
+                         static_cast<double>(lines * cfg_.macsPerLine);
+}
+
+double
+MacArray::utilization() const
+{
+    if (offeredMacCycles_ <= 0.0)
+        return 0.0;
+    return static_cast<double>(usefulOps_) / offeredMacCycles_;
+}
+
+void
+MacArray::resetStats()
+{
+    usefulOps_ = 0;
+    offeredMacCycles_ = 0.0;
+    busyCycles_ = 0;
+    modeSwitches_ = 0;
+}
+
+} // namespace vitcod::sim

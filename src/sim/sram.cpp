@@ -1,0 +1,61 @@
+#include "sram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::sim {
+
+SramBuffer::SramBuffer(SramConfig cfg) : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.capacity > 0, "SRAM needs capacity: ", cfg_.name);
+    VITCOD_ASSERT(cfg_.wordBytes > 0 && cfg_.readPorts > 0 &&
+                      cfg_.writePorts > 0,
+                  "bad SRAM port config: ", cfg_.name);
+}
+
+void
+SramBuffer::allocate(Bytes bytes)
+{
+    VITCOD_ASSERT(fits(bytes), cfg_.name, ": allocation overflow (",
+                  used_, " + ", bytes, " > ", cfg_.capacity, ")");
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+}
+
+void
+SramBuffer::release(Bytes bytes)
+{
+    VITCOD_ASSERT(bytes <= used_, cfg_.name,
+                  ": releasing more than allocated");
+    used_ -= bytes;
+}
+
+Cycles
+SramBuffer::readCycles(Bytes bytes) const
+{
+    const double per_cycle =
+        static_cast<double>(cfg_.wordBytes * cfg_.readPorts);
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / per_cycle));
+}
+
+Cycles
+SramBuffer::writeCycles(Bytes bytes) const
+{
+    const double per_cycle =
+        static_cast<double>(cfg_.wordBytes * cfg_.writePorts);
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / per_cycle));
+}
+
+void
+SramBuffer::resetStats()
+{
+    readBytes_ = 0;
+    writeBytes_ = 0;
+    peak_ = used_;
+}
+
+} // namespace vitcod::sim

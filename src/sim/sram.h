@@ -1,0 +1,86 @@
+/**
+ * @file
+ * On-chip SRAM buffer with capacity checking and access accounting.
+ * The ViTCoD accelerator's memory hierarchy (paper Sec. VI-A):
+ * 320 KB total — Act GB0/GB1 of 256 KB (128 KB Q/K/S/V-or-input,
+ * 20 KB index, 108 KB output) plus a 64 KB Weight GB. Buffers here
+ * enforce those budgets: a tile that does not fit is a modeling
+ * error and panics, mirroring how the RTL would simply not function.
+ */
+
+#ifndef VITCOD_SIM_SRAM_H
+#define VITCOD_SIM_SRAM_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace vitcod::sim {
+
+/** SRAM bank parameters. */
+struct SramConfig
+{
+    std::string name = "sram";
+    Bytes capacity = 128 * 1024;
+    /** Words movable per port per cycle (bandwidth modeling). */
+    Bytes wordBytes = 16;
+    size_t readPorts = 1;
+    size_t writePorts = 1;
+};
+
+/** Capacity-checked, access-counted scratchpad. */
+class SramBuffer
+{
+  public:
+    explicit SramBuffer(SramConfig cfg);
+
+    const SramConfig &config() const { return cfg_; }
+
+    /** Would @p bytes more fit right now? */
+    bool fits(Bytes bytes) const { return used_ + bytes <= cfg_.capacity; }
+
+    /**
+     * Reserve @p bytes; panics on overflow (an overfull tile is a
+     * scheduling bug, not a runtime condition).
+     */
+    void allocate(Bytes bytes);
+
+    /** Release @p bytes. @pre at least that much is allocated. */
+    void release(Bytes bytes);
+
+    /** Release everything. */
+    void releaseAll() { used_ = 0; }
+
+    Bytes used() const { return used_; }
+    Bytes peakUsed() const { return peak_; }
+    Bytes capacity() const { return cfg_.capacity; }
+
+    /** Account a read of @p bytes (energy/bandwidth statistics). */
+    void recordRead(Bytes bytes) { readBytes_ += bytes; }
+
+    /** Account a write of @p bytes. */
+    void recordWrite(Bytes bytes) { writeBytes_ += bytes; }
+
+    Bytes readBytes() const { return readBytes_; }
+    Bytes writeBytes() const { return writeBytes_; }
+
+    /** Cycles to move @p bytes through the read ports. */
+    Cycles readCycles(Bytes bytes) const;
+
+    /** Cycles to move @p bytes through the write ports. */
+    Cycles writeCycles(Bytes bytes) const;
+
+    /** Clear traffic counters and peak tracking (keeps allocation). */
+    void resetStats();
+
+  private:
+    SramConfig cfg_;
+    Bytes used_ = 0;
+    Bytes peak_ = 0;
+    Bytes readBytes_ = 0;
+    Bytes writeBytes_ = 0;
+};
+
+} // namespace vitcod::sim
+
+#endif // VITCOD_SIM_SRAM_H

@@ -1,0 +1,144 @@
+#include "tile_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vitcod::sim {
+
+Cycles
+doubleBufferedCycles(const std::vector<TileCost> &tiles)
+{
+    if (tiles.empty())
+        return 0;
+    const size_t n = tiles.size();
+    // Recurrence with two load buffers and two store buffers:
+    //   loadStart(i)    = max(loadEnd(i-1), computeEnd(i-2))
+    //   computeStart(i) = max(computeEnd(i-1), loadEnd(i),
+    //                         storeEnd(i-2))
+    //   storeStart(i)   = max(storeEnd(i-1), computeEnd(i))
+    std::vector<Tick> load_end(n), compute_end(n), store_end(n);
+    for (size_t i = 0; i < n; ++i) {
+        Tick load_start = i ? load_end[i - 1] : 0;
+        if (i >= 2)
+            load_start = std::max(load_start, compute_end[i - 2]);
+        load_end[i] = load_start + tiles[i].load;
+
+        Tick compute_start =
+            std::max(i ? compute_end[i - 1] : 0, load_end[i]);
+        if (i >= 2)
+            compute_start = std::max(compute_start, store_end[i - 2]);
+        compute_end[i] = compute_start + tiles[i].compute;
+
+        const Tick store_start =
+            std::max(i ? store_end[i - 1] : 0, compute_end[i]);
+        store_end[i] = store_start + tiles[i].store;
+    }
+    return store_end[n - 1];
+}
+
+namespace {
+
+/** Event-driven executor of the same three-unit pipeline. */
+class PipelineSim
+{
+  public:
+    explicit PipelineSim(const std::vector<TileCost> &tiles)
+        : tiles_(tiles), n_(tiles.size()), loadDone_(n_, false),
+          computeDone_(n_, false), storeDone_(n_, false)
+    {}
+
+    Cycles
+    run()
+    {
+        if (n_ == 0)
+            return 0;
+        tryLoad();
+        return eq_.runUntilEmpty();
+    }
+
+  private:
+    void
+    tryLoad()
+    {
+        if (loadBusy_ || nextLoad_ >= n_)
+            return;
+        const size_t i = nextLoad_;
+        if (i >= 2 && !computeDone_[i - 2])
+            return; // both load buffers still claimed
+        loadBusy_ = true;
+        ++nextLoad_;
+        eq_.scheduleAfter(tiles_[i].load, [this, i] {
+            loadBusy_ = false;
+            loadDone_[i] = true;
+            tryLoad();
+            tryCompute();
+        });
+    }
+
+    void
+    tryCompute()
+    {
+        if (computeBusy_ || nextCompute_ >= n_)
+            return;
+        const size_t i = nextCompute_;
+        if (!loadDone_[i])
+            return;
+        if (i >= 2 && !storeDone_[i - 2])
+            return; // both output buffers still claimed
+        computeBusy_ = true;
+        ++nextCompute_;
+        eq_.scheduleAfter(tiles_[i].compute, [this, i] {
+            computeBusy_ = false;
+            computeDone_[i] = true;
+            tryLoad();
+            tryCompute();
+            tryStore();
+        });
+    }
+
+    void
+    tryStore()
+    {
+        if (storeBusy_ || nextStore_ >= n_)
+            return;
+        const size_t i = nextStore_;
+        if (!computeDone_[i])
+            return;
+        storeBusy_ = true;
+        ++nextStore_;
+        eq_.scheduleAfter(tiles_[i].store, [this, i] {
+            storeBusy_ = false;
+            storeDone_[i] = true;
+            tryCompute();
+            tryStore();
+        });
+    }
+
+    EventQueue eq_;
+    const std::vector<TileCost> &tiles_;
+    const size_t n_;
+    std::vector<char> loadDone_, computeDone_, storeDone_;
+    size_t nextLoad_ = 0, nextCompute_ = 0, nextStore_ = 0;
+    bool loadBusy_ = false, computeBusy_ = false, storeBusy_ = false;
+};
+
+} // namespace
+
+Cycles
+doubleBufferedCyclesEventDriven(const std::vector<TileCost> &tiles)
+{
+    PipelineSim sim(tiles);
+    return sim.run();
+}
+
+Cycles
+serialCycles(const std::vector<TileCost> &tiles)
+{
+    Cycles total = 0;
+    for (const auto &t : tiles)
+        total += t.load + t.compute + t.store;
+    return total;
+}
+
+} // namespace vitcod::sim

@@ -1,0 +1,138 @@
+#include "bitmask.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace vitcod::sparse {
+
+BitMask::BitMask(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * cols, 0)
+{
+    VITCOD_ASSERT(rows > 0 && cols > 0, "mask must be non-empty");
+}
+
+size_t
+BitMask::nnz() const
+{
+    size_t n = 0;
+    for (uint8_t b : bits_)
+        n += b;
+    return n;
+}
+
+size_t
+BitMask::nnzInRow(size_t r) const
+{
+    VITCOD_ASSERT(r < rows_, "row out of range");
+    size_t n = 0;
+    for (size_t c = 0; c < cols_; ++c)
+        n += bits_[r * cols_ + c];
+    return n;
+}
+
+size_t
+BitMask::nnzInCol(size_t c) const
+{
+    VITCOD_ASSERT(c < cols_, "col out of range");
+    size_t n = 0;
+    for (size_t r = 0; r < rows_; ++r)
+        n += bits_[r * cols_ + c];
+    return n;
+}
+
+double
+BitMask::density() const
+{
+    return static_cast<double>(nnz()) /
+           static_cast<double>(rows_ * cols_);
+}
+
+BitMask
+BitMask::permuteSymmetric(const std::vector<uint32_t> &perm) const
+{
+    VITCOD_ASSERT(rows_ == cols_, "symmetric permute needs square mask");
+    VITCOD_ASSERT(perm.size() == rows_, "perm size mismatch");
+    BitMask out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.set(r, c, get(perm[r], perm[c]));
+    return out;
+}
+
+BitMask
+BitMask::permuteCols(const std::vector<uint32_t> &perm) const
+{
+    VITCOD_ASSERT(perm.size() == cols_, "perm size mismatch");
+    BitMask out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.set(r, c, get(r, perm[c]));
+    return out;
+}
+
+BitMask
+BitMask::permuteRows(const std::vector<uint32_t> &perm) const
+{
+    VITCOD_ASSERT(perm.size() == rows_, "perm size mismatch");
+    BitMask out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out.set(r, c, get(perm[r], c));
+    return out;
+}
+
+BitMask
+BitMask::sliceCols(size_t c0, size_t c1) const
+{
+    VITCOD_ASSERT(c0 < c1 && c1 <= cols_, "bad column slice");
+    BitMask out(rows_, c1 - c0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = c0; c < c1; ++c)
+            out.set(r, c - c0, get(r, c));
+    return out;
+}
+
+BitMask
+BitMask::operator|(const BitMask &other) const
+{
+    VITCOD_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                  "mask shape mismatch");
+    BitMask out(rows_, cols_);
+    for (size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] | other.bits_[i];
+    return out;
+}
+
+BitMask
+BitMask::operator&(const BitMask &other) const
+{
+    VITCOD_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                  "mask shape mismatch");
+    BitMask out(rows_, cols_);
+    for (size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & other.bits_[i];
+    return out;
+}
+
+double
+BitMask::diagonalFraction(size_t band) const
+{
+    size_t on_diag = 0;
+    size_t total = 0;
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t c = 0; c < cols_; ++c) {
+            if (!get(r, c))
+                continue;
+            ++total;
+            const size_t d = r > c ? r - c : c - r;
+            if (d <= band)
+                ++on_diag;
+        }
+    }
+    return total ? static_cast<double>(on_diag) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace vitcod::sparse

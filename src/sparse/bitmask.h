@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense binary mask over an n_rows x n_cols attention map. This is
+ * the exchange format between the split-and-conquer algorithm (which
+ * produces fixed masks, paper Sec. IV-B) and the accelerator
+ * simulators (which consume per-column workloads).
+ */
+
+#ifndef VITCOD_SPARSE_BITMASK_H
+#define VITCOD_SPARSE_BITMASK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vitcod::sparse {
+
+/**
+ * Row-major dense boolean matrix with population-count helpers.
+ * Storage is one byte per element: masks here are at most a few
+ * hundred square (n = 197 tokens), so compactness is irrelevant and
+ * byte access keeps the hot loops branch-light.
+ */
+class BitMask
+{
+  public:
+    /** Empty (0x0) mask; useful as a not-yet-computed placeholder. */
+    BitMask() = default;
+
+    /** An all-zero mask of the given shape. */
+    BitMask(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Element accessor. */
+    bool get(size_t r, size_t c) const { return bits_[r * cols_ + c]; }
+
+    /** Element mutator. */
+    void set(size_t r, size_t c, bool v) { bits_[r * cols_ + c] = v; }
+
+    /** Number of set bits. */
+    size_t nnz() const;
+
+    /** Set bits in row @p r. */
+    size_t nnzInRow(size_t r) const;
+
+    /** Set bits in column @p c. */
+    size_t nnzInCol(size_t c) const;
+
+    /** nnz / (rows*cols). */
+    double density() const;
+
+    /** 1 - density. */
+    double sparsity() const { return 1.0 - density(); }
+
+    /**
+     * Apply one permutation to rows and columns simultaneously
+     * (token relabeling): result(r, c) = old(perm[r], perm[c]).
+     * @pre perm is a bijection on [0, rows) and rows == cols.
+     */
+    BitMask permuteSymmetric(const std::vector<uint32_t> &perm) const;
+
+    /** Permute columns only: result(r, c) = old(r, perm[c]). */
+    BitMask permuteCols(const std::vector<uint32_t> &perm) const;
+
+    /** Permute rows only: result(r, c) = old(perm[r], c). */
+    BitMask permuteRows(const std::vector<uint32_t> &perm) const;
+
+    /** Column-range slice [c0, c1). */
+    BitMask sliceCols(size_t c0, size_t c1) const;
+
+    /** Logical OR with another mask of identical shape. */
+    BitMask operator|(const BitMask &other) const;
+
+    /** Logical AND with another mask of identical shape. */
+    BitMask operator&(const BitMask &other) const;
+
+    bool operator==(const BitMask &other) const = default;
+
+    /**
+     * Fraction of set bits with |row - col| <= @p band: measures the
+     * diagonal concentration the paper's Fig. 2 shows.
+     */
+    double diagonalFraction(size_t band) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint8_t> bits_;
+};
+
+} // namespace vitcod::sparse
+
+#endif // VITCOD_SPARSE_BITMASK_H

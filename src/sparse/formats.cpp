@@ -1,0 +1,266 @@
+#include "formats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::sparse {
+
+void
+Coo::sortRowMajor()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const CooEntry &a, const CooEntry &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+}
+
+void
+Coo::sortColMajor()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const CooEntry &a, const CooEntry &b) {
+                  return a.col != b.col ? a.col < b.col : a.row < b.row;
+              });
+}
+
+Csr
+Csr::fromMask(const BitMask &mask)
+{
+    return fromMask(mask, [](size_t, size_t) { return 1.0f; });
+}
+
+Csr
+Csr::fromMask(const BitMask &mask, const ValueFn &value_of)
+{
+    Csr csr;
+    csr.rows_ = mask.rows();
+    csr.cols_ = mask.cols();
+    csr.rowPtr_.assign(1, 0);
+    csr.rowPtr_.reserve(mask.rows() + 1);
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        for (size_t c = 0; c < mask.cols(); ++c) {
+            if (mask.get(r, c)) {
+                csr.colIdx_.push_back(static_cast<uint32_t>(c));
+                csr.values_.push_back(value_of(r, c));
+            }
+        }
+        csr.rowPtr_.push_back(static_cast<uint32_t>(csr.colIdx_.size()));
+    }
+    return csr;
+}
+
+Csr
+Csr::fromCoo(const Coo &coo)
+{
+    Csr csr;
+    csr.rows_ = coo.rows;
+    csr.cols_ = coo.cols;
+    csr.rowPtr_.assign(coo.rows + 1, 0);
+    csr.colIdx_.reserve(coo.nnz());
+    csr.values_.reserve(coo.nnz());
+    uint32_t prev_row = 0;
+    for (const auto &e : coo.entries) {
+        VITCOD_ASSERT(e.row < coo.rows && e.col < coo.cols,
+                      "COO entry out of range");
+        VITCOD_ASSERT(e.row >= prev_row, "COO not sorted row-major");
+        prev_row = e.row;
+        csr.colIdx_.push_back(e.col);
+        csr.values_.push_back(e.value);
+        ++csr.rowPtr_[e.row + 1];
+    }
+    for (size_t r = 0; r < coo.rows; ++r)
+        csr.rowPtr_[r + 1] += csr.rowPtr_[r];
+    csr.validate();
+    return csr;
+}
+
+BitMask
+Csr::toMask() const
+{
+    BitMask mask(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (uint32_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            mask.set(r, colIdx_[i], true);
+    return mask;
+}
+
+Coo
+Csr::toCoo() const
+{
+    Coo coo;
+    coo.rows = rows_;
+    coo.cols = cols_;
+    coo.entries.reserve(nnz());
+    for (size_t r = 0; r < rows_; ++r)
+        for (uint32_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            coo.entries.push_back({static_cast<uint32_t>(r), colIdx_[i],
+                                   values_[i]});
+    return coo;
+}
+
+void
+Csr::validate() const
+{
+    VITCOD_ASSERT(rowPtr_.size() == rows_ + 1, "rowPtr size mismatch");
+    VITCOD_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
+    VITCOD_ASSERT(rowPtr_.back() == colIdx_.size(),
+                  "rowPtr must end at nnz");
+    VITCOD_ASSERT(values_.size() == colIdx_.size(),
+                  "values/indices size mismatch");
+    for (size_t r = 0; r < rows_; ++r) {
+        VITCOD_ASSERT(rowPtr_[r] <= rowPtr_[r + 1],
+                      "rowPtr not monotone at row ", r);
+        for (uint32_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i) {
+            VITCOD_ASSERT(colIdx_[i] < cols_, "col index out of range");
+            if (i > rowPtr_[r]) {
+                VITCOD_ASSERT(colIdx_[i - 1] < colIdx_[i],
+                              "col indices not strictly increasing");
+            }
+        }
+    }
+}
+
+Csc
+Csc::fromMask(const BitMask &mask)
+{
+    return fromMask(mask, [](size_t, size_t) { return 1.0f; });
+}
+
+Csc
+Csc::fromMask(const BitMask &mask, const ValueFn &value_of)
+{
+    Csc csc;
+    csc.rows_ = mask.rows();
+    csc.cols_ = mask.cols();
+    csc.colPtr_.assign(1, 0);
+    csc.colPtr_.reserve(mask.cols() + 1);
+    for (size_t c = 0; c < mask.cols(); ++c) {
+        for (size_t r = 0; r < mask.rows(); ++r) {
+            if (mask.get(r, c)) {
+                csc.rowIdx_.push_back(static_cast<uint32_t>(r));
+                csc.values_.push_back(value_of(r, c));
+            }
+        }
+        csc.colPtr_.push_back(static_cast<uint32_t>(csc.rowIdx_.size()));
+    }
+    return csc;
+}
+
+Csc
+Csc::fromCoo(const Coo &coo)
+{
+    Csc csc;
+    csc.rows_ = coo.rows;
+    csc.cols_ = coo.cols;
+    csc.colPtr_.assign(coo.cols + 1, 0);
+    csc.rowIdx_.reserve(coo.nnz());
+    csc.values_.reserve(coo.nnz());
+    uint32_t prev_col = 0;
+    for (const auto &e : coo.entries) {
+        VITCOD_ASSERT(e.row < coo.rows && e.col < coo.cols,
+                      "COO entry out of range");
+        VITCOD_ASSERT(e.col >= prev_col, "COO not sorted col-major");
+        prev_col = e.col;
+        csc.rowIdx_.push_back(e.row);
+        csc.values_.push_back(e.value);
+        ++csc.colPtr_[e.col + 1];
+    }
+    for (size_t c = 0; c < coo.cols; ++c)
+        csc.colPtr_[c + 1] += csc.colPtr_[c];
+    csc.validate();
+    return csc;
+}
+
+BitMask
+Csc::toMask() const
+{
+    BitMask mask(rows_, cols_);
+    for (size_t c = 0; c < cols_; ++c)
+        for (uint32_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            mask.set(rowIdx_[i], c, true);
+    return mask;
+}
+
+Coo
+Csc::toCoo() const
+{
+    Coo coo;
+    coo.rows = rows_;
+    coo.cols = cols_;
+    coo.entries.reserve(nnz());
+    for (size_t c = 0; c < cols_; ++c)
+        for (uint32_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            coo.entries.push_back({rowIdx_[i], static_cast<uint32_t>(c),
+                                   values_[i]});
+    return coo;
+}
+
+size_t
+Csc::indexBytes(size_t bytes_per_index) const
+{
+    // One row index per nonzero plus a 2-byte column pointer per
+    // column boundary.
+    return nnz() * bytes_per_index + (cols_ + 1) * 2;
+}
+
+void
+Csc::validate() const
+{
+    VITCOD_ASSERT(colPtr_.size() == cols_ + 1, "colPtr size mismatch");
+    VITCOD_ASSERT(colPtr_.front() == 0, "colPtr must start at 0");
+    VITCOD_ASSERT(colPtr_.back() == rowIdx_.size(),
+                  "colPtr must end at nnz");
+    VITCOD_ASSERT(values_.size() == rowIdx_.size(),
+                  "values/indices size mismatch");
+    for (size_t c = 0; c < cols_; ++c) {
+        VITCOD_ASSERT(colPtr_[c] <= colPtr_[c + 1],
+                      "colPtr not monotone at col ", c);
+        for (uint32_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i) {
+            VITCOD_ASSERT(rowIdx_[i] < rows_, "row index out of range");
+            if (i > colPtr_[c]) {
+                VITCOD_ASSERT(rowIdx_[i - 1] < rowIdx_[i],
+                              "row indices not strictly increasing");
+            }
+        }
+    }
+}
+
+MaskProfile
+profileMask(const BitMask &mask, size_t band, double dense_col_threshold,
+            size_t leading_cols)
+{
+    MaskProfile p;
+    p.rows = mask.rows();
+    p.cols = mask.cols();
+    p.nnz = mask.nnz();
+    p.density = mask.density();
+    p.diagonalFraction = mask.diagonalFraction(band);
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t c = 0; c < mask.cols(); ++c) {
+        const auto n = static_cast<double>(mask.nnzInCol(c));
+        sum += n;
+        sum_sq += n * n;
+        if (n > dense_col_threshold * static_cast<double>(mask.rows()))
+            ++p.denseColumns;
+    }
+    const double mean = sum / static_cast<double>(mask.cols());
+    const double var =
+        sum_sq / static_cast<double>(mask.cols()) - mean * mean;
+    p.columnCv = mean > 0 ? std::sqrt(std::max(0.0, var)) / mean : 0.0;
+
+    if (leading_cols > 0 && leading_cols <= mask.cols()) {
+        size_t block_nnz = 0;
+        for (size_t c = 0; c < leading_cols; ++c)
+            block_nnz += mask.nnzInCol(c);
+        p.firstBlockDensity =
+            static_cast<double>(block_nnz) /
+            static_cast<double>(leading_cols * mask.rows());
+    }
+    return p;
+}
+
+} // namespace vitcod::sparse

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Compressed sparse formats: COO, CSR and CSC. The ViTCoD sparser
+ * engine pre-loads indices in CSC (paper Sec. V-B1: "a CSC data
+ * format for indexing the non-zeros in the sparser areas ... better
+ * matching with the adopted K-stationary dataflow, which produces
+ * attention maps column by column"); CSR serves the row-wise golden
+ * SpMM; COO is the neutral interchange format.
+ *
+ * Formats carry structure plus an optional float value per nonzero.
+ * Structure-only instances (all values 1.0) represent binary masks.
+ */
+
+#ifndef VITCOD_SPARSE_FORMATS_H
+#define VITCOD_SPARSE_FORMATS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sparse/bitmask.h"
+
+namespace vitcod::sparse {
+
+/** One COO nonzero. */
+struct CooEntry
+{
+    uint32_t row;
+    uint32_t col;
+    float value;
+
+    bool operator==(const CooEntry &o) const = default;
+};
+
+/** Coordinate-format sparse matrix. Entries are kept sorted (row, col). */
+struct Coo
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<CooEntry> entries;
+
+    /** Number of stored nonzeros. */
+    size_t nnz() const { return entries.size(); }
+
+    /** Sort entries by (row, col); required before format conversion. */
+    void sortRowMajor();
+
+    /** Sort entries by (col, row). */
+    void sortColMajor();
+};
+
+/** Value getter used when attaching values to a mask's structure. */
+using ValueFn = std::function<float(size_t row, size_t col)>;
+
+/**
+ * Compressed Sparse Row. rowPtr has rows+1 entries; column indices
+ * within a row are strictly increasing.
+ */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /** Build structure (values = 1.0) from a binary mask. */
+    static Csr fromMask(const BitMask &mask);
+
+    /** Build from a mask, pulling values from @p value_of. */
+    static Csr fromMask(const BitMask &mask, const ValueFn &value_of);
+
+    /** Build from sorted COO. @pre coo sorted row-major, indices valid. */
+    static Csr fromCoo(const Coo &coo);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t nnz() const { return colIdx_.size(); }
+
+    const std::vector<uint32_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<uint32_t> &colIdx() const { return colIdx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    /** Nonzeros in row @p r. */
+    size_t rowNnz(size_t r) const { return rowPtr_[r + 1] - rowPtr_[r]; }
+
+    /** Recover the binary mask of this structure. */
+    BitMask toMask() const;
+
+    /** Convert to sorted COO. */
+    Coo toCoo() const;
+
+    /**
+     * Validate internal consistency (monotone rowPtr, sorted in-range
+     * column indices). Panics on violation; used by tests and after
+     * external construction.
+     */
+    void validate() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint32_t> rowPtr_{0};
+    std::vector<uint32_t> colIdx_;
+    std::vector<float> values_;
+};
+
+/**
+ * Compressed Sparse Column. colPtr has cols+1 entries; row indices
+ * within a column are strictly increasing. This is the index stream
+ * the ViTCoD sparser engine walks while holding one K vector
+ * stationary.
+ */
+class Csc
+{
+  public:
+    Csc() = default;
+
+    /** Build structure (values = 1.0) from a binary mask. */
+    static Csc fromMask(const BitMask &mask);
+
+    /** Build from a mask, pulling values from @p value_of. */
+    static Csc fromMask(const BitMask &mask, const ValueFn &value_of);
+
+    /** Build from sorted COO. @pre coo sorted col-major, indices valid. */
+    static Csc fromCoo(const Coo &coo);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t nnz() const { return rowIdx_.size(); }
+
+    const std::vector<uint32_t> &colPtr() const { return colPtr_; }
+    const std::vector<uint32_t> &rowIdx() const { return rowIdx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    /** Nonzeros in column @p c. */
+    size_t colNnz(size_t c) const { return colPtr_[c + 1] - colPtr_[c]; }
+
+    /** Recover the binary mask of this structure. */
+    BitMask toMask() const;
+
+    /** Convert to sorted (col-major) COO. */
+    Coo toCoo() const;
+
+    /**
+     * Bytes needed to stream these indices on chip, assuming
+     * @p bytes_per_index per row index plus one column pointer per
+     * column (the accelerator's IdxBuf budget, paper: 20 KB).
+     */
+    size_t indexBytes(size_t bytes_per_index = 1) const;
+
+    /** Validate internal consistency; panics on violation. */
+    void validate() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint32_t> colPtr_{0};
+    std::vector<uint32_t> rowIdx_;
+    std::vector<float> values_;
+};
+
+/** Per-structure summary used by the Fig. 8 regularity analysis. */
+struct MaskProfile
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    size_t nnz = 0;
+    double density = 0.0;
+    double diagonalFraction = 0.0;   //!< nnz within |i-j| <= band
+    size_t denseColumns = 0;         //!< columns denser than threshold
+    double columnCv = 0.0;           //!< coeff. of variation of col nnz
+    double firstBlockDensity = 0.0;  //!< density of the leading columns
+};
+
+/**
+ * Profile a mask: diagonal concentration, dense-column count and the
+ * imbalance (coefficient of variation) of per-column work.
+ *
+ * @param mask The mask to profile.
+ * @param band Diagonal half-width for diagonalFraction.
+ * @param dense_col_threshold Fraction of rows above which a column
+ *        counts as dense (a "global token" column).
+ * @param leading_cols Width of the leading block for
+ *        firstBlockDensity (0 = skip).
+ */
+MaskProfile profileMask(const BitMask &mask, size_t band,
+                        double dense_col_threshold,
+                        size_t leading_cols);
+
+} // namespace vitcod::sparse
+
+#endif // VITCOD_SPARSE_FORMATS_H

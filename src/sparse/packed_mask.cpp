@@ -1,0 +1,100 @@
+#include "packed_mask.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace vitcod::sparse {
+
+PackedBitMask::PackedBitMask(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols)
+{
+    VITCOD_ASSERT(rows > 0 && cols > 0, "mask must be non-empty");
+    words_.assign(rows * wordsPerRow(), 0);
+}
+
+PackedBitMask
+PackedBitMask::fromMask(const BitMask &mask)
+{
+    PackedBitMask p(mask.rows(), mask.cols());
+    for (size_t r = 0; r < mask.rows(); ++r)
+        for (size_t c = 0; c < mask.cols(); ++c)
+            if (mask.get(r, c))
+                p.set(r, c, true);
+    return p;
+}
+
+BitMask
+PackedBitMask::toMask() const
+{
+    BitMask m(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.set(r, c, get(r, c));
+    return m;
+}
+
+bool
+PackedBitMask::get(size_t r, size_t c) const
+{
+    VITCOD_ASSERT(r < rows_ && c < cols_, "index out of range");
+    const uint64_t word = words_[r * wordsPerRow() + c / 64];
+    return (word >> (c % 64)) & 1u;
+}
+
+void
+PackedBitMask::set(size_t r, size_t c, bool v)
+{
+    VITCOD_ASSERT(r < rows_ && c < cols_, "index out of range");
+    uint64_t &word = words_[r * wordsPerRow() + c / 64];
+    const uint64_t bit = uint64_t{1} << (c % 64);
+    if (v)
+        word |= bit;
+    else
+        word &= ~bit;
+}
+
+size_t
+PackedBitMask::nnz() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+size_t
+PackedBitMask::nnzInRow(size_t r) const
+{
+    VITCOD_ASSERT(r < rows_, "row out of range");
+    size_t n = 0;
+    const size_t wpr = wordsPerRow();
+    for (size_t w = 0; w < wpr; ++w)
+        n += static_cast<size_t>(
+            std::popcount(words_[r * wpr + w]));
+    return n;
+}
+
+PackedBitMask
+PackedBitMask::operator&(const PackedBitMask &o) const
+{
+    VITCOD_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                  "mask shape mismatch");
+    PackedBitMask out(rows_, cols_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & o.words_[i];
+    return out;
+}
+
+PackedBitMask
+PackedBitMask::operator|(const PackedBitMask &o) const
+{
+    VITCOD_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                  "mask shape mismatch");
+    PackedBitMask out(rows_, cols_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] | o.words_[i];
+    return out;
+}
+
+} // namespace vitcod::sparse

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-packed binary mask: 64 positions per word with popcount-based
+ * counting. This is the storage format the accelerator keeps fixed
+ * masks in on chip (a DeiT 197x197 mask is 4.7 KiB packed vs 38 KiB
+ * as bytes) and the format Sanger-style predicted masks travel in
+ * (the n^2/8-byte mask traffic term). Functionally interchangeable
+ * with BitMask; property tests assert the equivalence.
+ */
+
+#ifndef VITCOD_SPARSE_PACKED_MASK_H
+#define VITCOD_SPARSE_PACKED_MASK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bitmask.h"
+
+namespace vitcod::sparse {
+
+/** Row-major bit-packed boolean matrix. */
+class PackedBitMask
+{
+  public:
+    /** Empty (0x0). */
+    PackedBitMask() = default;
+
+    /** All-zero mask of the given shape. */
+    PackedBitMask(size_t rows, size_t cols);
+
+    /** Pack a byte-per-element mask. */
+    static PackedBitMask fromMask(const BitMask &mask);
+
+    /** Unpack to a byte-per-element mask. */
+    BitMask toMask() const;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    bool get(size_t r, size_t c) const;
+    void set(size_t r, size_t c, bool v);
+
+    /** Set bits, via popcount. */
+    size_t nnz() const;
+
+    /** Set bits in row @p r, via popcount over the row's words. */
+    size_t nnzInRow(size_t r) const;
+
+    /** Storage bytes of the packed words. */
+    size_t storageBytes() const { return words_.size() * 8; }
+
+    /** Bitwise AND of same-shape masks. */
+    PackedBitMask operator&(const PackedBitMask &o) const;
+
+    /** Bitwise OR of same-shape masks. */
+    PackedBitMask operator|(const PackedBitMask &o) const;
+
+    bool operator==(const PackedBitMask &o) const = default;
+
+  private:
+    /** Words per row (rows padded to word boundaries). */
+    size_t wordsPerRow() const { return (cols_ + 63) / 64; }
+
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace vitcod::sparse
+
+#endif // VITCOD_SPARSE_PACKED_MASK_H

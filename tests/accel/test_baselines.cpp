@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the rebuilt SpAtten and Sanger baseline simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/sanger.h"
+#include "accel/spatten.h"
+#include "core/pipeline.h"
+
+namespace vitcod::accel {
+namespace {
+
+core::ModelPlan
+planFor(const model::VitModelConfig &m, double sparsity = 0.9)
+{
+    return core::buildModelPlan(m,
+                                core::makePipelineConfig(sparsity, true));
+}
+
+TEST(SpAtten, CascadeKeepRatioDecreasesWithDepth)
+{
+    SpAttenAccelerator acc;
+    EXPECT_DOUBLE_EQ(acc.tokenKeepAt(0, 12), 1.0);
+    EXPECT_GT(acc.tokenKeepAt(5, 12), acc.tokenKeepAt(11, 12));
+    EXPECT_NEAR(acc.tokenKeepAt(11, 12),
+                acc.config().tokenKeepFinal, 1e-12);
+}
+
+TEST(SpAtten, SingleLayerModelUsesFinalKeep)
+{
+    SpAttenAccelerator acc;
+    EXPECT_DOUBLE_EQ(acc.tokenKeepAt(0, 1),
+                     acc.config().tokenKeepFinal);
+}
+
+TEST(SpAtten, MorePruningFaster)
+{
+    SpAttenConfig aggressive;
+    aggressive.tokenKeepFinal = 0.5;
+    SpAttenAccelerator fast(aggressive);
+    SpAttenAccelerator slow;
+    const auto plan = planFor(model::deitBase());
+    EXPECT_LT(fast.runAttention(plan).cycles,
+              slow.runAttention(plan).cycles);
+}
+
+TEST(SpAtten, PreprocessTimeIsTopK)
+{
+    SpAttenAccelerator acc;
+    const auto plan = planFor(model::deitSmall());
+    const RunStats rs = acc.runAttention(plan);
+    EXPECT_GT(rs.preprocessSeconds, 0.0);
+    EXPECT_LT(rs.preprocessSeconds, rs.seconds);
+}
+
+TEST(SpAtten, TokenPruningSpeedsUpEndToEndToo)
+{
+    SpAttenConfig aggressive;
+    aggressive.tokenKeepFinal = 0.5;
+    SpAttenAccelerator fast(aggressive);
+    SpAttenAccelerator slow;
+    const auto plan = planFor(model::deitSmall());
+    EXPECT_LT(fast.runEndToEnd(plan).cycles,
+              slow.runEndToEnd(plan).cycles);
+}
+
+TEST(Sanger, PredictionChargedAsPreprocess)
+{
+    SangerAccelerator acc;
+    const auto plan = planFor(model::deitBase());
+    const RunStats rs = acc.runAttention(plan);
+    EXPECT_GT(rs.preprocessSeconds, 0.0);
+    // Prediction pass is a quarter-cost full QK^T: a visible but
+    // non-dominant share.
+    EXPECT_LT(rs.preprocessSeconds, 0.6 * rs.seconds);
+}
+
+TEST(Sanger, HigherOperatingSparsityFasterAttention)
+{
+    SangerConfig sparse_cfg;
+    sparse_cfg.operatingSparsity = 0.8;
+    SangerConfig dense_cfg;
+    dense_cfg.operatingSparsity = 0.3;
+    SangerAccelerator sparse_acc(sparse_cfg);
+    SangerAccelerator dense_acc(dense_cfg);
+    const auto plan = planFor(model::deitBase());
+    EXPECT_LT(sparse_acc.runAttention(plan).cycles,
+              dense_acc.runAttention(plan).cycles);
+}
+
+TEST(Sanger, PackEfficiencyMatters)
+{
+    SangerConfig good;
+    good.packEfficiency = 0.95;
+    SangerConfig bad;
+    bad.packEfficiency = 0.4;
+    SangerAccelerator fast(good);
+    SangerAccelerator slow(bad);
+    const auto plan = planFor(model::deitSmall());
+    EXPECT_LT(fast.runAttention(plan).cycles,
+              slow.runAttention(plan).cycles);
+}
+
+TEST(Sanger, SStationaryLoadsQkOnce)
+{
+    // Sanger's attention-phase DRAM read should be close to one full
+    // Q+K+V pass per layer (plus masks) — its dataflow's strength.
+    SangerAccelerator acc;
+    const auto m = model::deitBase();
+    const auto plan = planFor(m);
+    const RunStats rs = acc.runAttention(plan);
+    const double qkv_once =
+        12.0 * 3.0 * 197.0 * 768.0 * 2.0; // bytes, fp16-class
+    EXPECT_LT(static_cast<double>(rs.dramRead), 2.0 * qkv_once);
+}
+
+TEST(Baselines, BothSlowerEndToEndThanAttentionOnly)
+{
+    const auto plan = planFor(model::deitTiny());
+    SpAttenAccelerator sp;
+    SangerAccelerator sa;
+    EXPECT_GT(sp.runEndToEnd(plan).cycles,
+              sp.runAttention(plan).cycles);
+    EXPECT_GT(sa.runEndToEnd(plan).cycles,
+              sa.runAttention(plan).cycles);
+}
+
+TEST(Baselines, DecompositionSumsToTotal)
+{
+    const auto plan = planFor(model::levit128(), 0.8);
+    SpAttenAccelerator sp;
+    SangerAccelerator sa;
+    for (RunStats rs :
+         {sp.runAttention(plan), sa.runAttention(plan)}) {
+        EXPECT_NEAR(rs.seconds,
+                    rs.computeSeconds + rs.dataMoveSeconds +
+                        rs.preprocessSeconds,
+                    1e-12);
+    }
+}
+
+TEST(Baselines, UtilizationInUnitRange)
+{
+    const auto plan = planFor(model::deitBase());
+    SpAttenAccelerator sp;
+    SangerAccelerator sa;
+    for (RunStats rs :
+         {sp.runAttention(plan), sa.runAttention(plan)}) {
+        EXPECT_GT(rs.utilization, 0.0);
+        EXPECT_LE(rs.utilization, 1.0);
+    }
+}
+
+} // namespace
+} // namespace vitcod::accel

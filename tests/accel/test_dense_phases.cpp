@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the shared dense-block phase model used by the baseline
+ * accelerators' end-to-end runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dense_phases.h"
+
+namespace vitcod::accel {
+namespace {
+
+model::AttnShape
+deitBaseShape()
+{
+    return {197, 12, 64, 768, 0};
+}
+
+DensePhaseParams
+defaults()
+{
+    DensePhaseParams p;
+    p.totalMacs = 512;
+    p.gemmEff = 0.9;
+    p.elemBytes = 2;
+    return p;
+}
+
+TEST(DensePhases, MacCountMatchesAnalyticFormula)
+{
+    const sim::DramModel dram;
+    const auto st =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    const double n = 197, d = 768, hd = 768, hidden = 4.0 * 768;
+    const double expect =
+        n * d * 3.0 * hd + n * hd * d + 2.0 * n * d * hidden;
+    EXPECT_NEAR(static_cast<double>(st.macs), expect, 1.0);
+}
+
+TEST(DensePhases, ComputeBoundForBigGemms)
+{
+    const sim::DramModel dram;
+    const auto st =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    // MLP-dominated blocks on 512 MACs: total close to compute.
+    EXPECT_GT(static_cast<double>(st.compute),
+              0.8 * static_cast<double>(st.total));
+}
+
+TEST(DensePhases, TokenKeepShrinksWork)
+{
+    const sim::DramModel dram;
+    DensePhaseParams half = defaults();
+    half.tokenKeep = 0.5;
+    const auto full =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    const auto pruned =
+        simulateDenseBlock(deitBaseShape(), 4, dram, half);
+    EXPECT_LT(pruned.macs, full.macs);
+    EXPECT_LT(pruned.total, full.total);
+    EXPECT_NEAR(static_cast<double>(pruned.macs),
+                0.5 * static_cast<double>(full.macs),
+                0.01 * static_cast<double>(full.macs));
+}
+
+TEST(DensePhases, MlpRatioScalesMlpTerm)
+{
+    const sim::DramModel dram;
+    const auto r2 =
+        simulateDenseBlock(deitBaseShape(), 2, dram, defaults());
+    const auto r4 =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    EXPECT_GT(r4.macs, r2.macs);
+    EXPECT_GT(r4.total, r2.total);
+}
+
+TEST(DensePhases, TrafficIncludesWeights)
+{
+    const sim::DramModel dram;
+    const auto st =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    // QKV + out-proj + MLP weights alone: (3+1+8) * 768^2 * 2 bytes.
+    const double weight_bytes = 12.0 * 768.0 * 768.0 * 2.0;
+    EXPECT_GT(static_cast<double>(st.dramRead), weight_bytes);
+}
+
+TEST(DensePhases, MlpRatioOfLayerResolvesStages)
+{
+    const auto m = model::levit128(); // all stages ratio 2
+    EXPECT_EQ(mlpRatioOfLayer(m, 0), 2u);
+    EXPECT_EQ(mlpRatioOfLayer(m, 11), 2u);
+    const auto d = model::deitBase();
+    EXPECT_EQ(mlpRatioOfLayer(d, 5), 4u);
+}
+
+TEST(DensePhasesDeath, LayerOutOfRangePanics)
+{
+    const auto m = model::deitTiny();
+    EXPECT_DEATH(mlpRatioOfLayer(m, 12), "out of range");
+}
+
+TEST(DensePhases, MoreMacsFewerCycles)
+{
+    const sim::DramModel dram;
+    DensePhaseParams big = defaults();
+    big.totalMacs = 4096;
+    const auto small =
+        simulateDenseBlock(deitBaseShape(), 4, dram, defaults());
+    const auto large =
+        simulateDenseBlock(deitBaseShape(), 4, dram, big);
+    EXPECT_LT(large.compute, small.compute);
+}
+
+} // namespace
+} // namespace vitcod::accel

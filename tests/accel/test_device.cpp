@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the shared device currency (RunStats) and configuration
+ * failure injection across the accelerator models: invalid configs
+ * must die loudly at construction, not corrupt results later.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/sanger.h"
+#include "accel/spatten.h"
+#include "accel/vitcod_accel.h"
+
+namespace vitcod::accel {
+namespace {
+
+TEST(RunStats, AggregationSumsAllFields)
+{
+    RunStats a;
+    a.seconds = 1.0;
+    a.cycles = 10;
+    a.computeSeconds = 0.6;
+    a.dataMoveSeconds = 0.3;
+    a.preprocessSeconds = 0.1;
+    a.macs = 100;
+    a.dramRead = 5;
+    a.dramWrite = 7;
+    a.sramRead = 11;
+    a.sramWrite = 13;
+    a.energy = {1.0, 2.0, 3.0, 4.0};
+
+    RunStats b = a;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.seconds, 2.0);
+    EXPECT_EQ(a.cycles, 20u);
+    EXPECT_DOUBLE_EQ(a.computeSeconds, 1.2);
+    EXPECT_EQ(a.macs, 200u);
+    EXPECT_EQ(a.dramTotal(), 24u);
+    EXPECT_EQ(a.sramRead, 22u);
+    EXPECT_DOUBLE_EQ(a.energy.totalPj(), 20.0);
+}
+
+TEST(RunStats, EnergyJoulesConversion)
+{
+    RunStats rs;
+    rs.energy = {0.0, 0.0, 0.0, 1e12}; // 1e12 pJ = 1 J
+    EXPECT_DOUBLE_EQ(rs.energyJoules(), 1.0);
+}
+
+TEST(ConfigDeath, ViTCoDAeLinesMustLeaveEngineLines)
+{
+    ViTCoDConfig cfg;
+    cfg.macArray.macLines = 8;
+    cfg.aeLines = 8;
+    EXPECT_DEATH(ViTCoDAccelerator{cfg}, "AE lines");
+}
+
+TEST(ConfigDeath, SpAttenRejectsBadKeepRatios)
+{
+    SpAttenConfig zero;
+    zero.tokenKeepFinal = 0.0;
+    EXPECT_DEATH(SpAttenAccelerator{zero}, "keep ratio");
+    SpAttenConfig over;
+    over.headKeepFinal = 1.5;
+    EXPECT_DEATH(SpAttenAccelerator{over}, "keep ratio");
+}
+
+TEST(ConfigDeath, SangerRejectsBadOperatingPoint)
+{
+    SangerConfig full;
+    full.operatingSparsity = 1.0;
+    EXPECT_DEATH(SangerAccelerator{full}, "sparsity");
+    SangerConfig pack;
+    pack.packEfficiency = 0.0;
+    EXPECT_DEATH(SangerAccelerator{pack}, "pack efficiency");
+}
+
+TEST(Config, AblationVariantsCarryDistinctNames)
+{
+    ViTCoDConfig a;
+    a.name = "ViTCoD-noAE";
+    a.enableAeEngines = false;
+    ViTCoDAccelerator acc(a);
+    EXPECT_EQ(acc.name(), "ViTCoD-noAE");
+}
+
+TEST(Config, ResourceScalingIsMonotone)
+{
+    // Doubling every resource must never slow the accelerator.
+    const auto plan = core::buildModelPlan(
+        model::deitSmall(), core::makePipelineConfig(0.9, true));
+    ViTCoDConfig big;
+    big.macArray.macLines = 128;
+    big.dram.bandwidthGBps = 153.6;
+    big.qkvBufBytes = 256 * 1024;
+    big.sBufferBytes = 192 * 1024;
+    ViTCoDAccelerator base;
+    ViTCoDAccelerator scaled(big);
+    EXPECT_LE(scaled.runAttention(plan).cycles,
+              base.runAttention(plan).cycles);
+}
+
+TEST(Config, BandwidthOnlyScalingIsMonotone)
+{
+    const auto plan = core::buildModelPlan(
+        model::deitBase(), core::makePipelineConfig(0.9, false));
+    ViTCoDConfig slow;
+    slow.dram.bandwidthGBps = 9.6;
+    ViTCoDAccelerator fast;
+    ViTCoDAccelerator starved(slow);
+    EXPECT_LT(fast.runAttention(plan).cycles,
+              starved.runAttention(plan).cycles);
+}
+
+} // namespace
+} // namespace vitcod::accel

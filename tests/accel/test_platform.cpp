@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the CPU/GPU/EdgeGPU platform models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/platform.h"
+#include "core/pipeline.h"
+
+namespace vitcod::accel {
+namespace {
+
+core::ModelPlan
+planFor(const model::VitModelConfig &m)
+{
+    return core::buildModelPlan(
+        m, core::makePipelineConfig(m.nominalSparsity, true));
+}
+
+TEST(Platform, GpuFasterThanCpuOnAttention)
+{
+    PlatformModel cpu(cpuXeon6230R());
+    PlatformModel gpu(gpu2080Ti());
+    const auto plan = planFor(model::deitBase());
+    EXPECT_LT(gpu.runAttention(plan).seconds,
+              cpu.runAttention(plan).seconds);
+}
+
+TEST(Platform, OrderingCpuSlowestGpuFastest)
+{
+    // Fig. 15 ordering among general platforms.
+    PlatformModel cpu(cpuXeon6230R());
+    PlatformModel edge(edgeGpuXavierNX());
+    PlatformModel gpu(gpu2080Ti());
+    const auto plan = planFor(model::deitSmall());
+    const double t_cpu = cpu.runAttention(plan).seconds;
+    const double t_edge = edge.runAttention(plan).seconds;
+    const double t_gpu = gpu.runAttention(plan).seconds;
+    EXPECT_GT(t_cpu, t_edge);
+    EXPECT_GT(t_edge, t_gpu);
+}
+
+TEST(Platform, SparsityDoesNotHelpGeneralPlatforms)
+{
+    // sparseExploit = 0: a 90%-sparse plan runs at dense speed.
+    PlatformModel gpu(gpu2080Ti());
+    const auto dense = core::buildModelPlan(
+        model::deitSmall(), core::makePipelineConfig(0.5, true));
+    const auto sparse = core::buildModelPlan(
+        model::deitSmall(), core::makePipelineConfig(0.9, true));
+    EXPECT_NEAR(gpu.runAttention(dense).seconds,
+                gpu.runAttention(sparse).seconds, 1e-9);
+}
+
+TEST(Platform, AttentionDominatesEndToEndLatency)
+{
+    // The paper's Fig. 4 claim: >50% of measured latency is the
+    // self-attention module on the EdgeGPU.
+    PlatformModel edge(edgeGpuTx2());
+    const auto m = model::levit128();
+    double attn = 0.0;
+    using model::OpGroup;
+    for (OpGroup g : {OpGroup::QkvProj, OpGroup::AttnMatMul,
+                      OpGroup::Reshape, OpGroup::Softmax,
+                      OpGroup::OutProj})
+        attn += edge.opGroupSeconds(m, g);
+    double total = attn;
+    for (OpGroup g :
+         {OpGroup::Mlp, OpGroup::LayerNorm, OpGroup::Other})
+        total += edge.opGroupSeconds(m, g);
+    EXPECT_GT(attn / total, 0.5);
+}
+
+TEST(Platform, MatmulShareOfAttentionSubstantial)
+{
+    // Fig. 4 bottom: Q.K^T / S.V + reshape occupy up to ~53% of the
+    // self-attention latency on the EdgeGPU.
+    PlatformModel edge(edgeGpuTx2());
+    const auto m = model::deitBase();
+    using model::OpGroup;
+    const double mm = edge.opGroupSeconds(m, OpGroup::AttnMatMul) +
+                      edge.opGroupSeconds(m, OpGroup::Reshape);
+    double attn = mm;
+    for (OpGroup g :
+         {OpGroup::QkvProj, OpGroup::Softmax, OpGroup::OutProj})
+        attn += edge.opGroupSeconds(m, g);
+    EXPECT_GT(mm / attn, 0.3);
+    EXPECT_LT(mm / attn, 0.75);
+}
+
+TEST(Platform, DispatchChargedAsPreprocess)
+{
+    PlatformModel cpu(cpuXeon6230R());
+    const auto plan = planFor(model::deitTiny());
+    const RunStats rs = cpu.runAttention(plan);
+    EXPECT_GT(rs.preprocessSeconds, 0.0);
+    EXPECT_NEAR(rs.seconds,
+                rs.computeSeconds + rs.dataMoveSeconds +
+                    rs.preprocessSeconds,
+                1e-12);
+}
+
+TEST(Platform, SmallModelsDispatchBound)
+{
+    // LeViT-128 on CPU: overhead exceeds roofline compute.
+    PlatformModel cpu(cpuXeon6230R());
+    const auto plan = planFor(model::levit128());
+    const RunStats rs = cpu.runAttention(plan);
+    EXPECT_GT(rs.preprocessSeconds, rs.computeSeconds);
+}
+
+TEST(Platform, EnergyIsPowerTimesTime)
+{
+    PlatformModel gpu(gpu2080Ti());
+    const auto plan = planFor(model::deitBase());
+    const RunStats rs = gpu.runEndToEnd(plan);
+    EXPECT_NEAR(rs.energyJoules(), 250.0 * rs.seconds,
+                1e-6 * rs.energyJoules());
+}
+
+TEST(Platform, EndToEndExceedsAttention)
+{
+    PlatformModel edge(edgeGpuXavierNX());
+    const auto plan = planFor(model::deitSmall());
+    EXPECT_GT(edge.runEndToEnd(plan).seconds,
+              edge.runAttention(plan).seconds);
+}
+
+TEST(Platform, PresetsHaveDistinctNames)
+{
+    EXPECT_EQ(cpuXeon6230R().name, "CPU");
+    EXPECT_EQ(gpu2080Ti().name, "GPU");
+    EXPECT_EQ(edgeGpuXavierNX().name, "EdgeGPU");
+    EXPECT_EQ(edgeGpuTx2().name, "EdgeGPU-TX2");
+}
+
+} // namespace
+} // namespace vitcod::accel

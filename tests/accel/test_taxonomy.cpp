@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests of the Table I taxonomy data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/taxonomy.h"
+
+namespace vitcod::accel {
+namespace {
+
+TEST(Taxonomy, SevenRows)
+{
+    EXPECT_EQ(taxonomyTable().size(), 7u);
+}
+
+TEST(Taxonomy, ViTCoDRowMatchesPaper)
+{
+    const auto rows = taxonomyTable();
+    const auto &v = rows.back();
+    EXPECT_EQ(v.name, "ViTCoD (Ours)");
+    EXPECT_EQ(v.applicationField, "ViT");
+    EXPECT_EQ(v.sparsityPattern, "Static");
+    EXPECT_EQ(v.patternRegularity, "Denser & Sparser");
+    EXPECT_EQ(v.offChipTraffic, "Low");
+    EXPECT_EQ(v.bandwidthRequirement, "Low");
+    EXPECT_TRUE(v.algoHwCoDesign);
+}
+
+TEST(Taxonomy, NlpBaselinesAreDynamic)
+{
+    for (const auto &row : taxonomyTable()) {
+        if (row.name == "SpAtten" || row.name == "Sanger") {
+            EXPECT_EQ(row.sparsityPattern, "Dynamic & Input-dependent")
+                << row.name;
+            EXPECT_TRUE(row.algoHwCoDesign) << row.name;
+        }
+    }
+}
+
+TEST(Taxonomy, TensorAlgebraRowsAreSpGemm)
+{
+    size_t spgemm = 0;
+    for (const auto &row : taxonomyTable())
+        if (row.workloads == "SpGEMM")
+            ++spgemm;
+    EXPECT_EQ(spgemm, 4u); // OuterSpace, ExTensor, SpArch, Gamma
+}
+
+TEST(Taxonomy, AllNamesUnique)
+{
+    const auto rows = taxonomyTable();
+    for (size_t i = 0; i < rows.size(); ++i)
+        for (size_t j = i + 1; j < rows.size(); ++j)
+            EXPECT_NE(rows[i].name, rows[j].name);
+}
+
+} // namespace
+} // namespace vitcod::accel

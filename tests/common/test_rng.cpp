@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the deterministic RNG substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace vitcod {
+namespace {
+
+TEST(SplitMix64, DeterministicStream)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounded)
+{
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(8);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(9);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(10);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, PermutationIsBijection)
+{
+    Rng rng(11);
+    const auto perm = rng.permutation(197);
+    std::vector<bool> seen(197, false);
+    for (uint32_t p : perm) {
+        ASSERT_LT(p, 197u);
+        ASSERT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Rng, PermutationNotIdentityForLargeN)
+{
+    Rng rng(12);
+    const auto perm = rng.permutation(100);
+    size_t fixed = 0;
+    for (uint32_t i = 0; i < 100; ++i)
+        fixed += perm[i] == i;
+    EXPECT_LT(fixed, 20u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(13);
+    Rng child = parent.fork();
+    // The child stream should differ from the parent's continuation.
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= parent.nextU64() != child.nextU64();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng a(14);
+    Rng b(14);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 32; ++i)
+        ASSERT_EQ(ca.nextU64(), cb.nextU64());
+}
+
+} // namespace
+} // namespace vitcod

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests of RunningStat and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace vitcod {
+namespace {
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.geomean(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, GeomeanOfPowers)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(4.0);
+    s.add(16.0);
+    EXPECT_NEAR(s.geomean(), 4.0, 1e-12);
+}
+
+TEST(RunningStat, GeomeanZeroWhenNonPositiveSample)
+{
+    RunningStat s;
+    s.add(3.0);
+    s.add(-1.0);
+    EXPECT_DOUBLE_EQ(s.geomean(), 0.0);
+}
+
+TEST(RunningStat, MinMaxSum)
+{
+    RunningStat s;
+    s.add(3.0);
+    s.add(-2.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 11.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_NEAR(s.geomean(), 42.0, 1e-9);
+}
+
+TEST(Histogram, BinningBasics)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.9);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // upper edge counts as overflow
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 50.0);
+    EXPECT_DOUBLE_EQ(h.binLo(9), 90.0);
+}
+
+TEST(Histogram, MedianOfUniformFill)
+{
+    Histogram h(0.0, 1.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add((i + 0.5) / 1000.0);
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, QuantileOfEmptyIsLo)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+} // namespace
+} // namespace vitcod

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests of the bench table printer and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace vitcod {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsRule)
+{
+    Table t({"Model", "Speedup"});
+    t.row().cell("DeiT-Base").cellRatio(10.1);
+    t.row().cell("LeViT-128").cellRatio(6.8);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Model"), std::string::npos);
+    EXPECT_NE(out.find("10.1x"), std::string::npos);
+    EXPECT_NE(out.find("6.8x"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting)
+{
+    Table t({"a", "b", "c"});
+    t.row().cell(3.14159, 3).cell(int64_t{-7}).cell(uint64_t{99});
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("3.142"), std::string::npos);
+    EXPECT_NE(oss.str().find("-7"), std::string::npos);
+    EXPECT_NE(oss.str().find("99"), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.row().cell("1");
+    t.row().cell("2");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormatBytes, Scales)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(320.0 * 1024), "320.0 KiB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024), "1.5 MiB");
+}
+
+TEST(FormatOps, Scales)
+{
+    EXPECT_EQ(formatOps(500), "500.00 OP");
+    EXPECT_EQ(formatOps(2.5e9), "2.50 GOP");
+}
+
+TEST(PrintBanner, ContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Fig. 15");
+    EXPECT_NE(oss.str().find("Fig. 15"), std::string::npos);
+}
+
+} // namespace
+} // namespace vitcod

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests of the unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace vitcod {
+namespace {
+
+TEST(Units, CyclesToSeconds)
+{
+    // 500M cycles at 0.5 GHz = 1 second.
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(500'000'000, 0.5), 1.0);
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    EXPECT_EQ(secondsToCycles(1.0, 0.5), 500'000'000u);
+    EXPECT_EQ(secondsToCycles(1e-9, 0.5), 1u); // 0.5 cycles -> 1
+}
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2u);
+    EXPECT_EQ(ceilDiv(11, 5), 3u);
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+    EXPECT_EQ(ceilDiv(1, 1), 1u);
+}
+
+TEST(Units, RoundUp)
+{
+    EXPECT_EQ(roundUp(63, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(Units, ByteLiterals)
+{
+    EXPECT_EQ(128_KiB, 131072u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+TEST(Units, RoundTripCycles)
+{
+    const Cycles c = 123456;
+    EXPECT_EQ(secondsToCycles(cyclesToSeconds(c, 1.0), 1.0), c);
+}
+
+} // namespace
+} // namespace vitcod

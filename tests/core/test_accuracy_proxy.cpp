@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests of the accuracy proxy calibration (substitution S2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_proxy.h"
+
+namespace vitcod::core {
+namespace {
+
+TEST(AccuracyProxy, NoLossNoDrop)
+{
+    const AccuracyProxy p;
+    EXPECT_DOUBLE_EQ(
+        p.dropFromMask(1.0, model::Task::ImageClassification), 0.0);
+    EXPECT_DOUBLE_EQ(p.dropFromRecon(0.0), 0.0);
+}
+
+TEST(AccuracyProxy, DropMonotoneInLostMass)
+{
+    const AccuracyProxy p;
+    double prev = 0.0;
+    for (double retained : {0.99, 0.95, 0.9, 0.8, 0.5}) {
+        const double d =
+            p.dropFromMask(retained, model::Task::ImageClassification);
+        EXPECT_GE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(AccuracyProxy, HighRetentionSmallDrop)
+{
+    // Algorithm 1 retains ~95%+ mass at 90% sparsity; that must map
+    // to the paper's <1% drop.
+    const AccuracyProxy p;
+    EXPECT_LT(p.dropFromMask(0.95,
+                             model::Task::ImageClassification),
+              1.0);
+}
+
+TEST(AccuracyProxy, NlpPenalized)
+{
+    const AccuracyProxy p;
+    const double vit =
+        p.dropFromMask(0.9, model::Task::ImageClassification);
+    const double nlp = p.dropFromMask(0.9, model::Task::NlpGlue);
+    EXPECT_GT(nlp, 2.0 * vit);
+}
+
+TEST(AccuracyProxy, EstimateClassification)
+{
+    const AccuracyProxy p;
+    const double est = p.estimate(
+        81.8, model::Task::ImageClassification, 0.97, 0.05);
+    EXPECT_LT(est, 81.8);
+    EXPECT_GT(est, 80.8); // < 1% total drop at this operating point
+}
+
+TEST(AccuracyProxy, EstimatePoseErrorIncreases)
+{
+    const AccuracyProxy p;
+    const double est =
+        p.estimate(43.7, model::Task::PoseEstimation, 0.9, 0.05);
+    EXPECT_GT(est, 43.7); // MPJPE grows when quality drops
+}
+
+TEST(AccuracyProxy, DropSaturates)
+{
+    AccuracyProxyConfig cfg;
+    cfg.maxDropPct = 10.0;
+    const AccuracyProxy p(cfg);
+    EXPECT_LE(p.dropFromMask(0.0, model::Task::NlpGlue), 10.0);
+}
+
+TEST(AccuracyProxy, ReconDropSmallAfterTraining)
+{
+    // Post-finetuning AE rel. error ~5% must cost <0.5% accuracy
+    // (paper Sec. IV-C: "accuracy can be fully recovered").
+    const AccuracyProxy p;
+    EXPECT_LT(p.dropFromRecon(0.05), 0.5);
+}
+
+TEST(AccuracyProxy, FinetuneCurveRecovers)
+{
+    const auto curve = AccuracyProxy::finetuneCurve(100, 45.0, 81.0);
+    ASSERT_EQ(curve.size(), 100u);
+    EXPECT_NEAR(curve.front(), 45.0, 1e-9);
+    EXPECT_GT(curve.back(), 80.9);
+    for (size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+TEST(AccuracyProxy, FinetuneCurveMonotoneDownWhenStartHigh)
+{
+    const auto curve = AccuracyProxy::finetuneCurve(50, 5.0, 1.0);
+    for (size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i], curve[i - 1]);
+}
+
+} // namespace
+} // namespace vitcod::core

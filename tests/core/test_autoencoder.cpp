@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the auto-encoder module: shape plumbing, PCA optimum,
+ * SGD convergence (the Fig. 9(b)/18 training behavior) and the
+ * head-redundancy hypothesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/autoencoder.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::core {
+namespace {
+
+TEST(AutoEncoder, ShapePlumbing)
+{
+    AutoEncoder ae({12, 6, 1});
+    Rng rng(2);
+    const linalg::Matrix x = linalg::Matrix::randomNormal(50, 12, rng);
+    const auto z = ae.encode(x);
+    EXPECT_EQ(z.rows(), 50u);
+    EXPECT_EQ(z.cols(), 6u);
+    const auto xh = ae.decode(z);
+    EXPECT_EQ(xh.rows(), 50u);
+    EXPECT_EQ(xh.cols(), 12u);
+    EXPECT_DOUBLE_EQ(ae.compressionRatio(), 0.5);
+}
+
+TEST(AutoEncoder, SynthDataHasRequestedShape)
+{
+    Rng rng(3);
+    const auto x = synthesizeHeadData(100, 8, 3, 0.1, rng);
+    EXPECT_EQ(x.rows(), 100u);
+    EXPECT_EQ(x.cols(), 8u);
+}
+
+TEST(AutoEncoder, SynthDataIsLowRankWhenNoiseless)
+{
+    // With rank 2 and no noise, PCA with 2 components reconstructs
+    // almost exactly.
+    Rng rng(4);
+    const auto x = synthesizeHeadData(400, 10, 2, 0.0, rng);
+    AutoEncoder ae({10, 2, 5});
+    ae.fitPca(x);
+    EXPECT_LT(ae.relativeError(x), 1e-3);
+}
+
+TEST(AutoEncoder, PcaHalvingRecoversRedundantHeads)
+{
+    // The paper's hypothesis: heads are redundant, so h -> h/2
+    // compression is almost lossless. latent rank 4 < bottleneck 6.
+    Rng rng(5);
+    const auto x = synthesizeHeadData(2000, 12, 4, 0.05, rng);
+    AutoEncoder ae({12, 6, 6});
+    ae.fitPca(x);
+    EXPECT_LT(ae.relativeError(x), 0.15);
+}
+
+TEST(AutoEncoder, CannotBeatRankLimit)
+{
+    // latent rank 8 > bottleneck 2: reconstruction must stay bad.
+    Rng rng(6);
+    const auto x = synthesizeHeadData(1000, 8, 8, 0.0, rng);
+    AutoEncoder ae({8, 2, 7});
+    ae.fitPca(x);
+    EXPECT_GT(ae.relativeError(x), 0.4);
+}
+
+TEST(AutoEncoder, FullWidthPcaIsLossless)
+{
+    Rng rng(7);
+    const auto x = synthesizeHeadData(300, 6, 6, 0.2, rng);
+    AutoEncoder ae({6, 6, 8});
+    ae.fitPca(x);
+    EXPECT_LT(ae.relativeError(x), 1e-4);
+}
+
+TEST(AutoEncoder, TrainingLossDecreases)
+{
+    Rng rng(8);
+    const auto x = synthesizeHeadData(1024, 12, 4, 0.05, rng);
+    AutoEncoder ae({12, 6, 9});
+    AeTrainConfig tc;
+    tc.epochs = 30;
+    tc.batchSize = 128;
+    const AeTrainTrajectory traj = ae.trainSgd(x, tc);
+    ASSERT_EQ(traj.points.size(), 30u);
+    EXPECT_LT(traj.points.back().reconLoss,
+              0.2 * traj.points.front().reconLoss);
+}
+
+TEST(AutoEncoder, TrainingApproachesPcaOptimum)
+{
+    Rng rng(9);
+    const auto x = synthesizeHeadData(1024, 8, 3, 0.05, rng);
+
+    AutoEncoder pca({8, 4, 10});
+    pca.fitPca(x);
+    const double pca_mse = pca.reconstructionMse(x);
+
+    AutoEncoder sgd({8, 4, 10});
+    AeTrainConfig tc;
+    tc.epochs = 120;
+    tc.batchSize = 128;
+    sgd.trainSgd(x, tc);
+    const double sgd_mse = sgd.reconstructionMse(x);
+
+    // PCA is the linear optimum; Adam should get within 2x of it.
+    EXPECT_GE(sgd_mse, pca_mse - 1e-9);
+    EXPECT_LT(sgd_mse, std::max(2.0 * pca_mse, 1e-4));
+}
+
+TEST(AutoEncoder, TrainingDeterministic)
+{
+    Rng rng(10);
+    const auto x = synthesizeHeadData(512, 6, 2, 0.1, rng);
+    AutoEncoder a({6, 3, 11});
+    AutoEncoder b({6, 3, 11});
+    AeTrainConfig tc;
+    tc.epochs = 5;
+    const auto ta = a.trainSgd(x, tc);
+    const auto tb = b.trainSgd(x, tc);
+    for (size_t i = 0; i < ta.points.size(); ++i)
+        EXPECT_DOUBLE_EQ(ta.points[i].reconLoss,
+                         tb.points[i].reconLoss);
+}
+
+TEST(AutoEncoder, TrajectoryFinalLoss)
+{
+    AeTrainTrajectory t;
+    EXPECT_DOUBLE_EQ(t.finalLoss(), 0.0);
+    t.points.push_back({0, 5.0});
+    t.points.push_back({1, 2.0});
+    EXPECT_DOUBLE_EQ(t.finalLoss(), 2.0);
+}
+
+TEST(AutoEncoder, RelativeErrorOfZeroDataIsZero)
+{
+    AutoEncoder ae({4, 2, 12});
+    linalg::Matrix x(10, 4);
+    EXPECT_DOUBLE_EQ(ae.relativeError(x), 0.0);
+}
+
+/** Compression-ratio sweep mirroring the paper's 50% default. */
+class CompressionSweep : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(CompressionSweep, MoreBottleneckLessError)
+{
+    const size_t c = GetParam();
+    Rng rng(13);
+    const auto x = synthesizeHeadData(800, 12, 5, 0.05, rng);
+    AutoEncoder small({12, c, 14});
+    AutoEncoder big({12, c + 2, 14});
+    small.fitPca(x);
+    big.fitPca(x);
+    EXPECT_GE(small.relativeError(x) + 1e-9, big.relativeError(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bottlenecks, CompressionSweep,
+                         ::testing::Values(2, 4, 6, 8));
+
+} // namespace
+} // namespace vitcod::core

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the functional reference block: the sparse-plan path
+ * must be exactly equivalent to dense under a full mask, close to
+ * dense when the mask retains most attention mass, and numerically
+ * consistent with the accelerator's permuted schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "core/reference_block.h"
+#include "linalg/kernels.h"
+#include "model/attention_gen.h"
+
+namespace vitcod::core {
+namespace {
+
+model::StageConfig
+tinyStage()
+{
+    // A reduced DeiT-Tiny-like stage keeps the test fast.
+    return {1, 48, 3, 16, 48, 4};
+}
+
+linalg::Matrix
+randomInput(const model::StageConfig &s, uint64_t seed)
+{
+    Rng rng(seed);
+    return linalg::Matrix::randomNormal(s.tokens, s.embedDim, rng);
+}
+
+std::vector<SparseAttentionPlan>
+plansFor(const model::StageConfig &s, double sparsity, uint64_t seed)
+{
+    Rng rng(seed);
+    SplitConquerConfig sc;
+    sc.mode = PruneMode::TargetSparsity;
+    sc.targetSparsity = sparsity;
+    std::vector<SparseAttentionPlan> plans;
+    for (size_t head = 0; head < s.heads; ++head) {
+        // Synthetic per-head attention statistics.
+        linalg::Matrix a = linalg::Matrix::randomUniform(
+            s.tokens, s.tokens, rng, 0.01f, 0.02f);
+        for (size_t i = 0; i < s.tokens; ++i) {
+            a(i, i) += 1.0f;
+            if (i + 1 < s.tokens) {
+                a(i, i + 1) += 0.5f;
+                a(i + 1, i) += 0.5f;
+            }
+            a(i, 0) += 0.6f; // global column
+        }
+        plans.push_back(splitConquer(a, sc));
+    }
+    return plans;
+}
+
+TEST(ReferenceBlock, DenseForwardShapes)
+{
+    const auto s = tinyStage();
+    Rng rng(1);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto y = blk.forwardDense(randomInput(s, 2));
+    EXPECT_EQ(y.rows(), s.tokens);
+    EXPECT_EQ(y.cols(), s.embedDim);
+}
+
+TEST(ReferenceBlock, FullMaskPlanEqualsDense)
+{
+    const auto s = tinyStage();
+    Rng rng(3);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto x = randomInput(s, 4);
+    // sparsity 0 keeps every entry.
+    const auto plans = plansFor(s, 0.0, 5);
+    const double diff = linalg::maxAbsDiff(
+        blk.forwardSparse(x, plans), blk.forwardDense(x));
+    EXPECT_LT(diff, 1e-4);
+}
+
+TEST(ReferenceBlock, ModerateSparsityStaysClose)
+{
+    const auto s = tinyStage();
+    Rng rng(6);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto x = randomInput(s, 7);
+    const auto dense = blk.forwardDense(x);
+    const auto sparse = blk.forwardSparse(x, plansFor(s, 0.5, 8));
+    // Output magnitudes are O(1); pruning half the (mostly tiny)
+    // attention entries must perturb outputs only mildly.
+    const double rel =
+        linalg::maxAbsDiff(sparse, dense) /
+        std::max(1.0, linalg::frobeniusNorm(dense) /
+                          std::sqrt(static_cast<double>(
+                              dense.rows() * dense.cols())));
+    EXPECT_LT(rel, 1.0);
+}
+
+TEST(ReferenceBlock, SparserMasksDriftMonotonically)
+{
+    const auto s = tinyStage();
+    Rng rng(9);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto x = randomInput(s, 10);
+    const auto dense = blk.attentionDense(x);
+    double prev = 0.0;
+    for (double sp : {0.0, 0.5, 0.9}) {
+        const auto sparse =
+            blk.attentionSparse(x, plansFor(s, sp, 11));
+        const double diff = linalg::maxAbsDiff(sparse, dense);
+        EXPECT_GE(diff + 1e-6, prev);
+        prev = diff;
+    }
+}
+
+TEST(ReferenceBlock, PermutationInvariance)
+{
+    // The same mask executed with literal-swap vs stable reordering
+    // (different permutations) must produce identical outputs.
+    const auto s = tinyStage();
+    Rng rng(12);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto x = randomInput(s, 13);
+
+    Rng gen_rng(14);
+    linalg::Matrix a = linalg::Matrix::randomUniform(
+        s.tokens, s.tokens, gen_rng, 0.01f, 0.02f);
+    for (size_t i = 0; i < s.tokens; ++i) {
+        a(i, i) += 1.0f;
+        a(i, 0) += 0.6f;
+    }
+    SplitConquerConfig literal;
+    literal.mode = PruneMode::TargetSparsity;
+    literal.targetSparsity = 0.6;
+    SplitConquerConfig stable = literal;
+    stable.literalSwapReorder = false;
+
+    std::vector<SparseAttentionPlan> p1(s.heads,
+                                        splitConquer(a, literal));
+    std::vector<SparseAttentionPlan> p2(s.heads,
+                                        splitConquer(a, stable));
+    const double diff = linalg::maxAbsDiff(
+        blk.attentionSparse(x, p1), blk.attentionSparse(x, p2));
+    EXPECT_LT(diff, 1e-4);
+}
+
+TEST(ReferenceBlock, WorksWithPipelinePlans)
+{
+    // End-to-end: plans from the real pipeline drive the functional
+    // block for a DeiT-Tiny layer.
+    const auto m = model::deitTiny();
+    const auto plan =
+        buildModelPlan(m, makePipelineConfig(0.9, true));
+    const auto &stage = m.stages[0];
+    Rng rng(15);
+    const ReferenceBlock blk(stage, BlockWeights::random(stage, rng));
+    const auto x = randomInput(stage, 16);
+
+    std::vector<SparseAttentionPlan> plans;
+    for (size_t head = 0; head < stage.heads; ++head)
+        plans.push_back(plan.planOf(5, head));
+    const auto y = blk.forwardSparse(x, plans);
+    EXPECT_EQ(y.rows(), stage.tokens);
+    // Finite outputs everywhere.
+    for (size_t r = 0; r < y.rows(); ++r)
+        for (size_t c = 0; c < y.cols(); ++c)
+            ASSERT_TRUE(std::isfinite(y(r, c)));
+}
+
+TEST(ReferenceBlockDeath, PlanCountMismatchPanics)
+{
+    const auto s = tinyStage();
+    Rng rng(17);
+    const ReferenceBlock blk(s, BlockWeights::random(s, rng));
+    const auto x = randomInput(s, 18);
+    std::vector<SparseAttentionPlan> too_few(
+        1, plansFor(s, 0.5, 19)[0]);
+    EXPECT_DEATH(blk.attentionSparse(x, too_few), "one plan per head");
+}
+
+} // namespace
+} // namespace vitcod::core

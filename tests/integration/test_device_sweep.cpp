@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Property sweep over every (model, device) pair at its nominal
+ * operating point: accounting identities and sanity bounds that any
+ * simulated run must satisfy regardless of workload or device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/device.h"
+#include "core/pipeline.h"
+
+namespace vitcod {
+namespace {
+
+class DeviceModelSweep
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static core::ModelPlan
+    planFor(const std::string &name)
+    {
+        const auto m = model::modelByName(name);
+        return core::buildModelPlan(
+            m, core::makePipelineConfig(m.nominalSparsity, true));
+    }
+};
+
+TEST_P(DeviceModelSweep, AccountingIdentitiesHold)
+{
+    const auto plan = planFor(GetParam());
+    for (auto &dev : accel::makeAllDevices()) {
+        for (bool e2e : {false, true}) {
+            const accel::RunStats rs =
+                e2e ? dev->runEndToEnd(plan)
+                    : dev->runAttention(plan);
+            // Latency decomposition sums to the total.
+            EXPECT_NEAR(rs.seconds,
+                        rs.computeSeconds + rs.dataMoveSeconds +
+                            rs.preprocessSeconds,
+                        1e-9 + 1e-9 * rs.seconds)
+                << dev->name() << " e2e=" << e2e;
+            // All components non-negative.
+            EXPECT_GE(rs.computeSeconds, 0.0) << dev->name();
+            EXPECT_GE(rs.dataMoveSeconds, 0.0) << dev->name();
+            EXPECT_GE(rs.preprocessSeconds, 0.0) << dev->name();
+            // Work and energy are positive and finite.
+            EXPECT_GT(rs.macs, 0u) << dev->name();
+            EXPECT_GT(rs.energyJoules(), 0.0) << dev->name();
+            EXPECT_LT(rs.energyJoules(), 100.0) << dev->name();
+            // A single inference finishes within a second... except
+            // on the CPU model for the largest ViTs, where eager-
+            // mode end-to-end can exceed it; allow 5 s.
+            EXPECT_LT(rs.seconds, 5.0) << dev->name();
+            EXPECT_GT(rs.seconds, 1e-7) << dev->name();
+        }
+    }
+}
+
+TEST_P(DeviceModelSweep, AttentionIsSubsetOfEndToEnd)
+{
+    const auto plan = planFor(GetParam());
+    for (auto &dev : accel::makeAllDevices()) {
+        const accel::RunStats attn = dev->runAttention(plan);
+        const accel::RunStats e2e = dev->runEndToEnd(plan);
+        EXPECT_LT(attn.seconds, e2e.seconds) << dev->name();
+        EXPECT_LE(attn.macs, e2e.macs) << dev->name();
+        EXPECT_LE(attn.dramTotal(), e2e.dramTotal()) << dev->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSevenModels, DeviceModelSweep,
+    ::testing::Values("StridedTrans.", "DeiT-Tiny", "DeiT-Small",
+                      "DeiT-Base", "LeViT-128", "LeViT-192",
+                      "LeViT-256"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace vitcod

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Golden regression pins: exact cycle/traffic/MAC counts of the
+ * default-seed simulation for two representative models. Everything
+ * in the stack is deterministic, so any diff here means a model
+ * change — intentional changes must update these constants (and the
+ * calibration tables in EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/vitcod_accel.h"
+#include "core/pipeline.h"
+
+namespace vitcod {
+namespace {
+
+struct Golden
+{
+    const char *model;
+    Cycles attnCycles;
+    Cycles endToEndCycles;
+    Bytes attnDramRead;
+    Bytes attnDramWrite;
+    MacOps attnMacs;
+};
+
+class GoldenRegression : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(GoldenRegression, ExactCounts)
+{
+    const Golden g = GetParam();
+    const auto m = model::modelByName(g.model);
+    const auto plan = core::buildModelPlan(
+        m, core::makePipelineConfig(0.9, true));
+    accel::ViTCoDAccelerator acc;
+    const accel::RunStats attn = acc.runAttention(plan);
+    const accel::RunStats e2e = acc.runEndToEnd(plan);
+
+    EXPECT_EQ(attn.cycles, g.attnCycles);
+    EXPECT_EQ(e2e.cycles, g.endToEndCycles);
+    EXPECT_EQ(attn.dramRead, g.attnDramRead);
+    EXPECT_EQ(attn.dramWrite, g.attnDramWrite);
+    EXPECT_EQ(attn.macs, g.attnMacs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DefaultSeed, GoldenRegression,
+    ::testing::Values(
+        Golden{"DeiT-Tiny", 71034, 2455078, 2230387, 907776,
+               20241920},
+        Golden{"LeViT-128", 17594, 593387, 417078, 175104, 2889632}),
+    [](const auto &info) {
+        std::string n = info.param.model;
+        for (auto &ch : n)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace vitcod

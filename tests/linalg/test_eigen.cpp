@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the Jacobi eigensolver and PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::linalg {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 1.0f;
+    a(1, 1) = 5.0f;
+    a(2, 2) = 3.0f;
+    const EigenDecomposition e = jacobiEigen(a);
+    EXPECT_NEAR(e.values[0], 5.0, 1e-9);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-9);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-9);
+}
+
+TEST(JacobiEigen, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a(2, 2);
+    a(0, 0) = 2.0f;
+    a(0, 1) = 1.0f;
+    a(1, 0) = 1.0f;
+    a(1, 1) = 2.0f;
+    const EigenDecomposition e = jacobiEigen(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-9);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-9);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix)
+{
+    Rng rng(1);
+    const size_t n = 8;
+    const Matrix b = Matrix::randomNormal(n, n, rng);
+    const Matrix a = gemm(b, transpose(b)); // symmetric PSD
+    const EigenDecomposition e = jacobiEigen(a);
+
+    // A ?= V diag(w) V^T
+    Matrix vw(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            vw(i, j) = e.vectors(i, j) *
+                       static_cast<float>(e.values[j]);
+    const Matrix recon = gemm(vw, transpose(e.vectors));
+    EXPECT_LT(maxAbsDiff(recon, a), 1e-3);
+}
+
+TEST(JacobiEigen, VectorsOrthonormal)
+{
+    Rng rng(2);
+    const Matrix b = Matrix::randomNormal(6, 6, rng);
+    const Matrix a = gemm(b, transpose(b));
+    const EigenDecomposition e = jacobiEigen(a);
+    const Matrix vtv = gemm(transpose(e.vectors), e.vectors);
+    EXPECT_LT(maxAbsDiff(vtv, Matrix::identity(6)), 1e-4);
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum)
+{
+    Rng rng(3);
+    const Matrix b = Matrix::randomNormal(10, 10, rng);
+    const Matrix a = gemm(b, transpose(b));
+    const EigenDecomposition e = jacobiEigen(a);
+    double trace = 0.0;
+    for (size_t i = 0; i < 10; ++i)
+        trace += a(i, i);
+    double sum = 0.0;
+    for (double w : e.values)
+        sum += w;
+    EXPECT_NEAR(trace, sum, 1e-3 * std::abs(trace));
+}
+
+TEST(FitPca, RecoversLowRankStructure)
+{
+    // Data with exact rank 2 across 6 features.
+    Rng rng(4);
+    const size_t n = 500;
+    const Matrix latents = Matrix::randomNormal(n, 2, rng);
+    const Matrix mixing = Matrix::randomNormal(2, 6, rng);
+    const Matrix data = gemm(latents, mixing);
+
+    const PcaResult pca = fitPca(data, 2);
+    EXPECT_GT(pca.capturedFraction, 0.999);
+    EXPECT_EQ(pca.components.rows(), 2u);
+    EXPECT_EQ(pca.components.cols(), 6u);
+}
+
+TEST(FitPca, ExplainedVarianceDescending)
+{
+    Rng rng(5);
+    const Matrix data = Matrix::randomNormal(300, 5, rng);
+    const PcaResult pca = fitPca(data, 5);
+    for (size_t i = 1; i < 5; ++i)
+        EXPECT_GE(pca.explainedVariance[i - 1],
+                  pca.explainedVariance[i]);
+}
+
+TEST(FitPca, CapturedFractionGrowsWithK)
+{
+    Rng rng(6);
+    const Matrix data = Matrix::randomNormal(400, 8, rng);
+    double prev = 0.0;
+    for (size_t k = 1; k <= 8; ++k) {
+        const double captured = fitPca(data, k).capturedFraction;
+        EXPECT_GE(captured + 1e-12, prev);
+        prev = captured;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(FitPca, ProjectionReconstructionError)
+{
+    // PCA on isotropic noise with k = d captures everything: the
+    // reconstruction through all components is exact.
+    Rng rng(7);
+    const Matrix data = Matrix::randomNormal(200, 4, rng);
+    const PcaResult pca = fitPca(data, 4, /*center=*/false);
+    const Matrix z = gemmTransB(data, pca.components);
+    const Matrix recon = gemm(z, pca.components);
+    EXPECT_LT(maxAbsDiff(recon, data), 1e-3);
+}
+
+} // namespace
+} // namespace vitcod::linalg

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the dense golden kernels against brute-force references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::linalg {
+namespace {
+
+Matrix
+naiveGemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += static_cast<double>(a(i, k)) * b(k, j);
+            c(i, j) = static_cast<float>(acc);
+        }
+    return c;
+}
+
+TEST(Gemm, MatchesNaiveOnRandom)
+{
+    Rng rng(1);
+    const Matrix a = Matrix::randomNormal(13, 7, rng);
+    const Matrix b = Matrix::randomNormal(7, 11, rng);
+    EXPECT_LT(maxAbsDiff(gemm(a, b), naiveGemm(a, b)), 1e-4);
+}
+
+TEST(Gemm, IdentityIsNoop)
+{
+    Rng rng(2);
+    const Matrix a = Matrix::randomNormal(6, 6, rng);
+    EXPECT_LT(maxAbsDiff(gemm(a, Matrix::identity(6)), a), 1e-6);
+    EXPECT_LT(maxAbsDiff(gemm(Matrix::identity(6), a), a), 1e-6);
+}
+
+TEST(GemmTransB, MatchesGemmWithExplicitTranspose)
+{
+    Rng rng(3);
+    const Matrix a = Matrix::randomNormal(9, 5, rng);
+    const Matrix b = Matrix::randomNormal(12, 5, rng);
+    EXPECT_LT(maxAbsDiff(gemmTransB(a, b), gemm(a, transpose(b))),
+              1e-4);
+}
+
+TEST(GemmTransB, AttentionScoreShape)
+{
+    Rng rng(4);
+    const Matrix q = Matrix::randomNormal(197, 64, rng);
+    const Matrix k = Matrix::randomNormal(197, 64, rng);
+    const Matrix s = gemmTransB(q, k);
+    EXPECT_EQ(s.rows(), 197u);
+    EXPECT_EQ(s.cols(), 197u);
+}
+
+TEST(Axpby, LinearCombination)
+{
+    Matrix a(2, 2);
+    Matrix b(2, 2);
+    a.fill(2.0f);
+    b.fill(3.0f);
+    const Matrix c = axpby(2.0f, a, -1.0f, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 1.0f);
+}
+
+TEST(Transpose, Involution)
+{
+    Rng rng(5);
+    const Matrix a = Matrix::randomNormal(8, 3, rng);
+    EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(SoftmaxRows, RowsSumToOne)
+{
+    Rng rng(6);
+    const Matrix a = Matrix::randomNormal(10, 20, rng, 0.0f, 3.0f);
+    const Matrix s = softmaxRows(a);
+    for (size_t r = 0; r < s.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < s.cols(); ++c) {
+            EXPECT_GT(s(r, c), 0.0f);
+            sum += s(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(SoftmaxRows, StableUnderLargeInputs)
+{
+    Matrix a(1, 3);
+    a(0, 0) = 1000.0f;
+    a(0, 1) = 1000.0f;
+    a(0, 2) = -1000.0f;
+    const Matrix s = softmaxRows(a);
+    EXPECT_NEAR(s(0, 0), 0.5, 1e-5);
+    EXPECT_NEAR(s(0, 1), 0.5, 1e-5);
+    EXPECT_NEAR(s(0, 2), 0.0, 1e-6);
+}
+
+TEST(SoftmaxRows, MonotoneInLogits)
+{
+    Matrix a(1, 2);
+    a(0, 0) = 2.0f;
+    a(0, 1) = 1.0f;
+    const Matrix s = softmaxRows(a);
+    EXPECT_GT(s(0, 0), s(0, 1));
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    Matrix a(1, 4);
+    a(0, 0) = -1.0f;
+    a(0, 1) = 0.0f;
+    a(0, 2) = 2.0f;
+    a(0, 3) = -0.5f;
+    reluInPlace(a);
+    EXPECT_FLOAT_EQ(a(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(a(0, 2), 2.0f);
+    EXPECT_FLOAT_EQ(a(0, 3), 0.0f);
+}
+
+TEST(Gelu, KnownValues)
+{
+    Matrix a(1, 3);
+    a(0, 0) = 0.0f;
+    a(0, 1) = 10.0f;
+    a(0, 2) = -10.0f;
+    geluInPlace(a);
+    EXPECT_NEAR(a(0, 0), 0.0, 1e-6);
+    EXPECT_NEAR(a(0, 1), 10.0, 1e-3);  // ~identity for large x
+    EXPECT_NEAR(a(0, 2), 0.0, 1e-3);   // ~0 for very negative x
+}
+
+TEST(Gelu, MidpointValue)
+{
+    Matrix a(1, 1);
+    a(0, 0) = 1.0f;
+    geluInPlace(a);
+    EXPECT_NEAR(a(0, 0), 0.8412, 5e-3); // published GELU(1)
+}
+
+TEST(PermuteRows, ReordersRows)
+{
+    Matrix a(3, 2);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 2; ++c)
+            a(r, c) = static_cast<float>(10 * r + c);
+    const Matrix p = permuteRows(a, {2, 0, 1});
+    EXPECT_FLOAT_EQ(p(0, 0), 20.0f);
+    EXPECT_FLOAT_EQ(p(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(p(2, 1), 11.0f);
+}
+
+TEST(Norms, FrobeniusOfKnownMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 3.0f;
+    a(1, 1) = 4.0f;
+    EXPECT_NEAR(frobeniusNorm(a), 5.0, 1e-6);
+}
+
+TEST(Norms, MseAndMaxDiff)
+{
+    Matrix a(1, 2);
+    Matrix b(1, 2);
+    a(0, 0) = 1.0f;
+    a(0, 1) = 2.0f;
+    b(0, 0) = 2.0f;
+    b(0, 1) = 4.0f;
+    EXPECT_NEAR(maxAbsDiff(a, b), 2.0, 1e-9);
+    EXPECT_NEAR(meanSquaredError(a, b), (1.0 + 4.0) / 2.0, 1e-9);
+}
+
+TEST(ScaleInPlace, Scales)
+{
+    Matrix a(2, 2);
+    a.fill(2.0f);
+    scaleInPlace(a, 0.5f);
+    EXPECT_FLOAT_EQ(a(1, 0), 1.0f);
+}
+
+} // namespace
+} // namespace vitcod::linalg

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the Matrix container itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace vitcod::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.size(), 12u);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(m(r, c), 0.0f);
+}
+
+TEST(Matrix, ElementAccessAndFill)
+{
+    Matrix m(2, 2);
+    m(0, 1) = 5.0f;
+    EXPECT_FLOAT_EQ(m.at(0, 1), 5.0f);
+    m.fill(2.5f);
+    EXPECT_FLOAT_EQ(m(1, 1), 2.5f);
+}
+
+TEST(Matrix, RowDataIsContiguous)
+{
+    Matrix m(2, 3);
+    m(1, 0) = 1.0f;
+    m(1, 2) = 3.0f;
+    const float *row = m.rowData(1);
+    EXPECT_FLOAT_EQ(row[0], 1.0f);
+    EXPECT_FLOAT_EQ(row[2], 3.0f);
+    EXPECT_EQ(row, m.data() + 3);
+}
+
+TEST(Matrix, IdentityDiagonal)
+{
+    const Matrix id = Matrix::identity(4);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(id(r, c), r == c ? 1.0f : 0.0f);
+}
+
+TEST(Matrix, RandomUniformWithinBounds)
+{
+    Rng rng(1);
+    const Matrix m = Matrix::randomUniform(20, 20, rng, -2.0f, 3.0f);
+    for (size_t r = 0; r < 20; ++r) {
+        for (size_t c = 0; c < 20; ++c) {
+            EXPECT_GE(m(r, c), -2.0f);
+            EXPECT_LT(m(r, c), 3.0f);
+        }
+    }
+}
+
+TEST(Matrix, RandomNormalMoments)
+{
+    Rng rng(2);
+    const Matrix m = Matrix::randomNormal(100, 100, rng, 1.0f, 2.0f);
+    double sum = 0.0;
+    for (size_t r = 0; r < 100; ++r)
+        for (size_t c = 0; c < 100; ++c)
+            sum += m(r, c);
+    EXPECT_NEAR(sum / 10000.0, 1.0, 0.1);
+}
+
+TEST(Matrix, EqualityIsValueBased)
+{
+    Matrix a(2, 2);
+    Matrix b(2, 2);
+    EXPECT_EQ(a, b);
+    b(0, 0) = 1.0f;
+    EXPECT_NE(a, b);
+}
+
+TEST(MatrixDeath, CheckedAccessOutOfRange)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of range");
+    EXPECT_DEATH(m.at(0, 2), "out of range");
+}
+
+} // namespace
+} // namespace vitcod::linalg

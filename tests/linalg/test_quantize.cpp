@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests of the quantization module, including the property that
+ * low-precision mask prediction preserves top-k score ranking —
+ * the correctness requirement behind Sanger's 4-bit prediction and
+ * the reason quantized prediction is usable at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+#include "linalg/quantize.h"
+
+namespace vitcod::linalg {
+namespace {
+
+TEST(Quantize, RoundTripWithinOneStep)
+{
+    Rng rng(1);
+    const Matrix a = Matrix::randomNormal(16, 16, rng, 0.0f, 2.0f);
+    const QuantizedMatrix q = quantize(a, 8);
+    const double err = maxAbsDiff(a, dequantize(q));
+    EXPECT_LE(err, q.scales[0] * 0.5 + 1e-6);
+}
+
+TEST(Quantize, MoreBitsLessError)
+{
+    Rng rng(2);
+    const Matrix a = Matrix::randomNormal(32, 32, rng);
+    double prev = 1e9;
+    for (int bits : {4, 6, 8, 12}) {
+        const double err = quantizationError(a, bits);
+        EXPECT_LT(err, prev);
+        prev = err;
+    }
+}
+
+TEST(Quantize, PerRowTighterThanPerTensorOnSkewedRows)
+{
+    // One huge row would blow up a per-tensor scale.
+    Rng rng(3);
+    Matrix a = Matrix::randomNormal(8, 16, rng, 0.0f, 0.1f);
+    for (size_t c = 0; c < 16; ++c)
+        a(0, c) *= 100.0f;
+    EXPECT_LT(quantizationError(a, 8, /*per_row=*/true),
+              quantizationError(a, 8, /*per_row=*/false));
+}
+
+TEST(Quantize, CodesWithinRange)
+{
+    Rng rng(4);
+    const Matrix a = Matrix::randomNormal(10, 10, rng, 0.0f, 5.0f);
+    const QuantizedMatrix q = quantize(a, 4);
+    for (int16_t c : q.codes) {
+        EXPECT_GE(c, -q.qmax());
+        EXPECT_LE(c, q.qmax());
+    }
+}
+
+TEST(Quantize, ZeroMatrixStaysZero)
+{
+    Matrix a(5, 5);
+    const Matrix back = dequantize(quantize(a, 8));
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, back), 0.0);
+}
+
+TEST(Quantize, StorageAccounting)
+{
+    Rng rng(5);
+    const Matrix a = Matrix::randomNormal(64, 64, rng);
+    // 4-bit codes: 64*64/2 bytes + one scale.
+    EXPECT_EQ(quantize(a, 4).storageBytes(),
+              64u * 64u / 2u + sizeof(float));
+    // per-row 8-bit: 64*64 bytes + 64 scales.
+    EXPECT_EQ(quantize(a, 8, true).storageBytes(),
+              64u * 64u + 64u * sizeof(float));
+}
+
+TEST(Quantize, PredictedScoresCloseToExact)
+{
+    Rng rng(6);
+    const Matrix q = Matrix::randomNormal(24, 32, rng);
+    const Matrix k = Matrix::randomNormal(24, 32, rng);
+    const Matrix exact = gemmTransB(q, k);
+    const Matrix pred = quantizedScores(q, k, 8);
+    EXPECT_LT(maxAbsDiff(exact, pred), 0.25);
+}
+
+/** 4-bit prediction must mostly preserve each row's top-k set. */
+class PredictionRanking : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PredictionRanking, TopQuarterOverlapHigh)
+{
+    const int bits = GetParam();
+    Rng rng(7);
+    const size_t n = 48;
+    const Matrix q = Matrix::randomNormal(n, 64, rng);
+    const Matrix k = Matrix::randomNormal(n, 64, rng);
+    const Matrix exact = gemmTransB(q, k);
+    const Matrix pred = quantizedScores(q, k, bits);
+
+    const size_t topk = n / 4;
+    double overlap_sum = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        auto top_of = [&](const Matrix &m) {
+            std::vector<uint32_t> idx(n);
+            std::iota(idx.begin(), idx.end(), 0);
+            std::partial_sort(idx.begin(), idx.begin() + topk,
+                              idx.end(), [&](uint32_t a, uint32_t b) {
+                                  return m(r, a) > m(r, b);
+                              });
+            idx.resize(topk);
+            std::sort(idx.begin(), idx.end());
+            return idx;
+        };
+        const auto te = top_of(exact);
+        const auto tp = top_of(pred);
+        std::vector<uint32_t> inter;
+        std::set_intersection(te.begin(), te.end(), tp.begin(),
+                              tp.end(), std::back_inserter(inter));
+        overlap_sum += static_cast<double>(inter.size()) /
+                       static_cast<double>(topk);
+    }
+    const double mean_overlap = overlap_sum / static_cast<double>(n);
+    // 4-bit prediction keeps most of the top set; 8-bit nearly all.
+    EXPECT_GT(mean_overlap, bits >= 8 ? 0.95 : 0.75) << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PredictionRanking,
+                         ::testing::Values(4, 6, 8));
+
+TEST(QuantizeDeath, RejectsBadBitWidths)
+{
+    Matrix a(2, 2);
+    EXPECT_DEATH(quantize(a, 1), "bits");
+    EXPECT_DEATH(quantize(a, 17), "bits");
+}
+
+} // namespace
+} // namespace vitcod::linalg

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the sparse attention golden kernels: SDDMM, masked
+ * softmax and SpMM — cross-checked against the dense reference and
+ * parameterized over sparsity levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+#include "linalg/sparse_kernels.h"
+
+namespace vitcod::linalg {
+namespace {
+
+sparse::BitMask
+randomMaskWithFullRows(size_t n, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::BitMask m(n, n);
+    for (size_t r = 0; r < n; ++r) {
+        m.set(r, rng.uniformInt(n), true); // no empty rows
+        for (size_t c = 0; c < n; ++c)
+            if (rng.uniform() < density)
+                m.set(r, c, true);
+    }
+    return m;
+}
+
+TEST(Sddmm, MatchesDenseScoresAtMaskPositions)
+{
+    Rng rng(1);
+    const Matrix q = Matrix::randomNormal(12, 8, rng);
+    const Matrix k = Matrix::randomNormal(12, 8, rng);
+    const auto mask = randomMaskWithFullRows(12, 0.3, 2);
+    const sparse::Csr s = sddmm(q, k, mask, 0.25f);
+    const Matrix dense = gemmTransB(q, k);
+
+    const auto coo = s.toCoo();
+    for (const auto &e : coo.entries) {
+        EXPECT_NEAR(e.value, dense(e.row, e.col) * 0.25f, 1e-4);
+    }
+    EXPECT_EQ(s.nnz(), mask.nnz());
+}
+
+TEST(Sddmm, FullMaskEqualsDense)
+{
+    Rng rng(3);
+    const Matrix q = Matrix::randomNormal(9, 5, rng);
+    const Matrix k = Matrix::randomNormal(9, 5, rng);
+    sparse::BitMask full(9, 9);
+    for (size_t r = 0; r < 9; ++r)
+        for (size_t c = 0; c < 9; ++c)
+            full.set(r, c, true);
+    const sparse::Csr s = sddmm(q, k, full, 1.0f);
+    const Matrix dense = gemmTransB(q, k);
+    for (const auto &e : s.toCoo().entries)
+        EXPECT_NEAR(e.value, dense(e.row, e.col), 1e-4);
+}
+
+TEST(MaskedSoftmax, RowsSumToOneOverNonzeros)
+{
+    Rng rng(4);
+    const Matrix q = Matrix::randomNormal(16, 8, rng);
+    const Matrix k = Matrix::randomNormal(16, 8, rng);
+    const auto mask = randomMaskWithFullRows(16, 0.25, 5);
+    const sparse::Csr sm = maskedSoftmaxRows(sddmm(q, k, mask));
+    for (size_t r = 0; r < sm.rows(); ++r) {
+        double sum = 0.0;
+        for (uint32_t i = sm.rowPtr()[r]; i < sm.rowPtr()[r + 1]; ++i)
+            sum += sm.values()[i];
+        EXPECT_NEAR(sum, 1.0, 1e-5) << "row " << r;
+    }
+}
+
+TEST(MaskedSoftmax, PreservesStructure)
+{
+    Rng rng(6);
+    const Matrix q = Matrix::randomNormal(10, 4, rng);
+    const Matrix k = Matrix::randomNormal(10, 4, rng);
+    const auto mask = randomMaskWithFullRows(10, 0.2, 7);
+    const sparse::Csr s = sddmm(q, k, mask);
+    const sparse::Csr sm = maskedSoftmaxRows(s);
+    EXPECT_EQ(sm.toMask(), s.toMask());
+}
+
+TEST(Spmm, MatchesDenseMultiply)
+{
+    Rng rng(8);
+    const auto mask = randomMaskWithFullRows(14, 0.3, 9);
+    const sparse::Csr s = sparse::Csr::fromMask(
+        mask, [&](size_t r, size_t c) {
+            return static_cast<float>(0.01 * r + 0.001 * c + 0.5);
+        });
+    const Matrix v = Matrix::randomNormal(14, 6, rng);
+
+    // Dense reference.
+    Matrix dense_s(14, 14);
+    for (const auto &e : s.toCoo().entries)
+        dense_s(e.row, e.col) = e.value;
+    EXPECT_LT(maxAbsDiff(spmm(s, v), gemm(dense_s, v)), 1e-4);
+}
+
+TEST(Spmm, EmptyRowsGiveZeroOutput)
+{
+    sparse::BitMask mask(4, 4);
+    mask.set(0, 0, true); // rows 1..3 empty
+    const sparse::Csr s = sparse::Csr::fromMask(mask);
+    Rng rng(10);
+    const Matrix v = Matrix::randomNormal(4, 3, rng);
+    const Matrix out = spmm(s, v);
+    for (size_t c = 0; c < 3; ++c) {
+        EXPECT_FLOAT_EQ(out(1, c), 0.0f);
+        EXPECT_FLOAT_EQ(out(3, c), 0.0f);
+    }
+}
+
+/** Full sparse path must equal the dense masked-attention reference. */
+class SparseAttentionEquivalence
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SparseAttentionEquivalence, SparsePipelineMatchesDense)
+{
+    const double density = GetParam();
+    Rng rng(42);
+    const size_t n = 24;
+    const size_t d = 8;
+    const Matrix q = Matrix::randomNormal(n, d, rng);
+    const Matrix k = Matrix::randomNormal(n, d, rng);
+    const Matrix v = Matrix::randomNormal(n, d, rng);
+    const auto mask = randomMaskWithFullRows(n, density, 43);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    const Matrix sparse_out =
+        spmm(maskedSoftmaxRows(sddmm(q, k, mask, scale)), v);
+    const Matrix dense_out =
+        denseMaskedAttention(q, k, v, mask, scale);
+    EXPECT_LT(maxAbsDiff(sparse_out, dense_out), 1e-4)
+        << "density " << density;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparseAttentionEquivalence,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5, 0.9));
+
+} // namespace
+} // namespace vitcod::linalg

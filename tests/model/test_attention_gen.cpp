@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the synthetic attention-map generator: the statistical
+ * properties Algorithm 1 depends on (row normalization, diagonal
+ * concentration, global-token columns, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/attention_gen.h"
+
+namespace vitcod::model {
+namespace {
+
+TEST(AttentionGen, RowsSumToOne)
+{
+    const AttentionMapGenerator gen(deitTiny());
+    const linalg::Matrix a = gen.generate(0, 0);
+    ASSERT_EQ(a.rows(), 197u);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < a.cols(); ++c) {
+            ASSERT_GE(a(r, c), 0.0f);
+            sum += a(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-4) << "row " << r;
+    }
+}
+
+TEST(AttentionGen, Deterministic)
+{
+    const AttentionMapGenerator g1(deitSmall());
+    const AttentionMapGenerator g2(deitSmall());
+    EXPECT_EQ(g1.generate(3, 2), g2.generate(3, 2));
+}
+
+TEST(AttentionGen, DifferentHeadsDiffer)
+{
+    const AttentionMapGenerator gen(deitSmall());
+    EXPECT_NE(gen.generate(0, 0), gen.generate(0, 1));
+    EXPECT_NE(gen.generate(0, 0), gen.generate(1, 0));
+}
+
+TEST(AttentionGen, SeedChangesMaps)
+{
+    AttentionGenConfig a;
+    a.seed = 1;
+    AttentionGenConfig b;
+    b.seed = 2;
+    const AttentionMapGenerator ga(deitTiny(), a);
+    const AttentionMapGenerator gb(deitTiny(), b);
+    EXPECT_NE(ga.generate(0, 0), gb.generate(0, 0));
+}
+
+TEST(AttentionGen, DiagonalConcentration)
+{
+    // Early layers must concentrate mass near the diagonal: the mean
+    // attention within |i-j|<=10 should far exceed the background.
+    const AttentionMapGenerator gen(deitBase());
+    const linalg::Matrix a = gen.generate(0, 0);
+    const size_t n = a.rows();
+    double near = 0.0, far = 0.0;
+    size_t near_cnt = 0, far_cnt = 0;
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            const size_t d = r > c ? r - c : c - r;
+            if (d <= 10) {
+                near += a(r, c);
+                ++near_cnt;
+            } else if (d >= 50) {
+                far += a(r, c);
+                ++far_cnt;
+            }
+        }
+    }
+    EXPECT_GT((near / near_cnt) / (far / far_cnt), 5.0);
+}
+
+TEST(AttentionGen, ClsColumnIsGlobal)
+{
+    // Column 0 (CLS) should carry far more mass than the median
+    // column in every layer.
+    const AttentionMapGenerator gen(deitSmall());
+    for (size_t l : {size_t{0}, size_t{6}, size_t{11}}) {
+        const linalg::Matrix a = gen.generate(l, 0);
+        const size_t n = a.rows();
+        double cls = 0.0, mid = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            cls += a(r, 0);
+            mid += a(r, n / 3 + 1);
+        }
+        EXPECT_GT(cls, 3.0 * mid) << "layer " << l;
+    }
+}
+
+TEST(AttentionGen, DeeperLayersMoreGlobalMass)
+{
+    const AttentionMapGenerator gen(deitBase());
+    auto off_diag_mass = [&](size_t layer) {
+        const linalg::Matrix a = gen.generate(layer, 0);
+        double m = 0.0;
+        for (size_t r = 0; r < a.rows(); ++r)
+            for (size_t c = 0; c < a.cols(); ++c)
+                if ((r > c ? r - c : c - r) > 20)
+                    m += a(r, c);
+        return m / static_cast<double>(a.rows());
+    };
+    EXPECT_GT(off_diag_mass(11), off_diag_mass(0));
+}
+
+TEST(AttentionGen, LeViTStageTokenCounts)
+{
+    const AttentionMapGenerator gen(levit128());
+    EXPECT_EQ(gen.tokens(0), 196u);
+    EXPECT_EQ(gen.tokens(5), 49u);
+    EXPECT_EQ(gen.tokens(10), 16u);
+    const linalg::Matrix a = gen.generate(10, 0);
+    EXPECT_EQ(a.rows(), 16u);
+}
+
+TEST(AttentionGen, ShapesMatchModel)
+{
+    const AttentionMapGenerator gen(levit192());
+    EXPECT_EQ(gen.shapes().size(), 12u);
+    EXPECT_EQ(gen.model().name, "LeViT-192");
+}
+
+} // namespace
+} // namespace vitcod::model

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the FLOPs/bytes workload accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/flops.h"
+
+namespace vitcod::model {
+namespace {
+
+TEST(Flops, DeiTBaseTotalInPublishedRange)
+{
+    // DeiT-Base is published as ~17.6 G multiply-accumulates; this
+    // model counts 2 FLOPs per MAC, so expect ~35 G +- overheads.
+    const double total = totalFlops(modelBreakdown(deitBase()));
+    EXPECT_GT(total, 30e9);
+    EXPECT_LT(total, 42e9);
+}
+
+TEST(Flops, DeiTSmallQuarterOfBase)
+{
+    // Width halves => projections/MLP quarter; attention-matmul term
+    // only halves, so the ratio sits a bit below 4.
+    const double base = totalFlops(modelBreakdown(deitBase()));
+    const double small = totalFlops(modelBreakdown(deitSmall()));
+    EXPECT_GT(base / small, 3.0);
+    EXPECT_LT(base / small, 4.5);
+}
+
+TEST(Flops, MlpDominatesAttentionMatmulInFlops)
+{
+    // Paper Fig. 4 top: attention is NOT the FLOPs bottleneck.
+    const Breakdown b = modelBreakdown(deitBase());
+    EXPECT_GT(groupOf(b, OpGroup::Mlp).flops,
+              groupOf(b, OpGroup::AttnMatMul).flops);
+}
+
+TEST(Flops, SparsityScalesAttentionTermsOnly)
+{
+    const Breakdown dense = modelBreakdown(deitBase(), 0.0);
+    const Breakdown sparse = modelBreakdown(deitBase(), 0.9);
+    EXPECT_NEAR(groupOf(sparse, OpGroup::AttnMatMul).flops,
+                groupOf(dense, OpGroup::AttnMatMul).flops * 0.1,
+                groupOf(dense, OpGroup::AttnMatMul).flops * 0.01);
+    EXPECT_DOUBLE_EQ(groupOf(sparse, OpGroup::Mlp).flops,
+                     groupOf(dense, OpGroup::Mlp).flops);
+    EXPECT_DOUBLE_EQ(groupOf(sparse, OpGroup::QkvProj).flops,
+                     groupOf(dense, OpGroup::QkvProj).flops);
+}
+
+TEST(Flops, ReshapeHasBytesButNoFlops)
+{
+    const Breakdown b = modelBreakdown(deitSmall());
+    EXPECT_DOUBLE_EQ(groupOf(b, OpGroup::Reshape).flops, 0.0);
+    EXPECT_GT(groupOf(b, OpGroup::Reshape).bytes, 0.0);
+}
+
+TEST(Flops, BytesScaleWithElementSize)
+{
+    const Breakdown b2 = modelBreakdown(deitTiny(), 0.0, 2);
+    const Breakdown b4 = modelBreakdown(deitTiny(), 0.0, 4);
+    EXPECT_NEAR(totalBytes(b4) / totalBytes(b2), 2.0, 0.05);
+}
+
+TEST(Flops, AttentionFlopsSubsetOfTotal)
+{
+    const Breakdown b = modelBreakdown(levit192());
+    EXPECT_LT(attentionFlops(b), totalFlops(b));
+    EXPECT_GT(attentionFlops(b), 0.0);
+}
+
+TEST(Flops, StemCountedUnderOther)
+{
+    const Breakdown b = modelBreakdown(levit128());
+    EXPECT_GT(groupOf(b, OpGroup::Other).flops, 0.0);
+}
+
+TEST(AttentionShapes, OnePerBlockInOrder)
+{
+    const auto shapes = attentionShapes(levit128());
+    ASSERT_EQ(shapes.size(), 12u);
+    EXPECT_EQ(shapes[0].tokens, 196u);
+    EXPECT_EQ(shapes[4].tokens, 49u);
+    EXPECT_EQ(shapes[11].tokens, 16u);
+    for (size_t i = 0; i < shapes.size(); ++i)
+        EXPECT_EQ(shapes[i].layerIndex, i);
+}
+
+TEST(AttentionShapes, DeiTUniform)
+{
+    const auto shapes = attentionShapes(deitSmall());
+    ASSERT_EQ(shapes.size(), 12u);
+    for (const auto &s : shapes) {
+        EXPECT_EQ(s.tokens, 197u);
+        EXPECT_EQ(s.heads, 6u);
+        EXPECT_EQ(s.headDim, 64u);
+    }
+}
+
+TEST(Flops, GroupNamesDistinct)
+{
+    for (size_t i = 0; i < static_cast<size_t>(OpGroup::NumGroups);
+         ++i) {
+        for (size_t j = i + 1;
+             j < static_cast<size_t>(OpGroup::NumGroups); ++j) {
+            EXPECT_STRNE(opGroupName(static_cast<OpGroup>(i)),
+                         opGroupName(static_cast<OpGroup>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace vitcod::model

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests of the Fig. 1 trade-off curve encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/tradeoff_curves.h"
+
+namespace vitcod::model {
+namespace {
+
+TEST(TradeoffCurves, SixNlpCurves)
+{
+    const auto curves = nlpBleuCurves();
+    EXPECT_EQ(curves.size(), 6u);
+    for (const auto &c : curves) {
+        EXPECT_TRUE(c.dynamicPattern);
+        EXPECT_EQ(c.points.size(), 6u);
+    }
+}
+
+TEST(TradeoffCurves, TwoVitCurves)
+{
+    const auto curves = vitAccuracyCurves();
+    EXPECT_EQ(curves.size(), 2u);
+    for (const auto &c : curves)
+        EXPECT_FALSE(c.dynamicPattern);
+}
+
+TEST(TradeoffCurves, NlpCollapsesPastMediumSparsity)
+{
+    // The Fig. 1 contrast: every NLP curve loses >5 BLEU from 50%
+    // to 90% sparsity.
+    for (const auto &c : nlpBleuCurves()) {
+        const double at50 = c.qualityAt(0.5);
+        const double at90 = c.qualityAt(0.9);
+        EXPECT_GT(at50 - at90, 5.0) << c.name;
+    }
+}
+
+TEST(TradeoffCurves, VitHoldsAccuracyAt90)
+{
+    // <=1.5% drop at 90% sparsity (paper abstract).
+    for (const auto &c : vitAccuracyCurves()) {
+        const double dense = c.qualityAt(0.1);
+        const double at90 = c.qualityAt(0.9);
+        EXPECT_LE(dense - at90, 1.5) << c.name;
+    }
+}
+
+TEST(TradeoffCurves, MonotoneNonIncreasing)
+{
+    auto check = [](const TradeoffCurve &c) {
+        for (size_t i = 1; i < c.points.size(); ++i)
+            EXPECT_LE(c.points[i].quality,
+                      c.points[i - 1].quality + 1e-9)
+                << c.name;
+    };
+    for (const auto &c : nlpBleuCurves())
+        check(c);
+    for (const auto &c : vitAccuracyCurves())
+        check(c);
+}
+
+TEST(TradeoffCurves, InterpolationBetweenPoints)
+{
+    TradeoffCurve c{"t", false, {{0.0, 10.0}, {1.0, 20.0}}};
+    EXPECT_DOUBLE_EQ(c.qualityAt(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(c.qualityAt(0.25), 12.5);
+}
+
+TEST(TradeoffCurves, ClampsOutsideRange)
+{
+    TradeoffCurve c{"t", false, {{0.2, 5.0}, {0.8, 1.0}}};
+    EXPECT_DOUBLE_EQ(c.qualityAt(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.qualityAt(1.0), 1.0);
+}
+
+} // namespace
+} // namespace vitcod::model

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests of the per-action energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace vitcod::sim {
+namespace {
+
+TEST(Energy, ZeroActivityOnlyLeakage)
+{
+    EnergyModel em;
+    const EnergyBreakdown e = em.compute(0, 0, 0, 0, 1000);
+    EXPECT_DOUBLE_EQ(e.macPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.sramPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.dramPj, 0.0);
+    EXPECT_GT(e.staticPj, 0.0);
+}
+
+TEST(Energy, ComponentsScaleLinearly)
+{
+    EnergyModel em;
+    const EnergyBreakdown a = em.compute(1000, 100, 100, 100, 0);
+    const EnergyBreakdown b = em.compute(2000, 200, 200, 200, 0);
+    EXPECT_DOUBLE_EQ(b.macPj, 2.0 * a.macPj);
+    EXPECT_DOUBLE_EQ(b.sramPj, 2.0 * a.sramPj);
+    EXPECT_DOUBLE_EQ(b.dramPj, 2.0 * a.dramPj);
+}
+
+TEST(Energy, DramDominatesPerByte)
+{
+    // The premise of the AE module: a DRAM byte costs much more
+    // than an SRAM byte.
+    EnergyConfig cfg;
+    EXPECT_GT(cfg.dramPjPerByte, 20.0 * cfg.sramReadPjPerByte);
+}
+
+TEST(Energy, LeakageMatchesWattsTimesTime)
+{
+    EnergyConfig cfg;
+    cfg.leakageWattsCore = 0.1;
+    cfg.coreFreqGhz = 0.5;
+    EnergyModel em(cfg);
+    // 5e8 cycles at 0.5 GHz = 1 s -> 0.1 J = 1e11 pJ.
+    const EnergyBreakdown e = em.compute(0, 0, 0, 0, 500'000'000);
+    EXPECT_NEAR(e.staticPj, 1e11, 1e5);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyModel em;
+    const EnergyBreakdown e =
+        em.compute(12345, 678, 910, 1112, 1314);
+    EXPECT_DOUBLE_EQ(e.totalPj(),
+                     e.macPj + e.sramPj + e.dramPj + e.staticPj);
+}
+
+TEST(Energy, AccumulateOperator)
+{
+    EnergyBreakdown a{1.0, 2.0, 3.0, 4.0};
+    EnergyBreakdown b{10.0, 20.0, 30.0, 40.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.totalPj(), 110.0);
+}
+
+} // namespace
+} // namespace vitcod::sim

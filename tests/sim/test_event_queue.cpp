@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests of the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace vitcod::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, TieBreakByPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, 1);
+    eq.schedule(5, [&] { order.push_back(2); }, 0);
+    eq.schedule(5, [&] { order.push_back(3); }, 0);
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueue, HandlerMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(4, [&] { ++fired; });
+    });
+    const Tick end = eq.runUntilEmpty();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 5u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] { eq.scheduleAfter(7, [&] { seen = eq.curTick(); }); });
+    eq.runUntilEmpty();
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntilEmpty();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtSameTick)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    eq.schedule(3, [&] {
+        eq.scheduleAfter(0, [&] { ticks.push_back(eq.curTick()); });
+    });
+    eq.runUntilEmpty();
+    ASSERT_EQ(ticks.size(), 1u);
+    EXPECT_EQ(ticks[0], 3u);
+}
+
+TEST(EventQueue, ProcessedCount)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    eq.runUntilEmpty();
+    EXPECT_EQ(eq.processedCount(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runUntilEmpty();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+}
+
+} // namespace
+} // namespace vitcod::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests of the capacity-checked SRAM buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sram.h"
+
+namespace vitcod::sim {
+namespace {
+
+SramConfig
+smallBuf()
+{
+    SramConfig cfg;
+    cfg.name = "test";
+    cfg.capacity = 1024;
+    cfg.wordBytes = 16;
+    return cfg;
+}
+
+TEST(Sram, AllocateAndRelease)
+{
+    SramBuffer b(smallBuf());
+    EXPECT_TRUE(b.fits(1024));
+    b.allocate(600);
+    EXPECT_EQ(b.used(), 600u);
+    EXPECT_FALSE(b.fits(500));
+    b.release(100);
+    EXPECT_EQ(b.used(), 500u);
+    b.releaseAll();
+    EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(Sram, PeakTracksHighWater)
+{
+    SramBuffer b(smallBuf());
+    b.allocate(300);
+    b.allocate(400);
+    b.release(600);
+    b.allocate(100);
+    EXPECT_EQ(b.peakUsed(), 700u);
+}
+
+TEST(SramDeath, OverflowPanics)
+{
+    SramBuffer b(smallBuf());
+    b.allocate(1000);
+    EXPECT_DEATH(b.allocate(100), "overflow");
+}
+
+TEST(SramDeath, OverReleasePanics)
+{
+    SramBuffer b(smallBuf());
+    b.allocate(10);
+    EXPECT_DEATH(b.release(20), "more than allocated");
+}
+
+TEST(Sram, PortBandwidthCycles)
+{
+    SramBuffer b(smallBuf()); // 16 B/port/cycle, 1 port each way
+    EXPECT_EQ(b.readCycles(16), 1u);
+    EXPECT_EQ(b.readCycles(17), 2u);
+    EXPECT_EQ(b.writeCycles(160), 10u);
+}
+
+TEST(Sram, MultiPortScalesBandwidth)
+{
+    SramConfig cfg = smallBuf();
+    cfg.readPorts = 4;
+    SramBuffer b(cfg);
+    EXPECT_EQ(b.readCycles(64), 1u);
+}
+
+TEST(Sram, TrafficCounters)
+{
+    SramBuffer b(smallBuf());
+    b.recordRead(100);
+    b.recordWrite(40);
+    b.recordRead(28);
+    EXPECT_EQ(b.readBytes(), 128u);
+    EXPECT_EQ(b.writeBytes(), 40u);
+    b.resetStats();
+    EXPECT_EQ(b.readBytes(), 0u);
+}
+
+TEST(Sram, PaperFloorplanBudgetsFitConcurrently)
+{
+    // The paper's floorplan: 128 KB act + 20 KB idx + 108 KB out +
+    // 64 KB weights = 320 KB allocated without overflow.
+    SramConfig cfg;
+    cfg.capacity = 320 * 1024;
+    SramBuffer b(cfg);
+    b.allocate(128 * 1024);
+    b.allocate(20 * 1024);
+    b.allocate(108 * 1024);
+    b.allocate(64 * 1024);
+    EXPECT_EQ(b.used(), b.capacity());
+    EXPECT_FALSE(b.fits(1));
+}
+
+} // namespace
+} // namespace vitcod::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the BitMask dense binary mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "sparse/bitmask.h"
+
+namespace vitcod::sparse {
+namespace {
+
+BitMask
+diagonalMask(size_t n, size_t band)
+{
+    BitMask m(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            if ((r > c ? r - c : c - r) <= band)
+                m.set(r, c, true);
+    return m;
+}
+
+TEST(BitMask, StartsEmpty)
+{
+    BitMask m(5, 7);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(m.density(), 0.0);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+}
+
+TEST(BitMask, SetGetRoundTrip)
+{
+    BitMask m(4, 4);
+    m.set(1, 2, true);
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_FALSE(m.get(2, 1));
+    m.set(1, 2, false);
+    EXPECT_FALSE(m.get(1, 2));
+}
+
+TEST(BitMask, NnzCounting)
+{
+    BitMask m(3, 3);
+    m.set(0, 0, true);
+    m.set(1, 1, true);
+    m.set(1, 2, true);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_EQ(m.nnzInRow(1), 2u);
+    EXPECT_EQ(m.nnzInCol(2), 1u);
+    EXPECT_EQ(m.nnzInCol(0), 1u);
+}
+
+TEST(BitMask, DensityOfHalfFilled)
+{
+    BitMask m(2, 2);
+    m.set(0, 0, true);
+    m.set(1, 1, true);
+    EXPECT_DOUBLE_EQ(m.density(), 0.5);
+}
+
+TEST(BitMask, SymmetricPermutePreservesNnz)
+{
+    Rng rng(1);
+    BitMask m(16, 16);
+    for (int i = 0; i < 60; ++i)
+        m.set(rng.uniformInt(16), rng.uniformInt(16), true);
+    const auto perm = rng.permutation(16);
+    const BitMask p = m.permuteSymmetric(perm);
+    EXPECT_EQ(p.nnz(), m.nnz());
+}
+
+TEST(BitMask, SymmetricPermuteMapsElements)
+{
+    BitMask m(3, 3);
+    m.set(0, 1, true);
+    // perm = [2,0,1]: new(r,c) = old(perm[r], perm[c]).
+    const std::vector<uint32_t> perm{2, 0, 1};
+    const BitMask p = m.permuteSymmetric(perm);
+    // old(0,1) appears where perm[r]==0 && perm[c]==1 -> r=1, c=2.
+    EXPECT_TRUE(p.get(1, 2));
+    EXPECT_EQ(p.nnz(), 1u);
+}
+
+TEST(BitMask, SymmetricPermuteIdentity)
+{
+    Rng rng(2);
+    BitMask m(8, 8);
+    for (int i = 0; i < 20; ++i)
+        m.set(rng.uniformInt(8), rng.uniformInt(8), true);
+    std::vector<uint32_t> id(8);
+    std::iota(id.begin(), id.end(), 0);
+    EXPECT_EQ(m.permuteSymmetric(id), m);
+}
+
+TEST(BitMask, PermuteColsMovesColumns)
+{
+    BitMask m(2, 3);
+    m.set(0, 2, true);
+    const std::vector<uint32_t> perm{2, 0, 1};
+    const BitMask p = m.permuteCols(perm);
+    EXPECT_TRUE(p.get(0, 0)); // old col 2 is now col 0
+    EXPECT_FALSE(p.get(0, 2));
+}
+
+TEST(BitMask, PermuteRowsMovesRows)
+{
+    BitMask m(3, 2);
+    m.set(2, 1, true);
+    const std::vector<uint32_t> perm{2, 0, 1};
+    const BitMask p = m.permuteRows(perm);
+    EXPECT_TRUE(p.get(0, 1));
+}
+
+TEST(BitMask, SliceColsExtractsRange)
+{
+    BitMask m(2, 6);
+    m.set(0, 3, true);
+    m.set(1, 5, true);
+    const BitMask s = m.sliceCols(3, 6);
+    EXPECT_EQ(s.cols(), 3u);
+    EXPECT_TRUE(s.get(0, 0));
+    EXPECT_TRUE(s.get(1, 2));
+    EXPECT_EQ(s.nnz(), 2u);
+}
+
+TEST(BitMask, LogicalOps)
+{
+    BitMask a(2, 2);
+    BitMask b(2, 2);
+    a.set(0, 0, true);
+    a.set(0, 1, true);
+    b.set(0, 1, true);
+    b.set(1, 1, true);
+    EXPECT_EQ((a | b).nnz(), 3u);
+    EXPECT_EQ((a & b).nnz(), 1u);
+    EXPECT_TRUE((a & b).get(0, 1));
+}
+
+TEST(BitMask, DiagonalFractionPureDiagonal)
+{
+    const BitMask m = diagonalMask(32, 1);
+    EXPECT_DOUBLE_EQ(m.diagonalFraction(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.diagonalFraction(0), 1.0 * 32 / m.nnz());
+}
+
+TEST(BitMask, DiagonalFractionDenseColumn)
+{
+    BitMask m(16, 16);
+    for (size_t r = 0; r < 16; ++r)
+        m.set(r, 0, true); // one global column
+    // Only (0,0) and (1,0) are within band 1.
+    EXPECT_DOUBLE_EQ(m.diagonalFraction(1), 2.0 / 16.0);
+}
+
+TEST(BitMask, DefaultConstructedIsEmpty)
+{
+    BitMask m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+}
+
+} // namespace
+} // namespace vitcod::sparse

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of COO/CSR/CSC formats, conversions and mask profiling,
+ * including randomized round-trip property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/formats.h"
+
+namespace vitcod::sparse {
+namespace {
+
+BitMask
+randomMask(size_t rows, size_t cols, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    BitMask m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < density)
+                m.set(r, c, true);
+    return m;
+}
+
+TEST(Csr, FromMaskStructure)
+{
+    BitMask m(3, 4);
+    m.set(0, 1, true);
+    m.set(0, 3, true);
+    m.set(2, 0, true);
+    const Csr csr = Csr::fromMask(m);
+    csr.validate();
+    EXPECT_EQ(csr.nnz(), 3u);
+    EXPECT_EQ(csr.rowNnz(0), 2u);
+    EXPECT_EQ(csr.rowNnz(1), 0u);
+    EXPECT_EQ(csr.rowNnz(2), 1u);
+    EXPECT_EQ(csr.colIdx()[0], 1u);
+    EXPECT_EQ(csr.colIdx()[1], 3u);
+}
+
+TEST(Csr, FromMaskWithValues)
+{
+    BitMask m(2, 2);
+    m.set(0, 0, true);
+    m.set(1, 1, true);
+    const Csr csr = Csr::fromMask(m, [](size_t r, size_t c) {
+        return static_cast<float>(10 * r + c);
+    });
+    EXPECT_FLOAT_EQ(csr.values()[0], 0.0f);
+    EXPECT_FLOAT_EQ(csr.values()[1], 11.0f);
+}
+
+TEST(Csr, MaskRoundTrip)
+{
+    const BitMask m = randomMask(23, 31, 0.2, 5);
+    EXPECT_EQ(Csr::fromMask(m).toMask(), m);
+}
+
+TEST(Csr, CooRoundTrip)
+{
+    const BitMask m = randomMask(17, 13, 0.3, 6);
+    const Csr a = Csr::fromMask(m, [](size_t r, size_t c) {
+        return static_cast<float>(r * 100 + c);
+    });
+    const Csr b = Csr::fromCoo(a.toCoo());
+    EXPECT_EQ(b.toMask(), m);
+    EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Csc, FromMaskStructure)
+{
+    BitMask m(4, 3);
+    m.set(1, 0, true);
+    m.set(3, 0, true);
+    m.set(0, 2, true);
+    const Csc csc = Csc::fromMask(m);
+    csc.validate();
+    EXPECT_EQ(csc.nnz(), 3u);
+    EXPECT_EQ(csc.colNnz(0), 2u);
+    EXPECT_EQ(csc.colNnz(1), 0u);
+    EXPECT_EQ(csc.colNnz(2), 1u);
+    EXPECT_EQ(csc.rowIdx()[0], 1u);
+    EXPECT_EQ(csc.rowIdx()[1], 3u);
+}
+
+TEST(Csc, MaskRoundTrip)
+{
+    const BitMask m = randomMask(29, 19, 0.15, 7);
+    EXPECT_EQ(Csc::fromMask(m).toMask(), m);
+}
+
+TEST(Csc, CooRoundTrip)
+{
+    const BitMask m = randomMask(11, 21, 0.25, 8);
+    const Csc a = Csc::fromMask(m, [](size_t r, size_t c) {
+        return static_cast<float>(r + 1000 * c);
+    });
+    const Csc b = Csc::fromCoo(a.toCoo());
+    EXPECT_EQ(b.toMask(), m);
+    EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(CsrCsc, CrossConversionViaCooAgrees)
+{
+    const BitMask m = randomMask(31, 31, 0.1, 9);
+    Coo coo = Csr::fromMask(m).toCoo();
+    coo.sortColMajor();
+    const Csc csc = Csc::fromCoo(coo);
+    EXPECT_EQ(csc.toMask(), m);
+}
+
+TEST(Csc, IndexBytesAccounting)
+{
+    const BitMask m = randomMask(64, 64, 0.1, 10);
+    const Csc csc = Csc::fromMask(m);
+    // nnz 1-byte row ids + 2-byte colPtr entries.
+    EXPECT_EQ(csc.indexBytes(1), csc.nnz() + (64 + 1) * 2);
+    EXPECT_EQ(csc.indexBytes(2), 2 * csc.nnz() + (64 + 1) * 2);
+}
+
+TEST(Coo, SortOrders)
+{
+    Coo coo;
+    coo.rows = 4;
+    coo.cols = 4;
+    coo.entries = {{3, 1, 1.f}, {0, 2, 2.f}, {3, 0, 3.f}, {0, 0, 4.f}};
+    coo.sortRowMajor();
+    EXPECT_EQ(coo.entries.front().row, 0u);
+    EXPECT_EQ(coo.entries.front().col, 0u);
+    EXPECT_EQ(coo.entries.back().row, 3u);
+    EXPECT_EQ(coo.entries.back().col, 1u);
+    coo.sortColMajor();
+    EXPECT_EQ(coo.entries.front().col, 0u);
+}
+
+TEST(ProfileMask, DiagonalHeavyMask)
+{
+    BitMask m(64, 64);
+    for (size_t i = 0; i < 64; ++i)
+        m.set(i, i, true);
+    const MaskProfile p = profileMask(m, 2, 0.5, 8);
+    EXPECT_EQ(p.nnz, 64u);
+    EXPECT_DOUBLE_EQ(p.diagonalFraction, 1.0);
+    EXPECT_EQ(p.denseColumns, 0u);
+}
+
+TEST(ProfileMask, DenseColumnsDetected)
+{
+    BitMask m(32, 32);
+    for (size_t r = 0; r < 32; ++r) {
+        m.set(r, 3, true);
+        m.set(r, 17, true);
+    }
+    const MaskProfile p = profileMask(m, 1, 0.5, 0);
+    EXPECT_EQ(p.denseColumns, 2u);
+    EXPECT_GT(p.columnCv, 1.0); // extremely imbalanced columns
+}
+
+TEST(ProfileMask, FirstBlockDensity)
+{
+    BitMask m(10, 10);
+    for (size_t r = 0; r < 10; ++r)
+        for (size_t c = 0; c < 2; ++c)
+            m.set(r, c, true);
+    const MaskProfile p = profileMask(m, 1, 0.5, 2);
+    EXPECT_DOUBLE_EQ(p.firstBlockDensity, 1.0);
+}
+
+TEST(ProfileMask, UniformMaskLowCv)
+{
+    BitMask m(40, 40);
+    for (size_t r = 0; r < 40; ++r)
+        for (size_t c = 0; c < 40; c += 4)
+            m.set(r, c, true);
+    const MaskProfile p = profileMask(m, 1, 0.9, 0);
+    // Periodic columns: either 40 or 0 nnz; cv reflects that split.
+    EXPECT_GT(p.columnCv, 0.0);
+    EXPECT_EQ(p.nnz, 400u);
+}
+
+} // namespace
+} // namespace vitcod::sparse

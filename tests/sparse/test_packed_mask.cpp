@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the bit-packed mask, including randomized equivalence
+ * against the byte-per-element BitMask.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/packed_mask.h"
+
+namespace vitcod::sparse {
+namespace {
+
+BitMask
+randomMask(size_t rows, size_t cols, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    BitMask m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < density)
+                m.set(r, c, true);
+    return m;
+}
+
+TEST(PackedBitMask, SetGetRoundTrip)
+{
+    PackedBitMask p(3, 130); // crosses word boundaries
+    p.set(0, 0, true);
+    p.set(1, 63, true);
+    p.set(1, 64, true);
+    p.set(2, 129, true);
+    EXPECT_TRUE(p.get(0, 0));
+    EXPECT_TRUE(p.get(1, 63));
+    EXPECT_TRUE(p.get(1, 64));
+    EXPECT_TRUE(p.get(2, 129));
+    EXPECT_FALSE(p.get(0, 1));
+    p.set(1, 64, false);
+    EXPECT_FALSE(p.get(1, 64));
+    EXPECT_EQ(p.nnz(), 3u);
+}
+
+TEST(PackedBitMask, EquivalentToBitMaskRandomized)
+{
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        const BitMask m = randomMask(37, 197, 0.17, seed);
+        const PackedBitMask p = PackedBitMask::fromMask(m);
+        EXPECT_EQ(p.nnz(), m.nnz());
+        for (size_t r = 0; r < m.rows(); ++r)
+            EXPECT_EQ(p.nnzInRow(r), m.nnzInRow(r));
+        EXPECT_EQ(p.toMask(), m);
+    }
+}
+
+TEST(PackedBitMask, PackingSavesOverSixX)
+{
+    const BitMask m = randomMask(197, 197, 0.1, 9);
+    const PackedBitMask p = PackedBitMask::fromMask(m);
+    // 197 cols -> 4 words/row -> 32 bytes/row (word padding costs
+    // ~23%, so the byte-mask saving is ~6.2x rather than 8x).
+    EXPECT_EQ(p.storageBytes(), 197u * 4u * 8u);
+    EXPECT_LT(p.storageBytes(), 197u * 197u / 6u);
+}
+
+TEST(PackedBitMask, LogicalOpsMatchBitMask)
+{
+    const BitMask a = randomMask(21, 90, 0.3, 11);
+    const BitMask b = randomMask(21, 90, 0.3, 12);
+    const PackedBitMask pa = PackedBitMask::fromMask(a);
+    const PackedBitMask pb = PackedBitMask::fromMask(b);
+    EXPECT_EQ((pa & pb).toMask(), (a & b));
+    EXPECT_EQ((pa | pb).toMask(), (a | b));
+}
+
+TEST(PackedBitMask, PaddingBitsStayClear)
+{
+    // Writing only valid columns must leave padding zero so nnz by
+    // popcount stays exact.
+    PackedBitMask p(2, 65);
+    for (size_t c = 0; c < 65; ++c)
+        p.set(0, c, true);
+    EXPECT_EQ(p.nnz(), 65u);
+    EXPECT_EQ(p.nnzInRow(0), 65u);
+    EXPECT_EQ(p.nnzInRow(1), 0u);
+}
+
+TEST(PackedBitMaskDeath, OutOfRangePanics)
+{
+    PackedBitMask p(4, 4);
+    EXPECT_DEATH(p.get(4, 0), "out of range");
+    EXPECT_DEATH(p.set(0, 4, true), "out of range");
+}
+
+} // namespace
+} // namespace vitcod::sparse
