@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Serving throughput–latency curves. Sweeps scheduler policy
+ * (fifo / bucketed / priority) x backend mix (homogeneous ViTCoD
+ * pool vs heterogeneous ViTCoD+CPU) x offered Poisson arrival rate,
+ * serving a fixed two-task mix (DeiT-Tiny @ 90%, LeViT-128 @ 80%)
+ * through a 4-worker pool each time. Reports wall-clock latency
+ * percentiles, achieved throughput, batch sizes, plan-switch counts
+ * and plan-cache behavior — one human table plus one JSON row per
+ * configuration (machine-readable, for BENCH_*.json trajectories).
+ *
+ * Flags: --seed N (traffic seed), --json (suppress the table).
+ */
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+
+namespace {
+
+struct Mix
+{
+    const char *label;
+    std::vector<std::string> backends;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vitcod;
+
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
+
+    if (!opts.json)
+        bench::printHeader("serving throughput-latency curves",
+                           "Sec. V-B3 (one-time compilation, "
+                           "amortized across requests)");
+
+    const serve::PlanKey deit{"DeiT-Tiny", 0.9, true, false};
+    const serve::PlanKey levit{"LeViT-128", 0.8, true, false};
+
+    const std::vector<Mix> mixes = {
+        {"4xViTCoD", {"ViTCoD", "ViTCoD", "ViTCoD", "ViTCoD"}},
+        {"2xViTCoD+2xCPU", {"ViTCoD", "ViTCoD", "CPU", "CPU"}},
+    };
+    const std::vector<serve::SchedulerPolicy> policies = {
+        serve::SchedulerPolicy::Fifo,
+        serve::SchedulerPolicy::SizeBucketed,
+        serve::SchedulerPolicy::Priority,
+    };
+    const std::vector<double> rates = {1000, 2000, 4000};
+    constexpr size_t kRequests = 500;
+
+    if (!opts.json)
+        std::printf("%-16s %-9s %7s %9s %8s %8s %8s %7s %9s\n",
+                    "backends", "policy", "rate/s", "achieved",
+                    "p50 ms", "p95 ms", "p99 ms", "batch",
+                    "switches");
+
+    for (const Mix &mix : mixes) {
+        for (const auto policy : policies) {
+            for (const double rate : rates) {
+                serve::ServerConfig cfg;
+                cfg.backends = mix.backends;
+                cfg.scheduler.policy = policy;
+                cfg.scheduler.maxBatch = 8;
+                cfg.scheduler.maxWaitSeconds = 2e-3;
+
+                serve::InferenceServer server(cfg);
+
+                serve::TrafficConfig traffic;
+                traffic.ratePerSec = rate;
+                traffic.requests = kRequests;
+                traffic.mix = {deit, levit};
+                traffic.mixWeights = {0.7, 0.3};
+                traffic.priorityLevels =
+                    policy == serve::SchedulerPolicy::Priority ? 3
+                                                               : 1;
+                traffic.seed = opts.seed;
+
+                const serve::TrafficReport rep =
+                    serve::runPoissonTraffic(server, traffic);
+                const serve::StatsSnapshot s = server.snapshot();
+                const serve::PlanCache::Stats pc =
+                    server.planCacheStats();
+
+                uint64_t switches = 0;
+                double simBusy = 0;
+                for (const auto &b : s.backends) {
+                    switches += b.planSwitches;
+                    simBusy +=
+                        b.busySimSeconds + b.switchSimSeconds;
+                }
+
+                if (!opts.json)
+                    std::printf("%-16s %-9s %7.0f %9.0f %8.3f "
+                                "%8.3f %8.3f %7.2f %9llu\n",
+                                mix.label,
+                                serve::schedulerPolicyName(policy),
+                                rate, rep.achievedRps,
+                                s.wallP50 * 1e3, s.wallP95 * 1e3,
+                                s.wallP99 * 1e3, s.meanBatchSize,
+                                static_cast<unsigned long long>(
+                                    switches));
+
+                bench::JsonRow()
+                    .set("bench", "serving")
+                    .set("backends", mix.label)
+                    .set("policy",
+                         serve::schedulerPolicyName(policy))
+                    .set("rate_rps", rate)
+                    .set("requests",
+                         static_cast<uint64_t>(kRequests))
+                    .set("achieved_rps", rep.achievedRps)
+                    .set("wall_p50_ms", s.wallP50 * 1e3)
+                    .set("wall_p95_ms", s.wallP95 * 1e3)
+                    .set("wall_p99_ms", s.wallP99 * 1e3)
+                    .set("queue_p95_ms", s.queueP95 * 1e3)
+                    .set("sim_p50_us", s.simP50 * 1e6)
+                    .set("mean_batch", s.meanBatchSize)
+                    .set("mean_queue_depth", s.meanQueueDepth)
+                    .set("plan_switches", switches)
+                    .set("sim_busy_s", simBusy)
+                    .set("energy_j", s.totalEnergyJoules)
+                    .set("cache_hit_rate", pc.hitRate())
+                    .set("seed", opts.seed)
+                    .print();
+            }
+        }
+    }
+    return 0;
+}

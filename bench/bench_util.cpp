@@ -1,7 +1,12 @@
 #include "bench_util.h"
 
-#include <cstdio>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace vitcod::bench {
 
@@ -24,7 +29,7 @@ PlanCache::get(const model::VitModelConfig &m, double sparsity,
 }
 
 double
-runSeconds(accel::Device &dev, const core::ModelPlan &plan,
+runSeconds(const accel::Device &dev, const core::ModelPlan &plan,
            bool end_to_end)
 {
     return end_to_end ? dev.runEndToEnd(plan).seconds
@@ -43,6 +48,135 @@ printHeader(const std::string &experiment,
                 "320 KB SRAM, DDR4 76.8 GB/s\n");
     std::printf("=============================================="
                 "==============\n");
+}
+
+namespace {
+
+uint64_t
+parseSeedValue(const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        fatal("--seed expects an unsigned integer, got '", text, "'");
+    return v;
+}
+
+} // namespace
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            opts.json = true;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (i + 1 >= argc)
+                fatal("--seed expects a value");
+            opts.seed = parseSeedValue(argv[++i]);
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            opts.seed = parseSeedValue(arg + 7);
+        }
+    }
+    return opts;
+}
+
+namespace {
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+numberToJson(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+JsonRow &
+JsonRow::set(const std::string &key, double v)
+{
+    fields_.emplace_back(key, numberToJson(v));
+    return *this;
+}
+
+JsonRow &
+JsonRow::set(const std::string &key, uint64_t v)
+{
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+JsonRow &
+JsonRow::set(const std::string &key, int v)
+{
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+JsonRow &
+JsonRow::set(const std::string &key, const char *v)
+{
+    return set(key, std::string(v));
+}
+
+JsonRow &
+JsonRow::set(const std::string &key, const std::string &v)
+{
+    fields_.emplace_back(key, '"' + escapeJson(v) + '"');
+    return *this;
+}
+
+std::string
+JsonRow::str() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += '"' + escapeJson(fields_[i].first) + "\": " +
+               fields_[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+void
+JsonRow::print(std::FILE *out) const
+{
+    std::fprintf(out, "%s\n", str().c_str());
+    std::fflush(out);
 }
 
 } // namespace vitcod::bench

@@ -2,15 +2,21 @@
  * @file
  * Shared helpers for the experiment harnesses: plan caching (plans
  * are deterministic, so one build per (model, sparsity, AE) tuple
- * suffices), speedup aggregation and a standard header that records
- * the hardware configuration every experiment ran with.
+ * suffices), speedup aggregation, a standard header that records
+ * the hardware configuration every experiment ran with, common CLI
+ * options (--seed, --json) and machine-readable JSON result rows
+ * that downstream tooling can collect into BENCH_*.json
+ * trajectories.
  */
 
 #ifndef VITCOD_BENCH_BENCH_UTIL_H
 #define VITCOD_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/device.h"
@@ -30,12 +36,48 @@ class PlanCache
 };
 
 /** Latency of one device on one plan, core attention or end-to-end. */
-double runSeconds(accel::Device &dev, const core::ModelPlan &plan,
-                  bool end_to_end);
+double runSeconds(const accel::Device &dev,
+                  const core::ModelPlan &plan, bool end_to_end);
 
 /** Print the standard experiment banner (paper Sec. VI-A config). */
 void printHeader(const std::string &experiment,
                  const std::string &paper_reference);
+
+/** Options every bench accepts; unknown argv entries are ignored. */
+struct CliOptions
+{
+    uint64_t seed = 1; //!< --seed N / --seed=N
+    bool json = false; //!< --json: machine-readable rows only
+};
+
+/** Parse --seed / --json from argv; fatal() on a malformed value. */
+CliOptions parseCli(int argc, char **argv);
+
+/**
+ * One machine-readable result row, printed as a single-line JSON
+ * object with insertion-ordered keys:
+ *
+ *   JsonRow().set("bench", "serving").set("p50_ms", 1.2).print();
+ */
+class JsonRow
+{
+  public:
+    JsonRow &set(const std::string &key, double v);
+    JsonRow &set(const std::string &key, uint64_t v);
+    JsonRow &set(const std::string &key, int v);
+    JsonRow &set(const std::string &key, const char *v);
+    JsonRow &set(const std::string &key, const std::string &v);
+
+    /** Serialize to one line (no trailing newline). */
+    std::string str() const;
+
+    /** Print the row plus newline. */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    /** key -> pre-serialized JSON value, in insertion order. */
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 } // namespace vitcod::bench
 

@@ -352,7 +352,7 @@ Interpreter::execute(const Program &prog) const
     Cycles ph_load_extra = 0; // gather latency
     Cycles ph_dense = 0, ph_sparse = 0, ph_ae = 0, ph_elwise = 0;
     Cycles ph_extra = 0; // reconfiguration etc.
-    size_t l_d = all_lines, l_s = 0;
+    size_t l_d = all_lines;
 
     auto dense_cycles = [&](MacOps m, size_t use_lines,
                             double eff) -> Cycles {
@@ -389,7 +389,6 @@ Interpreter::execute(const Program &prog) const
         switch (ins.op) {
           case Opcode::ConfigLines:
             l_d = ins.arg0;
-            l_s = ins.arg1;
             break;
           case Opcode::SetAccumMode:
             if (ins.arg0 == 1)

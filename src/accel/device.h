@@ -65,7 +65,12 @@ struct RunStats
     RunStats &operator+=(const RunStats &o);
 };
 
-/** Execution target interface. */
+/**
+ * Execution target interface. Runs are const: a Device is an
+ * immutable execution model of its configuration, so one instance
+ * may be shared by concurrent callers (the serving runtime's worker
+ * pool relies on this re-entrancy).
+ */
 class Device
 {
   public:
@@ -78,13 +83,13 @@ class Device
      * Simulate only the core attention workload — SDDMM, softmax and
      * SpMM over all layers/heads (paper: "core attention speedups").
      */
-    virtual RunStats runAttention(const core::ModelPlan &plan) = 0;
+    virtual RunStats runAttention(const core::ModelPlan &plan) const = 0;
 
     /**
      * Simulate a full inference pass: attention plus Q/K/V
      * generation, projections, MLPs, LayerNorms and the stem.
      */
-    virtual RunStats runEndToEnd(const core::ModelPlan &plan) = 0;
+    virtual RunStats runEndToEnd(const core::ModelPlan &plan) const = 0;
 };
 
 /**

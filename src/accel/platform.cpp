@@ -153,13 +153,13 @@ PlatformModel::run(const core::ModelPlan &plan, bool end_to_end) const
 }
 
 RunStats
-PlatformModel::runAttention(const core::ModelPlan &plan)
+PlatformModel::runAttention(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/false);
 }
 
 RunStats
-PlatformModel::runEndToEnd(const core::ModelPlan &plan)
+PlatformModel::runEndToEnd(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/true);
 }

@@ -64,8 +64,8 @@ class PlatformModel : public Device
 
     std::string name() const override { return cfg_.name; }
 
-    RunStats runAttention(const core::ModelPlan &plan) override;
-    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+    RunStats runAttention(const core::ModelPlan &plan) const override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) const override;
 
     /**
      * Latency of one op-group of the model at @p sparsity — used by

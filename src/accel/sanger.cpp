@@ -151,13 +151,13 @@ SangerAccelerator::run(const core::ModelPlan &plan,
 }
 
 RunStats
-SangerAccelerator::runAttention(const core::ModelPlan &plan)
+SangerAccelerator::runAttention(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/false);
 }
 
 RunStats
-SangerAccelerator::runEndToEnd(const core::ModelPlan &plan)
+SangerAccelerator::runEndToEnd(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/true);
 }

@@ -67,8 +67,8 @@ class SangerAccelerator : public Device
 
     std::string name() const override { return cfg_.name; }
 
-    RunStats runAttention(const core::ModelPlan &plan) override;
-    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+    RunStats runAttention(const core::ModelPlan &plan) const override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) const override;
 
   private:
     RunStats run(const core::ModelPlan &plan, bool end_to_end) const;

@@ -159,13 +159,13 @@ SpAttenAccelerator::run(const core::ModelPlan &plan,
 }
 
 RunStats
-SpAttenAccelerator::runAttention(const core::ModelPlan &plan)
+SpAttenAccelerator::runAttention(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/false);
 }
 
 RunStats
-SpAttenAccelerator::runEndToEnd(const core::ModelPlan &plan)
+SpAttenAccelerator::runEndToEnd(const core::ModelPlan &plan) const
 {
     return run(plan, /*end_to_end=*/true);
 }

@@ -73,8 +73,8 @@ class SpAttenAccelerator : public Device
 
     std::string name() const override { return cfg_.name; }
 
-    RunStats runAttention(const core::ModelPlan &plan) override;
-    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+    RunStats runAttention(const core::ModelPlan &plan) const override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) const override;
 
     /** Token keep ratio in effect at layer @p l of @p layers. */
     double tokenKeepAt(size_t l, size_t layers) const;

@@ -552,13 +552,13 @@ ViTCoDAccelerator::finalize(const core::ModelPlan &plan,
 }
 
 RunStats
-ViTCoDAccelerator::runAttention(const core::ModelPlan &plan)
+ViTCoDAccelerator::runAttention(const core::ModelPlan &plan) const
 {
     return finalize(plan, /*end_to_end=*/false);
 }
 
 RunStats
-ViTCoDAccelerator::runEndToEnd(const core::ModelPlan &plan)
+ViTCoDAccelerator::runEndToEnd(const core::ModelPlan &plan) const
 {
     return finalize(plan, /*end_to_end=*/true);
 }

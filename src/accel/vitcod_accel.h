@@ -160,8 +160,8 @@ class ViTCoDAccelerator : public Device
 
     std::string name() const override { return cfg_.name; }
 
-    RunStats runAttention(const core::ModelPlan &plan) override;
-    RunStats runEndToEnd(const core::ModelPlan &plan) override;
+    RunStats runAttention(const core::ModelPlan &plan) const override;
+    RunStats runEndToEnd(const core::ModelPlan &plan) const override;
 
     /** Detailed simulation of one layer's attention. */
     LayerAttentionStats

@@ -1,26 +1,38 @@
 #include "logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace vitcod {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic so worker threads may read the level while a main thread
+// adjusts it; the sink mutex keeps concurrent log lines from
+// interleaving mid-line (the serving worker pool logs concurrently).
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -28,6 +40,7 @@ namespace detail {
 void
 emit(const char *prefix, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
     std::fflush(stderr);
 }

@@ -1,0 +1,106 @@
+#include "serve/backend.h"
+
+#include <utility>
+
+#include "accel/platform.h"
+#include "accel/sanger.h"
+#include "accel/spatten.h"
+#include "accel/vitcod_accel.h"
+#include "common/logging.h"
+
+namespace vitcod::serve {
+
+ServeBackend::ServeBackend(std::string name, double freq_ghz)
+    : name_(std::move(name)), freqGhz_(freq_ghz)
+{
+}
+
+ServeBackend::BatchResult
+ServeBackend::runBatch(const CompiledPlan &cp, size_t n)
+{
+    VITCOD_ASSERT(n >= 1, "empty batch");
+    const std::string key = cp.key.str();
+
+    auto it = memo_.find(key);
+    if (it == memo_.end())
+        it = memo_.emplace(key, runOnce(cp)).first;
+    const accel::RunStats &one = it->second;
+
+    BatchResult r;
+    r.perRequestSeconds = one.seconds;
+    // A batch is n back-to-back inferences of the same plan; weights
+    // stream per inference either way, so the batch scales linearly
+    // and the win lives in the avoided plan switches below.
+    for (size_t i = 0; i < n; ++i)
+        r.stats += one;
+    r.stats.device = name_;
+    r.stats.model = one.model;
+    r.stats.utilization = one.utilization;
+
+    if (lastPlan_ != key) {
+        r.switched = true;
+        r.switchSeconds = cp.weightLoadSeconds;
+        r.stats.seconds += r.switchSeconds;
+        r.stats.dataMoveSeconds += r.switchSeconds;
+        lastPlan_ = key;
+    }
+    return r;
+}
+
+ViTCoDServeBackend::ViTCoDServeBackend(accel::ViTCoDConfig cfg)
+    : ServeBackend(cfg.name, cfg.freqGhz), interp_(cfg)
+{
+}
+
+accel::RunStats
+ViTCoDServeBackend::runOnce(const CompiledPlan &cp) const
+{
+    return interp_.execute(cp.program);
+}
+
+DeviceServeBackend::DeviceServeBackend(
+    std::unique_ptr<accel::Device> dev, double freq_ghz)
+    : ServeBackend(dev->name(), freq_ghz), dev_(std::move(dev))
+{
+}
+
+accel::RunStats
+DeviceServeBackend::runOnce(const CompiledPlan &cp) const
+{
+    return cp.key.endToEnd ? dev_->runEndToEnd(cp.plan)
+                           : dev_->runAttention(cp.plan);
+}
+
+std::unique_ptr<ServeBackend>
+makeServeBackend(const std::string &spec,
+                 const accel::ViTCoDConfig &hw)
+{
+    if (spec == "ViTCoD")
+        return std::make_unique<ViTCoDServeBackend>(hw);
+    if (spec == "CPU")
+        return std::make_unique<DeviceServeBackend>(
+            std::make_unique<accel::PlatformModel>(
+                accel::cpuXeon6230R()),
+            /*freq_ghz=*/1.0);
+    if (spec == "GPU")
+        return std::make_unique<DeviceServeBackend>(
+            std::make_unique<accel::PlatformModel>(accel::gpu2080Ti()),
+            /*freq_ghz=*/1.0);
+    if (spec == "EdgeGPU")
+        return std::make_unique<DeviceServeBackend>(
+            std::make_unique<accel::PlatformModel>(
+                accel::edgeGpuXavierNX()),
+            /*freq_ghz=*/1.0);
+    if (spec == "SpAtten")
+        return std::make_unique<DeviceServeBackend>(
+            std::make_unique<accel::SpAttenAccelerator>(),
+            accel::SpAttenConfig{}.freqGhz);
+    if (spec == "Sanger")
+        return std::make_unique<DeviceServeBackend>(
+            std::make_unique<accel::SangerAccelerator>(),
+            accel::SangerConfig{}.freqGhz);
+    fatal("unknown serve backend '", spec,
+          "' (expected ViTCoD|CPU|GPU|EdgeGPU|SpAtten|Sanger)");
+}
+
+} // namespace vitcod::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Worker-side execution backends. A ServeBackend adapts one
+ * simulated execution target to the serving runtime's unit of work —
+ * a same-plan batch — and owns the serving-specific cost model:
+ *
+ *  - the per-request simulated time of a plan is memoized (the
+ *    simulators are deterministic in (plan, config), so one run per
+ *    task per backend suffices; batches scale it);
+ *  - switching a backend between plans pays the plan's
+ *    weightLoadSeconds (stream the new model's weights), which is
+ *    what makes same-plan batching profitable in simulated time and
+ *    differentiates scheduler policies under mixed traffic.
+ *
+ * A backend instance is owned by exactly one worker thread, so it
+ * keeps no locks; all cross-thread sharing happens through the
+ * immutable CompiledPlan and the const Device API.
+ */
+
+#ifndef VITCOD_SERVE_BACKEND_H
+#define VITCOD_SERVE_BACKEND_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/compiler.h"
+#include "accel/device.h"
+#include "serve/plan_cache.h"
+
+namespace vitcod::serve {
+
+/** One worker's execution target. */
+class ServeBackend
+{
+  public:
+    /** Outcome of one batch. */
+    struct BatchResult
+    {
+        /** Whole-batch simulated run (includes any switch cost). */
+        accel::RunStats stats;
+        /** Marginal simulated seconds of one request. */
+        Seconds perRequestSeconds = 0;
+        /** Plan-switch cost charged to this batch (0 if none). */
+        Seconds switchSeconds = 0;
+        bool switched = false;
+    };
+
+    ServeBackend(std::string name, double freq_ghz);
+    virtual ~ServeBackend() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Clock for converting simulated seconds into sim::Tick. */
+    double freqGhz() const { return freqGhz_; }
+
+    /** Serve a batch of @p n requests of @p cp. */
+    BatchResult runBatch(const CompiledPlan &cp, size_t n);
+
+  protected:
+    /** Simulate a single inference of @p cp. Deterministic. */
+    virtual accel::RunStats runOnce(const CompiledPlan &cp) const = 0;
+
+  private:
+    std::string name_;
+    double freqGhz_;
+    std::string lastPlan_;          //!< empty = cold (first batch)
+    std::unordered_map<std::string, accel::RunStats> memo_;
+};
+
+/**
+ * The ViTCoD accelerator as a serving backend: executes the cached,
+ * shared immutable Program through the instruction Interpreter — the
+ * compile step never runs on the serving fast path.
+ */
+class ViTCoDServeBackend : public ServeBackend
+{
+  public:
+    explicit ViTCoDServeBackend(accel::ViTCoDConfig cfg = {});
+
+  protected:
+    accel::RunStats runOnce(const CompiledPlan &cp) const override;
+
+  private:
+    accel::Interpreter interp_;
+};
+
+/** Any analytic Device (platform models, SpAtten, Sanger). */
+class DeviceServeBackend : public ServeBackend
+{
+  public:
+    DeviceServeBackend(std::unique_ptr<accel::Device> dev,
+                       double freq_ghz);
+
+  protected:
+    accel::RunStats runOnce(const CompiledPlan &cp) const override;
+
+  private:
+    std::unique_ptr<accel::Device> dev_;
+};
+
+/**
+ * Backend factory by spec name: "ViTCoD", "CPU", "GPU", "EdgeGPU",
+ * "SpAtten", "Sanger". ViTCoD backends compile-share via @p hw,
+ * which must match the PlanCache's config. fatal() on unknown specs.
+ */
+std::unique_ptr<ServeBackend>
+makeServeBackend(const std::string &spec,
+                 const accel::ViTCoDConfig &hw);
+
+} // namespace vitcod::serve
+
+#endif // VITCOD_SERVE_BACKEND_H

@@ -1,0 +1,254 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace vitcod::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+SchedulerPolicy
+schedulerPolicyByName(const std::string &name)
+{
+    if (name == "fifo")
+        return SchedulerPolicy::Fifo;
+    if (name == "bucketed")
+        return SchedulerPolicy::SizeBucketed;
+    if (name == "priority")
+        return SchedulerPolicy::Priority;
+    fatal("unknown scheduler policy '", name,
+          "' (expected fifo|bucketed|priority)");
+}
+
+const char *
+schedulerPolicyName(SchedulerPolicy p)
+{
+    switch (p) {
+    case SchedulerPolicy::Fifo: return "fifo";
+    case SchedulerPolicy::SizeBucketed: return "bucketed";
+    case SchedulerPolicy::Priority: return "priority";
+    }
+    return "?";
+}
+
+BatchScheduler::BatchScheduler(SchedulerConfig cfg) : cfg_(std::move(cfg))
+{
+    VITCOD_ASSERT(cfg_.maxBatch >= 1, "maxBatch must be positive");
+    if (!cfg_.clock) {
+        const auto t0 = std::chrono::steady_clock::now();
+        cfg_.clock = [t0] {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                .count();
+        };
+    }
+}
+
+void
+BatchScheduler::submit(InferenceRequest req)
+{
+    {
+        std::lock_guard<std::mutex> g(lock_);
+        req.submitSeconds = cfg_.clock();
+        queue_.push_back(std::move(req));
+    }
+    cv_.notify_one();
+}
+
+std::optional<Batch>
+BatchScheduler::formFifo(double now)
+{
+    if (queue_.empty())
+        return std::nullopt;
+    Batch b;
+    b.key = queue_.front().key;
+    b.formedSeconds = now;
+    while (!queue_.empty() && b.requests.size() < cfg_.maxBatch &&
+           queue_.front().key == b.key) {
+        b.requests.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return b;
+}
+
+std::optional<Batch>
+BatchScheduler::formBucketed(double now, bool flush)
+{
+    if (queue_.empty())
+        return std::nullopt;
+
+    struct Bucket
+    {
+        size_t count = 0;
+        double oldest = kInf;
+        const PlanKey *key = nullptr;
+    };
+    std::unordered_map<std::string, Bucket> buckets;
+    for (const auto &r : queue_) {
+        Bucket &bk = buckets[r.key.str()];
+        ++bk.count;
+        bk.oldest = std::min(bk.oldest, r.submitSeconds);
+        bk.key = &r.key;
+    }
+
+    const PlanKey *pick = nullptr;
+    double pickOldest = kInf;
+    for (const auto &[ks, bk] : buckets) {
+        const bool ready = flush || bk.count >= cfg_.maxBatch ||
+                           now - bk.oldest >= cfg_.maxWaitSeconds;
+        if (ready && bk.oldest < pickOldest) {
+            pickOldest = bk.oldest;
+            pick = bk.key;
+        }
+    }
+    if (!pick)
+        return std::nullopt;
+
+    Batch b;
+    b.key = *pick;
+    b.formedSeconds = now;
+    for (auto it = queue_.begin();
+         it != queue_.end() && b.requests.size() < cfg_.maxBatch;) {
+        if (it->key == b.key) {
+            b.requests.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return b;
+}
+
+std::optional<Batch>
+BatchScheduler::formPriority(double now)
+{
+    if (queue_.empty())
+        return std::nullopt;
+
+    // Leader: highest priority, ties broken by arrival order.
+    size_t leader = 0;
+    for (size_t i = 1; i < queue_.size(); ++i)
+        if (queue_[i].priority > queue_[leader].priority)
+            leader = i;
+
+    Batch b;
+    b.key = queue_[leader].key;
+    b.formedSeconds = now;
+
+    // Members: same plan as the leader, highest priority first
+    // (stable on arrival order), up to maxBatch.
+    std::vector<size_t> members;
+    for (size_t i = 0; i < queue_.size(); ++i)
+        if (queue_[i].key == b.key)
+            members.push_back(i);
+    std::stable_sort(members.begin(), members.end(),
+                     [this](size_t a, size_t c) {
+                         return queue_[a].priority > queue_[c].priority;
+                     });
+    if (members.size() > cfg_.maxBatch)
+        members.resize(cfg_.maxBatch);
+
+    for (size_t idx : members)
+        b.requests.push_back(queue_[idx]);
+
+    std::sort(members.begin(), members.end(),
+              std::greater<size_t>());
+    for (size_t idx : members)
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    return b;
+}
+
+std::optional<Batch>
+BatchScheduler::formBatch(double now, bool flush)
+{
+    switch (cfg_.policy) {
+    case SchedulerPolicy::Fifo: return formFifo(now);
+    case SchedulerPolicy::SizeBucketed: return formBucketed(now, flush);
+    case SchedulerPolicy::Priority: return formPriority(now);
+    }
+    return std::nullopt;
+}
+
+double
+BatchScheduler::nextDeadline() const
+{
+    if (cfg_.policy != SchedulerPolicy::SizeBucketed || queue_.empty())
+        return kInf;
+    std::unordered_map<std::string, double> oldest;
+    for (const auto &r : queue_) {
+        auto [it, fresh] = oldest.try_emplace(r.key.str(),
+                                              r.submitSeconds);
+        if (!fresh)
+            it->second = std::min(it->second, r.submitSeconds);
+    }
+    double dl = kInf;
+    for (const auto &[k, t] : oldest)
+        dl = std::min(dl, t + cfg_.maxWaitSeconds);
+    return dl;
+}
+
+std::optional<Batch>
+BatchScheduler::nextBatch()
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return formBatch(cfg_.clock(), stopped_);
+}
+
+std::optional<Batch>
+BatchScheduler::waitBatch()
+{
+    std::unique_lock<std::mutex> g(lock_);
+    for (;;) {
+        auto b = formBatch(cfg_.clock(), stopped_);
+        if (b) {
+            if (!queue_.empty())
+                cv_.notify_one();
+            return b;
+        }
+        if (stopped_ && queue_.empty())
+            return std::nullopt;
+
+        const double dl = nextDeadline();
+        if (dl == kInf) {
+            cv_.wait(g);
+        } else {
+            const double remain = dl - cfg_.clock();
+            if (remain > 0)
+                cv_.wait_for(g, std::chrono::duration<double>(remain));
+        }
+    }
+}
+
+void
+BatchScheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> g(lock_);
+        stopped_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+BatchScheduler::stopped() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return stopped_;
+}
+
+size_t
+BatchScheduler::depth() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return queue_.size();
+}
+
+} // namespace vitcod::serve

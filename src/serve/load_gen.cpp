@@ -1,0 +1,82 @@
+#include "serve/load_gen.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vitcod::serve {
+
+TrafficReport
+runPoissonTraffic(InferenceServer &server, const TrafficConfig &cfg)
+{
+    VITCOD_ASSERT(!cfg.mix.empty(), "traffic mix is empty");
+    VITCOD_ASSERT(cfg.ratePerSec > 0, "arrival rate must be positive");
+    VITCOD_ASSERT(cfg.mixWeights.empty() ||
+                      cfg.mixWeights.size() == cfg.mix.size(),
+                  "mixWeights must match mix");
+
+    if (cfg.warmup)
+        server.warmup(cfg.mix);
+
+    std::vector<double> cumWeights;
+    if (!cfg.mixWeights.empty()) {
+        double acc = 0;
+        for (double w : cfg.mixWeights) {
+            VITCOD_ASSERT(w >= 0, "negative mix weight");
+            acc += w;
+            cumWeights.push_back(acc);
+        }
+        VITCOD_ASSERT(acc > 0, "mix weights sum to zero");
+    }
+
+    Rng rng(cfg.seed);
+    auto pickKey = [&]() -> const PlanKey & {
+        if (cumWeights.empty())
+            return cfg.mix[rng.uniformInt(cfg.mix.size())];
+        const double u = rng.uniform(0.0, cumWeights.back());
+        for (size_t i = 0; i < cumWeights.size(); ++i)
+            if (u < cumWeights[i])
+                return cfg.mix[i];
+        return cfg.mix.back();
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    double arrival = 0.0;
+    for (size_t i = 0; i < cfg.requests; ++i) {
+        // Exponential inter-arrival; 1 - uniform() stays in (0, 1].
+        arrival +=
+            -std::log(1.0 - rng.uniform()) / cfg.ratePerSec;
+        if (cfg.openLoop) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(arrival)));
+        }
+        const int prio =
+            cfg.priorityLevels > 1
+                ? static_cast<int>(rng.uniformInt(
+                      static_cast<uint64_t>(cfg.priorityLevels)))
+                : 0;
+        server.submit(pickKey(), prio);
+    }
+
+    server.drain();
+
+    TrafficReport rep;
+    rep.submitted = cfg.requests;
+    rep.offeredRatePerSec = cfg.ratePerSec;
+    rep.durationSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rep.achievedRps =
+        rep.durationSeconds > 0
+            ? static_cast<double>(cfg.requests) / rep.durationSeconds
+            : 0.0;
+    return rep;
+}
+
+} // namespace vitcod::serve

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Open-loop Poisson traffic generation against an InferenceServer.
+ * Arrivals follow an exponential inter-arrival process at a fixed
+ * offered rate — open-loop, so a saturated server builds queue
+ * instead of back-pressuring the generator, which is what exposes
+ * the throughput/latency knee the serving bench sweeps. The request
+ * mix draws plan keys (optionally weighted) and priorities from the
+ * repo's deterministic Rng, so a (seed, config) pair always offers
+ * the same trace.
+ */
+
+#ifndef VITCOD_SERVE_LOAD_GEN_H
+#define VITCOD_SERVE_LOAD_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/server.h"
+
+namespace vitcod::serve {
+
+/** Offered traffic description. */
+struct TrafficConfig
+{
+    double ratePerSec = 1000.0; //!< mean arrival rate
+    size_t requests = 1000;     //!< total arrivals
+
+    /** Plan mix; requests draw from it (uniform when weights empty). */
+    std::vector<PlanKey> mix = {PlanKey{}};
+    std::vector<double> mixWeights;
+
+    /** Priorities drawn uniformly from [0, priorityLevels). */
+    int priorityLevels = 1;
+
+    uint64_t seed = 1;
+
+    /** Pre-compile the mix before offering traffic. */
+    bool warmup = true;
+
+    /**
+     * Sleep to the Poisson arrival times (true), or submit
+     * back-to-back as fast as possible (false; a burst/stress mode).
+     */
+    bool openLoop = true;
+};
+
+/** What the generator actually offered/achieved. */
+struct TrafficReport
+{
+    size_t submitted = 0;
+    double offeredRatePerSec = 0; //!< configured rate
+    double durationSeconds = 0;   //!< first submit -> all completed
+    double achievedRps = 0;       //!< completed / duration
+};
+
+/**
+ * Offer @p cfg's traffic to @p server, block until all of it has
+ * completed (server.drain()), and report. The server keeps running.
+ */
+TrafficReport runPoissonTraffic(InferenceServer &server,
+                                const TrafficConfig &cfg);
+
+} // namespace vitcod::serve
+
+#endif // VITCOD_SERVE_LOAD_GEN_H

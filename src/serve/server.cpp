@@ -1,0 +1,120 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vitcod::serve {
+
+namespace {
+
+SchedulerConfig
+withClock(SchedulerConfig sc, std::function<double()> clock)
+{
+    sc.clock = std::move(clock);
+    return sc;
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(
+    ServerConfig cfg,
+    std::function<void(const InferenceResponse &)> on_response)
+    : cfg_(std::move(cfg)), epoch_(std::chrono::steady_clock::now()),
+      cache_(cfg_.hw, cfg_.planCacheCapacity),
+      scheduler_(withClock(cfg_.scheduler,
+                           [this] { return nowSeconds(); })),
+      userCallback_(std::move(on_response))
+{
+    VITCOD_ASSERT(!cfg_.backends.empty(),
+                  "server needs >= 1 backend spec");
+    std::vector<std::unique_ptr<ServeBackend>> backends;
+    backends.reserve(cfg_.backends.size());
+    for (const auto &spec : cfg_.backends)
+        backends.push_back(makeServeBackend(spec, cfg_.hw));
+
+    pool_ = std::make_unique<WorkerPool>(
+        std::move(backends), scheduler_, cache_, stats_,
+        [this](const InferenceResponse &r) { onComplete(r); },
+        [this] { return nowSeconds(); });
+    pool_->start();
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+void
+InferenceServer::warmup(const std::vector<PlanKey> &keys)
+{
+    for (const PlanKey &k : keys)
+        cache_.get(k);
+}
+
+uint64_t
+InferenceServer::submit(const PlanKey &key, int priority)
+{
+    VITCOD_ASSERT(!scheduler_.stopped(),
+                  "submit() after shutdown()");
+    // Admission-time plan resolution: compiles on first sight of the
+    // task, shares the cached plan on every request after.
+    cache_.get(key);
+
+    InferenceRequest req;
+    req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    req.key = key;
+    req.priority = priority;
+
+    const uint64_t id = req.id;
+    submitted_.fetch_add(1, std::memory_order_acq_rel);
+    scheduler_.submit(std::move(req));
+    stats_.sampleQueueDepth(scheduler_.depth());
+    return id;
+}
+
+void
+InferenceServer::onComplete(const InferenceResponse &resp)
+{
+    if (userCallback_)
+        userCallback_(resp);
+    {
+        std::lock_guard<std::mutex> g(doneLock_);
+        completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    doneCv_.notify_all();
+}
+
+void
+InferenceServer::drain()
+{
+    std::unique_lock<std::mutex> g(doneLock_);
+    doneCv_.wait(g, [this] {
+        return completed_.load(std::memory_order_acquire) >=
+               submitted_.load(std::memory_order_acquire);
+    });
+}
+
+void
+InferenceServer::shutdown()
+{
+    scheduler_.stop();
+    if (pool_)
+        pool_->join();
+}
+
+double
+InferenceServer::nowSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+StatsSnapshot
+InferenceServer::snapshot() const
+{
+    return stats_.snapshot(nowSeconds());
+}
+
+} // namespace vitcod::serve

@@ -1,0 +1,136 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::serve {
+
+namespace {
+
+/** Exact percentile of @p v (copied; nth_element). 0 when empty. */
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    const double rank =
+        std::ceil(p * static_cast<double>(v.size())) - 1;
+    const auto idx = static_cast<size_t>(std::clamp(
+        rank, 0.0, static_cast<double>(v.size() - 1)));
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(idx),
+                     v.end());
+    return v[idx];
+}
+
+} // namespace
+
+void
+ServerStats::registerBackend(size_t worker, const std::string &name)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    if (backends_.size() <= worker)
+        backends_.resize(worker + 1);
+    backends_[worker].name = name;
+}
+
+void
+ServerStats::recordBatch(size_t worker, size_t batch_size,
+                         Seconds sim_seconds, Seconds switch_seconds,
+                         bool switched, double wall_seconds,
+                         sim::Tick busy_ticks, double energy_joules)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    VITCOD_ASSERT(worker < backends_.size(),
+                  "recordBatch for unregistered worker ", worker);
+    BackendCounters &b = backends_[worker];
+    ++b.batches;
+    b.requests += batch_size;
+    b.planSwitches += switched ? 1 : 0;
+    b.busySimSeconds += sim_seconds;
+    b.switchSimSeconds += switch_seconds;
+    b.busyTicks = busy_ticks;
+    b.busyWallSeconds += wall_seconds;
+    b.energyJoules += energy_joules;
+    batchSize_.add(static_cast<double>(batch_size));
+    energyJoules_ += energy_joules;
+}
+
+void
+ServerStats::recordResponse(const InferenceResponse &resp)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    wallLatency_.push_back(resp.wallLatencySeconds);
+    queueWait_.push_back(resp.queueSeconds);
+    simService_.push_back(resp.simSeconds);
+}
+
+void
+ServerStats::sampleQueueDepth(size_t depth)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    queueDepth_.add(static_cast<double>(depth));
+}
+
+StatsSnapshot
+ServerStats::snapshot(double elapsed_seconds) const
+{
+    std::lock_guard<std::mutex> g(lock_);
+
+    StatsSnapshot s;
+    s.completed = wallLatency_.size();
+    s.elapsedSeconds = elapsed_seconds;
+    s.throughputRps =
+        elapsed_seconds > 0
+            ? static_cast<double>(s.completed) / elapsed_seconds
+            : 0.0;
+
+    s.wallP50 = percentile(wallLatency_, 0.50);
+    s.wallP95 = percentile(wallLatency_, 0.95);
+    s.wallP99 = percentile(wallLatency_, 0.99);
+    if (!wallLatency_.empty()) {
+        RunningStat rs;
+        for (double x : wallLatency_)
+            rs.add(x);
+        s.wallMean = rs.mean();
+        s.wallMax = rs.max();
+    }
+
+    s.queueP50 = percentile(queueWait_, 0.50);
+    s.queueP95 = percentile(queueWait_, 0.95);
+    s.queueP99 = percentile(queueWait_, 0.99);
+
+    s.simP50 = percentile(simService_, 0.50);
+    s.simP95 = percentile(simService_, 0.95);
+    s.simP99 = percentile(simService_, 0.99);
+
+    s.meanBatchSize = batchSize_.mean();
+    s.meanQueueDepth = queueDepth_.mean();
+    s.maxQueueDepth = queueDepth_.count() ? queueDepth_.max() : 0.0;
+    s.totalEnergyJoules = energyJoules_;
+
+    for (const auto &b : backends_) {
+        StatsSnapshot::Backend out;
+        out.name = b.name;
+        out.batches = b.batches;
+        out.requests = b.requests;
+        out.planSwitches = b.planSwitches;
+        out.busySimSeconds = b.busySimSeconds;
+        out.switchSimSeconds = b.switchSimSeconds;
+        out.busyTicks = b.busyTicks;
+        out.busyWallSeconds = b.busyWallSeconds;
+        out.energyJoules = b.energyJoules;
+        if (elapsed_seconds > 0) {
+            out.wallUtilization = b.busyWallSeconds / elapsed_seconds;
+            out.simUtilization =
+                (b.busySimSeconds + b.switchSimSeconds) /
+                elapsed_seconds;
+        }
+        s.backends.push_back(std::move(out));
+    }
+    return s;
+}
+
+} // namespace vitcod::serve

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Thread-safe aggregation of serving metrics. Latency is tracked in
+ * two currencies — *wall* time (what a client of the serving process
+ * observes, including queueing and batching delay) and *simulated*
+ * device time (what the modeled hardware would take) — because the
+ * runtime serves real traffic through simulated silicon. Per-backend
+ * counters additionally keep a sim::Tick busy clock, fed by each
+ * worker's EventQueue, so utilization can be reported in the
+ * device's own clock domain.
+ *
+ * Percentiles are exact: raw samples are retained (one double per
+ * request per track) and selected with nth_element at snapshot time,
+ * which at serving-simulation scales (<= millions of requests) is
+ * cheaper than getting histogram ranges wrong.
+ */
+
+#ifndef VITCOD_SERVE_SERVER_STATS_H
+#define VITCOD_SERVE_SERVER_STATS_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "serve/request.h"
+#include "sim/event_queue.h"
+
+namespace vitcod::serve {
+
+/** Point-in-time aggregate view; all fields are plain values. */
+struct StatsSnapshot
+{
+    /** Per-backend (= per-worker) counters. */
+    struct Backend
+    {
+        std::string name;
+        uint64_t batches = 0;
+        uint64_t requests = 0;
+        uint64_t planSwitches = 0;
+        Seconds busySimSeconds = 0;   //!< marginal service time
+        Seconds switchSimSeconds = 0; //!< weight-reload time
+        sim::Tick busyTicks = 0;      //!< busy time in device ticks
+        double busyWallSeconds = 0;
+        double energyJoules = 0;
+        /** busyWallSeconds / elapsed — worker occupancy. */
+        double wallUtilization = 0;
+        /** (busySim + switchSim) / elapsed — offered sim load. */
+        double simUtilization = 0;
+    };
+
+    uint64_t completed = 0;
+    double elapsedSeconds = 0;
+    double throughputRps = 0;
+
+    /** @name Wall-clock request latency (submit -> completion)
+     *  @{ */
+    double wallP50 = 0, wallP95 = 0, wallP99 = 0;
+    double wallMean = 0, wallMax = 0;
+    /** @} */
+
+    /** @name Wall-clock queueing delay (submit -> dispatch)
+     *  @{ */
+    double queueP50 = 0, queueP95 = 0, queueP99 = 0;
+    /** @} */
+
+    /** @name Simulated per-request device time
+     *  @{ */
+    double simP50 = 0, simP95 = 0, simP99 = 0;
+    /** @} */
+
+    double meanBatchSize = 0;
+    double meanQueueDepth = 0;
+    double maxQueueDepth = 0;
+    double totalEnergyJoules = 0;
+
+    std::vector<Backend> backends;
+};
+
+/** Shared metrics sink for the whole server. */
+class ServerStats
+{
+  public:
+    /** Declare worker @p worker's backend; call before start. */
+    void registerBackend(size_t worker, const std::string &name);
+
+    /** Record one executed batch on @p worker. */
+    void recordBatch(size_t worker, size_t batch_size,
+                     Seconds sim_seconds, Seconds switch_seconds,
+                     bool switched, double wall_seconds,
+                     sim::Tick busy_ticks, double energy_joules);
+
+    /** Record one completed request. */
+    void recordResponse(const InferenceResponse &resp);
+
+    /** Record an observation of the scheduler queue depth. */
+    void sampleQueueDepth(size_t depth);
+
+    /** Aggregate view after @p elapsed_seconds of serving. */
+    StatsSnapshot snapshot(double elapsed_seconds) const;
+
+  private:
+    struct BackendCounters
+    {
+        std::string name;
+        uint64_t batches = 0;
+        uint64_t requests = 0;
+        uint64_t planSwitches = 0;
+        Seconds busySimSeconds = 0;
+        Seconds switchSimSeconds = 0;
+        sim::Tick busyTicks = 0;
+        double busyWallSeconds = 0;
+        double energyJoules = 0;
+    };
+
+    mutable std::mutex lock_;
+    std::vector<BackendCounters> backends_;
+    std::vector<double> wallLatency_;
+    std::vector<double> queueWait_;
+    std::vector<double> simService_;
+    RunningStat batchSize_;
+    RunningStat queueDepth_;
+    double energyJoules_ = 0;
+};
+
+} // namespace vitcod::serve
+
+#endif // VITCOD_SERVE_SERVER_STATS_H

@@ -1,0 +1,95 @@
+#include "serve/worker_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace vitcod::serve {
+
+WorkerPool::WorkerPool(
+    std::vector<std::unique_ptr<ServeBackend>> backends,
+    BatchScheduler &scheduler, PlanCache &cache, ServerStats &stats,
+    std::function<void(const InferenceResponse &)> on_complete,
+    std::function<double()> clock)
+    : backends_(std::move(backends)), scheduler_(scheduler),
+      cache_(cache), stats_(stats),
+      onComplete_(std::move(on_complete)), clock_(std::move(clock))
+{
+    VITCOD_ASSERT(!backends_.empty(), "worker pool needs >= 1 backend");
+    for (size_t i = 0; i < backends_.size(); ++i)
+        stats_.registerBackend(i, backends_[i]->name());
+}
+
+WorkerPool::~WorkerPool()
+{
+    join();
+}
+
+void
+WorkerPool::start()
+{
+    if (!threads_.empty())
+        return;
+    threads_.reserve(backends_.size());
+    for (size_t i = 0; i < backends_.size(); ++i)
+        threads_.emplace_back([this, i] { workerMain(i); });
+}
+
+void
+WorkerPool::join()
+{
+    for (auto &t : threads_)
+        if (t.joinable())
+            t.join();
+    threads_.clear();
+}
+
+void
+WorkerPool::workerMain(size_t idx)
+{
+    ServeBackend &backend = *backends_[idx];
+
+    // Virtual device clock: ticks advance by each batch's simulated
+    // duration, giving busy time in the backend's clock domain.
+    sim::EventQueue deviceClock;
+
+    while (auto batch = scheduler_.waitBatch()) {
+        const size_t n = batch->requests.size();
+        const auto cp = cache_.get(batch->key);
+
+        const double t0 = clock_();
+        const ServeBackend::BatchResult r = backend.runBatch(*cp, n);
+        const double t1 = clock_();
+
+        deviceClock.scheduleAfter(
+            secondsToCycles(r.stats.seconds, backend.freqGhz()),
+            [] {});
+        deviceClock.runUntilEmpty();
+
+        stats_.recordBatch(idx, n, r.perRequestSeconds * n,
+                           r.switchSeconds, r.switched, t1 - t0,
+                           deviceClock.curTick(),
+                           r.stats.energyJoules());
+
+        for (const InferenceRequest &req : batch->requests) {
+            InferenceResponse resp;
+            resp.id = req.id;
+            resp.backend = backend.name();
+            resp.batchSize = n;
+            resp.priority = req.priority;
+            resp.queueSeconds =
+                batch->formedSeconds - req.submitSeconds;
+            resp.wallLatencySeconds = t1 - req.submitSeconds;
+            resp.simSeconds = r.perRequestSeconds;
+            resp.simBatchSeconds = r.stats.seconds;
+            resp.energyJoules =
+                r.stats.energyJoules() / static_cast<double>(n);
+            stats_.recordResponse(resp);
+            if (onComplete_)
+                onComplete_(resp);
+        }
+    }
+}
+
+} // namespace vitcod::serve

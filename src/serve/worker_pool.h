@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The concurrent heart of the serving runtime: N worker threads,
+ * each owning one ServeBackend (heterogeneous mixes allowed — e.g.
+ * ViTCoD accelerators alongside a CPU platform model), drain the
+ * BatchScheduler until it is stopped *and* empty. Each worker keeps
+ * a private sim::EventQueue as its virtual device clock: every
+ * executed batch schedules its simulated duration there, so the
+ * tick counter accumulates per-backend simulated busy time in the
+ * device's own clock domain, separate from the wall-clock timing
+ * the worker also records.
+ */
+
+#ifndef VITCOD_SERVE_WORKER_POOL_H
+#define VITCOD_SERVE_WORKER_POOL_H
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/backend.h"
+#include "serve/batch_scheduler.h"
+#include "serve/plan_cache.h"
+#include "serve/server_stats.h"
+
+namespace vitcod::serve {
+
+/** Fixed pool of backend-owning worker threads. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param backends One per worker; the pool takes ownership.
+     * @param on_complete Called from worker threads once per request
+     *        (after stats are recorded); may be empty.
+     * @param clock Shared server epoch clock (seconds).
+     */
+    WorkerPool(std::vector<std::unique_ptr<ServeBackend>> backends,
+               BatchScheduler &scheduler, PlanCache &cache,
+               ServerStats &stats,
+               std::function<void(const InferenceResponse &)>
+                   on_complete,
+               std::function<double()> clock);
+
+    /** Joins all workers; requires the scheduler to be stopped. */
+    ~WorkerPool();
+
+    /** Launch the worker threads. Idempotent. */
+    void start();
+
+    /**
+     * Wait for every worker to exit. Returns once the scheduler has
+     * been stopped and fully drained. Idempotent.
+     */
+    void join();
+
+    size_t size() const { return backends_.size(); }
+
+  private:
+    void workerMain(size_t idx);
+
+    std::vector<std::unique_ptr<ServeBackend>> backends_;
+    BatchScheduler &scheduler_;
+    PlanCache &cache_;
+    ServerStats &stats_;
+    std::function<void(const InferenceResponse &)> onComplete_;
+    std::function<double()> clock_;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace vitcod::serve
+
+#endif // VITCOD_SERVE_WORKER_POOL_H

@@ -4,7 +4,12 @@
  * scheduled at absolute ticks; ties break by priority, then by
  * insertion order (deterministic). The accelerator models use this
  * to coordinate engine hand-offs and to cross-check the analytic
- * double-buffering schedule (see tile_scheduler.h).
+ * double-buffering schedule (see tile_scheduler.h). The serving
+ * runtime additionally keeps one EventQueue per worker as that
+ * backend's virtual device clock: each executed batch advances it
+ * by the batch's simulated duration, separating simulated-time
+ * accounting from the wall-clock timestamps the scheduler uses
+ * (see serve/worker_pool.h).
  */
 
 #ifndef VITCOD_SIM_EVENT_QUEUE_H

@@ -123,8 +123,9 @@ TEST(ViTCoDAccel, DenserLinesScaleWithGlobalWork)
         if (h.layer == shapes.size() - 1)
             late_ngt += static_cast<double>(h.plan.numGlobalTokens);
     }
-    if (late_ngt > 2.0 * early_ngt)
+    if (late_ngt > 2.0 * early_ngt) {
         EXPECT_GE(late.denserLines, early.denserLines);
+    }
 }
 
 TEST(ViTCoDAccel, QForwardingAvoidsGathersWhenReordered)
@@ -139,8 +140,9 @@ TEST(ViTCoDAccel, QForwardingAvoidsGathersWhenReordered)
         for (const auto &h : plan.heads)
             if (h.layer == l && h.plan.numGlobalTokens == 0)
                 all_have_globals = false;
-        if (all_have_globals)
+        if (all_have_globals) {
             EXPECT_EQ(st.qGatherMisses, 0u) << "layer " << l;
+        }
     }
 }
 

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * BatchScheduler policies under a deterministic injected clock:
+ * FIFO prefix batching, size-bucketed full/max-wait dispatch,
+ * priority ordering, and the stop()-flush drain path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "serve/batch_scheduler.h"
+
+namespace vitcod::serve {
+namespace {
+
+PlanKey
+keyOf(const std::string &model)
+{
+    PlanKey k;
+    k.model = model;
+    return k;
+}
+
+InferenceRequest
+reqOf(uint64_t id, const std::string &model, int priority = 0)
+{
+    InferenceRequest r;
+    r.id = id;
+    r.key = keyOf(model);
+    r.priority = priority;
+    return r;
+}
+
+/** Scheduler with a hand-driven clock. */
+struct Harness
+{
+    std::shared_ptr<double> now = std::make_shared<double>(0.0);
+    BatchScheduler sched;
+
+    explicit Harness(SchedulerPolicy policy, size_t max_batch = 8,
+                     double max_wait = 10.0)
+        : sched(makeConfig(policy, max_batch, max_wait, now))
+    {
+    }
+
+    static SchedulerConfig
+    makeConfig(SchedulerPolicy policy, size_t max_batch,
+               double max_wait, std::shared_ptr<double> now)
+    {
+        SchedulerConfig cfg;
+        cfg.policy = policy;
+        cfg.maxBatch = max_batch;
+        cfg.maxWaitSeconds = max_wait;
+        cfg.clock = [now] { return *now; };
+        return cfg;
+    }
+};
+
+TEST(BatchSchedulerFifo, BatchesTheSamePlanPrefix)
+{
+    Harness h(SchedulerPolicy::Fifo);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "A"));
+    h.sched.submit(reqOf(3, "B"));
+    h.sched.submit(reqOf(4, "A"));
+
+    auto b1 = h.sched.nextBatch();
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "A");
+    ASSERT_EQ(b1->requests.size(), 2u);
+    EXPECT_EQ(b1->requests[0].id, 1u);
+    EXPECT_EQ(b1->requests[1].id, 2u);
+
+    auto b2 = h.sched.nextBatch();
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "B");
+    EXPECT_EQ(b2->requests.size(), 1u);
+
+    auto b3 = h.sched.nextBatch();
+    ASSERT_TRUE(b3);
+    EXPECT_EQ(b3->key.model, "A");
+    EXPECT_EQ(b3->requests[0].id, 4u);
+
+    EXPECT_FALSE(h.sched.nextBatch());
+    EXPECT_EQ(h.sched.depth(), 0u);
+}
+
+TEST(BatchSchedulerFifo, RespectsMaxBatch)
+{
+    Harness h(SchedulerPolicy::Fifo, /*max_batch=*/2);
+    for (uint64_t i = 1; i <= 5; ++i)
+        h.sched.submit(reqOf(i, "A"));
+
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 2u);
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 2u);
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 1u);
+}
+
+TEST(BatchSchedulerBucketed, WaitsForFullBatchUntilDeadline)
+{
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/4,
+              /*max_wait=*/10.0);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "A"));
+
+    *h.now = 9.9; // not full, deadline not reached
+    EXPECT_FALSE(h.sched.nextBatch());
+
+    *h.now = 10.1; // oldest has waited past maxWait
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->requests.size(), 2u);
+}
+
+TEST(BatchSchedulerBucketed, DispatchesFullBucketImmediately)
+{
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/4);
+    for (uint64_t i = 1; i <= 4; ++i)
+        h.sched.submit(reqOf(i, "A"));
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->requests.size(), 4u);
+}
+
+TEST(BatchSchedulerBucketed, PrefersTheOldestReadyBucket)
+{
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/2,
+              /*max_wait=*/10.0);
+    h.sched.submit(reqOf(1, "A")); // t=0, never fills
+    *h.now = 1.0;
+    h.sched.submit(reqOf(2, "B"));
+    h.sched.submit(reqOf(3, "B")); // B full at t=1
+
+    auto b1 = h.sched.nextBatch();
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "B");
+
+    *h.now = 5.0;
+    EXPECT_FALSE(h.sched.nextBatch()); // A still under deadline
+
+    *h.now = 10.5;
+    auto b2 = h.sched.nextBatch();
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "A");
+}
+
+TEST(BatchSchedulerBucketed, BothReadyPicksOlderArrival)
+{
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/2,
+              /*max_wait=*/10.0);
+    h.sched.submit(reqOf(1, "A"));
+    *h.now = 1.0;
+    h.sched.submit(reqOf(2, "B"));
+    *h.now = 20.0; // both expired; A arrived first
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->key.model, "A");
+}
+
+TEST(BatchSchedulerBucketed, StopFlushesIgnoringDeadlines)
+{
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/8,
+              /*max_wait=*/100.0);
+    h.sched.submit(reqOf(1, "A"));
+    EXPECT_FALSE(h.sched.nextBatch());
+
+    h.sched.stop();
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->requests.size(), 1u);
+    EXPECT_FALSE(h.sched.nextBatch());
+}
+
+TEST(BatchSchedulerPriority, HighestPriorityLeadsTheBatch)
+{
+    Harness h(SchedulerPolicy::Priority);
+    h.sched.submit(reqOf(1, "A", 0));
+    h.sched.submit(reqOf(2, "B", 5));
+    h.sched.submit(reqOf(3, "A", 3));
+
+    auto b1 = h.sched.nextBatch();
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "B");
+
+    auto b2 = h.sched.nextBatch();
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "A");
+    ASSERT_EQ(b2->requests.size(), 2u);
+    // Same-plan members ride along, highest priority first.
+    EXPECT_EQ(b2->requests[0].id, 3u);
+    EXPECT_EQ(b2->requests[1].id, 1u);
+}
+
+TEST(BatchSchedulerPriority, TiesBreakByArrival)
+{
+    Harness h(SchedulerPolicy::Priority, /*max_batch=*/1);
+    h.sched.submit(reqOf(1, "A", 2));
+    h.sched.submit(reqOf(2, "B", 2));
+    EXPECT_EQ(h.sched.nextBatch()->requests[0].id, 1u);
+    EXPECT_EQ(h.sched.nextBatch()->requests[0].id, 2u);
+}
+
+TEST(BatchScheduler, DepthTracksQueuedRequests)
+{
+    Harness h(SchedulerPolicy::Fifo);
+    EXPECT_EQ(h.sched.depth(), 0u);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "A"));
+    EXPECT_EQ(h.sched.depth(), 2u);
+    h.sched.nextBatch();
+    EXPECT_EQ(h.sched.depth(), 0u);
+}
+
+TEST(BatchScheduler, WaitBatchWakesOnSubmitAndStops)
+{
+    BatchScheduler sched{SchedulerConfig{}}; // wall clock, bucketed
+
+    std::thread consumer([&] {
+        auto b = sched.waitBatch(); // blocks until stop() flushes
+        ASSERT_TRUE(b);
+        EXPECT_EQ(b->requests.size(), 1u);
+        EXPECT_FALSE(sched.waitBatch()); // stopped and empty
+    });
+
+    sched.submit(reqOf(1, "A"));
+    sched.stop();
+    consumer.join();
+}
+
+TEST(BatchScheduler, PolicyNamesRoundTrip)
+{
+    EXPECT_EQ(schedulerPolicyByName("fifo"), SchedulerPolicy::Fifo);
+    EXPECT_EQ(schedulerPolicyByName("bucketed"),
+              SchedulerPolicy::SizeBucketed);
+    EXPECT_EQ(schedulerPolicyByName("priority"),
+              SchedulerPolicy::Priority);
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::Fifo), "fifo");
+}
+
+} // namespace
+} // namespace vitcod::serve

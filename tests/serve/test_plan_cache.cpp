@@ -1,0 +1,117 @@
+/**
+ * @file
+ * PlanCache: hit/miss accounting, plan sharing, LRU eviction, and
+ * single-compilation under concurrent first requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/plan_cache.h"
+
+namespace vitcod::serve {
+namespace {
+
+PlanKey
+tinyKey(double sparsity)
+{
+    PlanKey k;
+    k.model = "DeiT-Tiny";
+    k.sparsity = sparsity;
+    k.useAe = true;
+    k.endToEnd = false;
+    return k;
+}
+
+TEST(PlanCache, MissThenHitSharesThePlan)
+{
+    PlanCache cache;
+    const auto a = cache.get(tinyKey(0.9));
+    const auto b = cache.get(tinyKey(0.9));
+    EXPECT_EQ(a.get(), b.get());
+
+    const auto st = cache.stats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.5);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, CompiledPlanIsPopulated)
+{
+    PlanCache cache;
+    const auto cp = cache.get(tinyKey(0.9));
+    EXPECT_FALSE(cp->plan.heads.empty());
+    EXPECT_FALSE(cp->program.code.empty());
+    EXPECT_GT(cp->weightLoadSeconds, 0.0);
+    EXPECT_GT(cache.stats().compileWallSeconds, 0.0);
+}
+
+TEST(PlanCache, DistinctKeysBuildDistinctPlans)
+{
+    PlanCache cache;
+    const auto a = cache.get(tinyKey(0.7));
+    const auto b = cache.get(tinyKey(0.9));
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity)
+{
+    PlanCache cache({}, /*capacity=*/2);
+    cache.get(tinyKey(0.5)); // A
+    cache.get(tinyKey(0.6)); // B
+    cache.get(tinyKey(0.5)); // A again -> B is now LRU
+    cache.get(tinyKey(0.7)); // C -> evicts B
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // B was evicted: a fresh lookup misses (and displaces A, the
+    // least recently used of the residents {C, A}).
+    cache.get(tinyKey(0.6));
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    // C was most recently used before B came back: it survived.
+    cache.get(tinyKey(0.7));
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, ConcurrentFirstRequestsCompileOnce)
+{
+    PlanCache cache;
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const CompiledPlan>> got(kThreads);
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back(
+            [&, i] { got[i] = cache.get(tinyKey(0.9)); });
+    for (auto &t : threads)
+        t.join();
+
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(got[0].get(), got[i].get());
+
+    const auto st = cache.stats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(PlanCache, WeightBytesGrowWithModelSize)
+{
+    const auto tiny =
+        modelWeightBytes(model::modelByName("DeiT-Tiny"), 2);
+    const auto small =
+        modelWeightBytes(model::modelByName("DeiT-Small"), 2);
+    EXPECT_GT(tiny, 0u);
+    EXPECT_GT(small, tiny);
+}
+
+} // namespace
+} // namespace vitcod::serve

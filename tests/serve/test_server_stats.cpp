@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ServerStats: exact percentiles, per-backend counters and
+ * utilization math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/server_stats.h"
+
+namespace vitcod::serve {
+namespace {
+
+InferenceResponse
+respWith(double wall, double queue, double sim)
+{
+    InferenceResponse r;
+    r.wallLatencySeconds = wall;
+    r.queueSeconds = queue;
+    r.simSeconds = sim;
+    return r;
+}
+
+TEST(ServerStats, EmptySnapshotIsZero)
+{
+    ServerStats st;
+    const auto s = st.snapshot(1.0);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_DOUBLE_EQ(s.throughputRps, 0.0);
+    EXPECT_DOUBLE_EQ(s.wallP99, 0.0);
+}
+
+TEST(ServerStats, ExactPercentilesOfKnownSamples)
+{
+    ServerStats st;
+    for (int i = 1; i <= 100; ++i)
+        st.recordResponse(respWith(i * 1e-3, 0.0, 0.0));
+
+    const auto s = st.snapshot(10.0);
+    EXPECT_EQ(s.completed, 100u);
+    EXPECT_NEAR(s.wallP50, 0.050, 1e-12);
+    EXPECT_NEAR(s.wallP95, 0.095, 1e-12);
+    EXPECT_NEAR(s.wallP99, 0.099, 1e-12);
+    EXPECT_NEAR(s.wallMax, 0.100, 1e-12);
+    EXPECT_NEAR(s.wallMean, 0.0505, 1e-12);
+    EXPECT_DOUBLE_EQ(s.throughputRps, 10.0);
+}
+
+TEST(ServerStats, SingleSamplePercentiles)
+{
+    ServerStats st;
+    st.recordResponse(respWith(0.25, 0.125, 0.5));
+    const auto s = st.snapshot(1.0);
+    EXPECT_DOUBLE_EQ(s.wallP50, 0.25);
+    EXPECT_DOUBLE_EQ(s.wallP99, 0.25);
+    EXPECT_DOUBLE_EQ(s.queueP95, 0.125);
+    EXPECT_DOUBLE_EQ(s.simP50, 0.5);
+}
+
+TEST(ServerStats, BackendCountersAndUtilization)
+{
+    ServerStats st;
+    st.registerBackend(0, "ViTCoD");
+    st.registerBackend(1, "CPU");
+
+    st.recordBatch(/*worker=*/0, /*batch_size=*/4,
+                   /*sim_seconds=*/0.2, /*switch_seconds=*/0.05,
+                   /*switched=*/true, /*wall_seconds=*/0.01,
+                   /*busy_ticks=*/1000, /*energy_joules=*/2.0);
+    st.recordBatch(0, 2, 0.1, 0.0, false, 0.01, 1500, 1.0);
+    st.recordBatch(1, 1, 0.4, 0.0, false, 0.02, 400, 4.0);
+
+    const auto s = st.snapshot(/*elapsed=*/1.0);
+    ASSERT_EQ(s.backends.size(), 2u);
+
+    const auto &v = s.backends[0];
+    EXPECT_EQ(v.name, "ViTCoD");
+    EXPECT_EQ(v.batches, 2u);
+    EXPECT_EQ(v.requests, 6u);
+    EXPECT_EQ(v.planSwitches, 1u);
+    EXPECT_NEAR(v.busySimSeconds, 0.3, 1e-12);
+    EXPECT_NEAR(v.switchSimSeconds, 0.05, 1e-12);
+    EXPECT_EQ(v.busyTicks, 1500u);
+    EXPECT_NEAR(v.simUtilization, 0.35, 1e-12);
+    EXPECT_NEAR(v.wallUtilization, 0.02, 1e-12);
+
+    EXPECT_NEAR(s.meanBatchSize, (4 + 2 + 1) / 3.0, 1e-12);
+    EXPECT_NEAR(s.totalEnergyJoules, 7.0, 1e-12);
+}
+
+TEST(ServerStats, QueueDepthSamples)
+{
+    ServerStats st;
+    st.sampleQueueDepth(2);
+    st.sampleQueueDepth(4);
+    st.sampleQueueDepth(9);
+    const auto s = st.snapshot(1.0);
+    EXPECT_NEAR(s.meanQueueDepth, 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.maxQueueDepth, 9.0);
+}
+
+} // namespace
+} // namespace vitcod::serve

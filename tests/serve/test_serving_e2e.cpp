@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end serving: a fixed request trace through a 2-worker pool.
+ * Wall-clock timings are nondeterministic, but every *simulated*
+ * quantity must be exactly reproducible run over run — that is the
+ * deterministic contract the serving runtime inherits from the
+ * simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "accel/compiler.h"
+#include "serve/load_gen.h"
+#include "serve/plan_cache.h"
+#include "serve/server.h"
+
+namespace vitcod::serve {
+namespace {
+
+PlanKey
+tinyKey()
+{
+    PlanKey k;
+    k.model = "DeiT-Tiny";
+    k.sparsity = 0.9;
+    return k;
+}
+
+/** Collects responses from worker threads. */
+struct Collector
+{
+    std::mutex lock;
+    std::vector<InferenceResponse> responses;
+
+    std::function<void(const InferenceResponse &)>
+    callback()
+    {
+        return [this](const InferenceResponse &r) {
+            std::lock_guard<std::mutex> g(lock);
+            responses.push_back(r);
+        };
+    }
+};
+
+TEST(ServingE2E, DeterministicSimAggregatesOnTwoWorkers)
+{
+    const PlanKey key = tinyKey();
+    constexpr size_t kRequests = 32;
+
+    // Independently computed ground truth: one simulated inference
+    // of the shared Program.
+    PlanCache reference;
+    const auto cp = reference.get(key);
+    const double single =
+        accel::Interpreter(accel::ViTCoDConfig{}).execute(cp->program).seconds;
+    ASSERT_GT(single, 0.0);
+
+    auto runOnce = [&](Collector &col) {
+        ServerConfig cfg;
+        cfg.backends = {"ViTCoD", "ViTCoD"};
+        cfg.scheduler.policy = SchedulerPolicy::SizeBucketed;
+        cfg.scheduler.maxBatch = 4;
+        cfg.scheduler.maxWaitSeconds = 1e-3;
+
+        InferenceServer server(cfg, col.callback());
+        server.warmup({key});
+        for (size_t i = 0; i < kRequests; ++i)
+            server.submit(key);
+        server.drain();
+        auto snap = server.snapshot();
+        auto cacheStats = server.planCacheStats();
+        server.shutdown();
+        return std::make_pair(snap, cacheStats);
+    };
+
+    Collector col1, col2;
+    const auto [snap1, cache1] = runOnce(col1);
+    const auto [snap2, cache2] = runOnce(col2);
+
+    // All requests completed, split across exactly two workers.
+    EXPECT_EQ(snap1.completed, kRequests);
+    ASSERT_EQ(snap1.backends.size(), 2u);
+    EXPECT_EQ(snap1.backends[0].requests + snap1.backends[1].requests,
+              kRequests);
+
+    // Every response carries the same marginal simulated latency,
+    // equal to the independently computed single-run time.
+    ASSERT_EQ(col1.responses.size(), kRequests);
+    for (const auto &r : col1.responses) {
+        EXPECT_DOUBLE_EQ(r.simSeconds, single);
+        EXPECT_GE(r.wallLatencySeconds, 0.0);
+        EXPECT_GE(r.queueSeconds, 0.0);
+        EXPECT_LE(r.queueSeconds, r.wallLatencySeconds + 1e-12);
+        EXPECT_GE(r.batchSize, 1u);
+        EXPECT_LE(r.batchSize, 4u);
+    }
+
+    // Aggregate simulated busy time is batch-split-invariant.
+    const double busy1 = snap1.backends[0].busySimSeconds +
+                         snap1.backends[1].busySimSeconds;
+    EXPECT_NEAR(busy1, static_cast<double>(kRequests) * single,
+                1e-9);
+
+    // Plan switches: a single-task trace switches each worker at
+    // most once (cold load), and the switch cost matches the plan's.
+    for (const auto &b : snap1.backends) {
+        EXPECT_LE(b.planSwitches, 1u);
+        EXPECT_NEAR(b.switchSimSeconds,
+                    static_cast<double>(b.planSwitches) *
+                        cp->weightLoadSeconds,
+                    1e-12);
+    }
+
+    // The device-clock tick counter agrees with the simulated time
+    // at the ViTCoD frequency, modulo one round-up per batch.
+    for (const auto &b : snap1.backends) {
+        const double expect_ticks =
+            (b.busySimSeconds + b.switchSimSeconds) * 0.5e9;
+        EXPECT_NEAR(static_cast<double>(b.busyTicks), expect_ticks,
+                    static_cast<double>(b.batches) + 1.0);
+    }
+
+    // One compilation total: the warmup missed, everything after hit.
+    EXPECT_EQ(cache1.misses, 1u);
+    EXPECT_GE(cache1.hits, kRequests);
+    EXPECT_GT(cache1.hitRate(), 0.95);
+
+    // Run-over-run stability of the simulated aggregates.
+    EXPECT_EQ(snap2.completed, snap1.completed);
+    const double busy2 = snap2.backends[0].busySimSeconds +
+                         snap2.backends[1].busySimSeconds;
+    EXPECT_NEAR(busy2, busy1, 1e-12);
+    EXPECT_EQ(cache2.misses, cache1.misses);
+}
+
+TEST(ServingE2E, HeterogeneousPoolServesMixedBurst)
+{
+    PlanKey deit = tinyKey();
+    PlanKey levit;
+    levit.model = "LeViT-128";
+    levit.sparsity = 0.8;
+
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD", "CPU"};
+    cfg.scheduler.policy = SchedulerPolicy::Fifo;
+    cfg.scheduler.maxBatch = 8;
+
+    Collector col;
+    InferenceServer server(cfg, col.callback());
+
+    TrafficConfig traffic;
+    traffic.ratePerSec = 1e6; // burst: arrivals in the past
+    traffic.requests = 200;
+    traffic.mix = {deit, levit};
+    traffic.seed = 7;
+    traffic.openLoop = false;
+
+    const TrafficReport rep = runPoissonTraffic(server, traffic);
+    EXPECT_EQ(rep.submitted, 200u);
+    EXPECT_GT(rep.achievedRps, 0.0);
+
+    const auto snap = server.snapshot();
+    EXPECT_EQ(snap.completed, 200u);
+    ASSERT_EQ(snap.backends.size(), 2u);
+    EXPECT_EQ(snap.backends[0].requests + snap.backends[1].requests,
+              200u);
+
+    std::set<std::string> served;
+    for (const auto &r : col.responses)
+        served.insert(r.backend);
+    EXPECT_LE(served.size(), 2u);
+    EXPECT_TRUE(served.count("ViTCoD") || served.count("CPU"));
+
+    // Two tasks -> two compilations, everything else cache hits.
+    const auto cacheStats = server.planCacheStats();
+    EXPECT_EQ(cacheStats.misses, 2u);
+    EXPECT_GT(cacheStats.hitRate(), 0.95);
+}
+
+TEST(ServingE2E, PriorityPolicyServesAllPriorities)
+{
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD", "ViTCoD"};
+    cfg.scheduler.policy = SchedulerPolicy::Priority;
+    cfg.scheduler.maxBatch = 4;
+
+    Collector col;
+    InferenceServer server(cfg, col.callback());
+    server.warmup({tinyKey()});
+
+    for (int i = 0; i < 30; ++i)
+        server.submit(tinyKey(), /*priority=*/i % 3);
+    server.drain();
+
+    ASSERT_EQ(col.responses.size(), 30u);
+    std::set<int> prios;
+    for (const auto &r : col.responses)
+        prios.insert(r.priority);
+    EXPECT_EQ(prios, (std::set<int>{0, 1, 2}));
+}
+
+TEST(ServingE2E, ShutdownDrainsPendingWork)
+{
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD"};
+    cfg.scheduler.policy = SchedulerPolicy::SizeBucketed;
+    cfg.scheduler.maxBatch = 64;      // never fills
+    cfg.scheduler.maxWaitSeconds = 60; // never expires
+
+    Collector col;
+    InferenceServer server(cfg, col.callback());
+    server.warmup({tinyKey()});
+    for (int i = 0; i < 10; ++i)
+        server.submit(tinyKey());
+
+    // Requests are parked in a bucket; shutdown must flush them.
+    server.shutdown();
+    EXPECT_EQ(col.responses.size(), 10u);
+}
+
+} // namespace
+} // namespace vitcod::serve
