@@ -19,8 +19,9 @@
 using namespace vitcod;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader(
         "Sec. VI-B - NLP models with dynamic-prediction overhead",
         "paper: 1.93x / 3.69x over Sanger at 60% / 90% sparsity "
@@ -40,7 +41,10 @@ main()
              "ViTCoD static (us)", "ViTCoD +dynPred (us)",
              "Speedup (static)", "Speedup (+dynPred)",
              "Static-mask acc. drop (%)"});
-    for (size_t seq : {128, 384, 512}) {
+    std::vector<size_t> seqs = {128, 384, 512};
+    if (opts.smoke) // one short sequence keeps the plan build cheap
+        seqs = {128};
+    for (size_t seq : seqs) {
         const auto m = model::bertBase(seq);
         for (double s : {0.6, 0.9}) {
             const auto &plan = cache.get(m, s, true);

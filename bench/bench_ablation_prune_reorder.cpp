@@ -39,8 +39,9 @@ variantPlan(const model::VitModelConfig &m, double sparsity, int mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader(
         "Sec. VI-C ablation - pruning vs reordering breakdown",
         "paper: pruning benefit 5.14x avg (8.14x @90%); reordering "
@@ -53,9 +54,15 @@ main()
     RunningStat prune_benefit, reorder_benefit;
     RunningStat prune_at90, reorder_at90;
 
-    for (const auto &m :
-         {model::deitBase(), model::deitSmall(), model::deitTiny()}) {
-        for (double s : {0.6, 0.7, 0.8, 0.9}) {
+    std::vector<model::VitModelConfig> models = {
+        model::deitBase(), model::deitSmall(), model::deitTiny()};
+    std::vector<double> sparsities = {0.6, 0.7, 0.8, 0.9};
+    if (opts.smoke) { // one cheap point per code path
+        models = {model::deitTiny()};
+        sparsities = {0.9};
+    }
+    for (const auto &m : models) {
+        for (double s : sparsities) {
             const double t_full =
                 acc.runAttention(variantPlan(m, s, 0)).seconds * 1e6;
             const double t_prune =

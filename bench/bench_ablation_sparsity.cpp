@@ -15,8 +15,9 @@
 using namespace vitcod;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader(
         "Sec. VI-D - speedups across sparsity ratios",
         "paper averages across 60/70/80/90%: 127.2x/77.0x/46.5x/"
@@ -24,7 +25,13 @@ main()
 
     auto devices = accel::makeAllDevices();
     bench::PlanCache cache;
-    const double ratios[] = {0.6, 0.7, 0.8, 0.9};
+    std::vector<double> ratios = {0.6, 0.7, 0.8, 0.9};
+    std::vector<model::VitModelConfig> models =
+        model::coreSixModels();
+    if (opts.smoke) { // plan builds dominate the wall time
+        ratios = {0.9};
+        models = {model::deitTiny()};
+    }
 
     std::map<std::string, RunningStat> per_ratio_all;
     Table t({"Sparsity", "vs CPU", "vs EdgeGPU", "vs GPU",
@@ -32,7 +39,7 @@ main()
     std::map<std::string, RunningStat> overall;
     for (double s : ratios) {
         std::map<std::string, RunningStat> stat;
-        for (const auto &m : model::coreSixModels()) {
+        for (const auto &m : models) {
             const auto &plan = cache.get(m, s, true);
             std::map<std::string, double> secs;
             for (auto &d : devices)

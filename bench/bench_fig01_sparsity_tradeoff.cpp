@@ -17,8 +17,9 @@
 using namespace vitcod;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader("Fig. 1 - NLP vs ViT sparsity trade-off",
                        "Fig. 1; ViTs hold accuracy to 90-95% fixed "
                        "sparsity, NLP collapses past ~50-70%");
@@ -48,7 +49,11 @@ main()
                 "(top-1 %, fixed masks)");
     Table r(headers);
     bench::PlanCache cache;
-    for (const auto &m : {model::deitBase(), model::deitSmall()}) {
+    std::vector<model::VitModelConfig> repro_models = {
+        model::deitBase(), model::deitSmall()};
+    if (opts.smoke) // plan builds dominate; one small model suffices
+        repro_models = {model::deitSmall()};
+    for (const auto &m : repro_models) {
         r.row().cell(m.name + " (repro)").cell("fixed");
         for (double s : grid) {
             const auto &plan = cache.get(m, s, true);

@@ -63,14 +63,21 @@ speedupTable(bench::PlanCache &cache, double sparsity_override,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader("Fig. 15 - overall performance comparison",
                        "Sec. VI-B, Fig. 15(a)/(b); paper reports "
                        "235.3x/142.9x/86.0x/10.1x/6.8x core-attention "
                        "speedups at 90% sparsity");
     bench::PlanCache cache;
 
+    if (opts.smoke) { // one table exercises the full sweep machinery
+        speedupTable(cache, /*override=*/0.9, /*e2e=*/false,
+                     "Sec. VI-B: core attention at uniform 90% "
+                     "sparsity (smoke subset)");
+        return 0;
+    }
     speedupTable(cache, /*override=*/0.0, /*e2e=*/false,
                  "Fig. 15(a): core attention speedups, normalized "
                  "to CPU (nominal sparsity: DeiT 90%, LeViT 80%)");

@@ -17,8 +17,9 @@
 using namespace vitcod;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader(
         "Fig. 17 - accuracy vs attention latency",
         "Fig. 17 + Sec. VI-C; DeiT sustains 90% sparsity, LeViT "
@@ -27,12 +28,24 @@ main()
     accel::ViTCoDAccelerator acc;
     bench::PlanCache cache;
 
+    std::vector<model::VitModelConfig> op_models =
+        model::coreSixModels();
+    std::vector<model::VitModelConfig> abl_models = {
+        model::deitBase(), model::levit256()};
+    std::vector<double> abl_sparsities = {0.5, 0.6, 0.7,
+                                          0.8, 0.9, 0.95};
+    if (opts.smoke) { // plan builds dominate the wall time
+        op_models = {model::deitTiny()};
+        abl_models = {model::deitTiny()};
+        abl_sparsities = {0.9};
+    }
+
     printBanner(std::cout,
                 "Operating points (nominal sparsity, AE 50%)");
     Table t({"Model", "Sparsity", "Top-1 dense", "Top-1 ViTCoD",
              "Attn lat (us) dense", "Attn lat (us) ViTCoD",
              "Latency reduction"});
-    for (const auto &m : model::coreSixModels()) {
+    for (const auto &m : op_models) {
         const auto &dense = cache.get(m, 0.0, false);
         const auto &sparse = cache.get(m, m.nominalSparsity, true);
         const double t_d = acc.runAttention(dense).seconds * 1e6;
@@ -52,10 +65,10 @@ main()
                 "Sparsity-ratio ablation (DeiT-Base & LeViT-256)");
     Table a({"Model", "Sparsity", "Top-1 est.", "Accuracy drop",
              "Attn latency (us)", "Reduction vs dense"});
-    for (const auto &m : {model::deitBase(), model::levit256()}) {
+    for (const auto &m : abl_models) {
         const auto &dense = cache.get(m, 0.0, false);
         const double t_d = acc.runAttention(dense).seconds * 1e6;
-        for (double s : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+        for (double s : abl_sparsities) {
             const auto &plan = cache.get(m, s, true);
             const double t_s = acc.runAttention(plan).seconds * 1e6;
             a.row()

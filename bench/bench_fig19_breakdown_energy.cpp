@@ -30,14 +30,15 @@ struct DeviceAgg
 };
 
 void
-section(bench::PlanCache &cache, const std::vector<double> &ratios,
-        const char *title)
+section(bench::PlanCache &cache,
+        const std::vector<model::VitModelConfig> &models,
+        const std::vector<double> &ratios, const char *title)
 {
     auto devices = accel::makeAllDevices();
     printBanner(std::cout, title);
 
     std::map<std::string, DeviceAgg> agg;
-    for (const auto &m : model::coreSixModels()) {
+    for (const auto &m : models) {
         for (double s : ratios) {
             const auto &plan = cache.get(m, s, true);
             for (auto &d : devices) {
@@ -73,19 +74,27 @@ section(bench::PlanCache &cache, const std::vector<double> &ratios,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::CliOptions opts = bench::parseCli(argc, argv);
     bench::printHeader(
         "Fig. 19 - latency breakdown & energy efficiency",
         "Fig. 19; paper: 9.8x energy efficiency over Sanger; data "
         "movement share 50% -> 28% with the AE");
     bench::PlanCache cache;
 
-    section(cache, {0.6, 0.7, 0.8, 0.9},
+    std::vector<model::VitModelConfig> models =
+        model::coreSixModels();
+    std::vector<double> ratios = {0.6, 0.7, 0.8, 0.9};
+    if (opts.smoke) { // plan builds dominate the wall time
+        models = {model::deitTiny()};
+        ratios = {0.9};
+    }
+    section(cache, models, ratios,
             "(a) Averaged across 60/70/80/90% sparsity "
             "(latency normalized to ViTCoD; energy eff. normalized "
             "to each device vs ViTCoD)");
-    section(cache, {0.9}, "(b) At 90% sparsity");
+    section(cache, models, {0.9}, "(b) At 90% sparsity");
 
     // ---- Decomposition of ViTCoD's two innovations vs Sanger.
     printBanner(std::cout,
@@ -104,7 +113,7 @@ main()
     accel::ViTCoDAccelerator vitcod_no_ae(no_ae_cfg);
 
     RunningStat sc_gain, ae_gain, move_before, move_after;
-    for (const auto &m : model::coreSixModels()) {
+    for (const auto &m : models) {
         const auto &plan_ae = cache.get(m, 0.9, true);
         const auto &plan_no = cache.get(m, 0.9, false);
         const double t_sanger =

@@ -46,17 +46,23 @@ main(int argc, char **argv)
     const serve::PlanKey deit{"DeiT-Tiny", 0.9, true, false};
     const serve::PlanKey levit{"LeViT-128", 0.8, true, false};
 
-    const std::vector<Mix> mixes = {
+    std::vector<Mix> mixes = {
         {"4xViTCoD", {"ViTCoD", "ViTCoD", "ViTCoD", "ViTCoD"}},
         {"2xViTCoD+2xCPU", {"ViTCoD", "ViTCoD", "CPU", "CPU"}},
     };
-    const std::vector<serve::SchedulerPolicy> policies = {
+    std::vector<serve::SchedulerPolicy> policies = {
         serve::SchedulerPolicy::Fifo,
         serve::SchedulerPolicy::SizeBucketed,
         serve::SchedulerPolicy::Priority,
     };
-    const std::vector<double> rates = {1000, 2000, 4000};
-    constexpr size_t kRequests = 500;
+    std::vector<double> rates = {1000, 2000, 4000};
+    size_t kRequests = 500;
+    if (opts.smoke) { // one curve point, small trace
+        mixes.resize(1);
+        policies = {serve::SchedulerPolicy::Fifo};
+        rates = {2000};
+        kRequests = 100;
+    }
 
     if (!opts.json)
         std::printf("%-16s %-9s %7s %9s %8s %8s %8s %7s %9s\n",

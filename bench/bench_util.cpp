@@ -53,13 +53,13 @@ printHeader(const std::string &experiment,
 namespace {
 
 uint64_t
-parseSeedValue(const char *text)
+parseUintValue(const char *flag, const char *text)
 {
     errno = 0;
     char *end = nullptr;
     const unsigned long long v = std::strtoull(text, &end, 10);
     if (errno != 0 || end == text || *end != '\0')
-        fatal("--seed expects an unsigned integer, got '", text, "'");
+        fatal(flag, " expects an unsigned integer, got '", text, "'");
     return v;
 }
 
@@ -73,12 +73,20 @@ parseCli(int argc, char **argv)
         const char *arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
             opts.json = true;
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            opts.smoke = true;
         } else if (std::strcmp(arg, "--seed") == 0) {
             if (i + 1 >= argc)
                 fatal("--seed expects a value");
-            opts.seed = parseSeedValue(argv[++i]);
+            opts.seed = parseUintValue("--seed", argv[++i]);
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-            opts.seed = parseSeedValue(arg + 7);
+            opts.seed = parseUintValue("--seed", arg + 7);
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc)
+                fatal("--threads expects a value");
+            opts.threads = parseUintValue("--threads", argv[++i]);
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            opts.threads = parseUintValue("--threads", arg + 10);
         }
     }
     return opts;

@@ -48,9 +48,23 @@ struct CliOptions
 {
     uint64_t seed = 1; //!< --seed N / --seed=N
     bool json = false; //!< --json: machine-readable rows only
+
+    /**
+     * --smoke: minimal deterministic run for CI — fewest sweep
+     * points / repetitions that still exercise every code path.
+     * CMake registers each bench with --smoke under the "bench"
+     * CTest label.
+     */
+    bool smoke = false;
+
+    /** --threads N / --threads=N: worker threads (0 = bench picks). */
+    size_t threads = 0;
 };
 
-/** Parse --seed / --json from argv; fatal() on a malformed value. */
+/**
+ * Parse --seed / --json / --smoke / --threads from argv; fatal() on
+ * a malformed value.
+ */
 CliOptions parseCli(int argc, char **argv);
 
 /**

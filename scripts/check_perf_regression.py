@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the kernel engine (CI: perf-smoke job).
+
+Compares `bench_engine --json` output (one JSON object per line)
+against the checked-in baseline, row by row:
+
+    python3 scripts/check_perf_regression.py \
+        --baseline bench/baselines/engine_baseline.json \
+        --current engine_results.jsonl
+
+A baseline row matches a current row when every identity key
+(bench, kernel, n, d, sparsity, threads) agrees. For each matched
+row the gate requires
+
+    current.speedup >= baseline.speedup * (1 - tolerance)
+
+plus, when the baseline row carries `min_speedup`, the absolute
+floor `current.speedup >= min_speedup` (the acceptance criterion,
+e.g. >= 3x single-thread for sparse attention at 90% sparsity).
+
+Speedups are ratios of two timings from the same run, so the gate
+is robust to absolute runner speed. A baseline row with no matching
+current row fails the gate — silent coverage loss must not pass.
+
+To update the baseline after an intentional perf change, run
+bench_engine --json on a quiet machine and copy the speedup values
+(rounded *down* a little for headroom) into engine_baseline.json.
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_KEYS = ("bench", "kernel", "n", "d", "sparsity", "threads")
+
+
+def row_identity(row):
+    return tuple(row.get(k) for k in IDENTITY_KEYS)
+
+
+def load_current(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "speedup" in row:
+                rows[row_identity(row)] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's tolerance",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else baseline.get("tolerance", 0.20)
+    )
+    current = load_current(args.current)
+
+    failures = []
+    print(
+        f"{'row':<58} {'base':>6} {'floor':>6} {'now':>7}  verdict"
+    )
+    for brow in baseline["rows"]:
+        ident = row_identity(brow)
+        label = " ".join(
+            f"{k}={v}" for k, v in zip(IDENTITY_KEYS, ident) if v is not None
+        )
+        crow = current.get(ident)
+        if crow is None:
+            print(f"{label:<58} {'-':>6} {'-':>6} {'MISSING':>7}  FAIL")
+            failures.append(f"{label}: no matching bench row")
+            continue
+        base = float(brow["speedup"])
+        floor = base * (1.0 - tolerance)
+        if "min_speedup" in brow:
+            floor = max(floor, float(brow["min_speedup"]))
+        now = float(crow["speedup"])
+        ok = now >= floor
+        print(
+            f"{label:<58} {base:>6.2f} {floor:>6.2f} {now:>7.2f}  "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"{label}: speedup {now:.2f} < floor {floor:.2f}"
+            )
+
+    if failures:
+        print(
+            f"\nPERF REGRESSION ({len(failures)} row(s) below "
+            "baseline):",
+            file=sys.stderr,
+        )
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nall rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

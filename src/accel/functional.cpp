@@ -1,0 +1,69 @@
+#include "accel/functional.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+#include "linalg/sparse_kernels.h"
+
+namespace vitcod::accel {
+
+FunctionalReport
+verifyPlanFunctional(const core::ModelPlan &plan,
+                     const linalg::engine::KernelEngine &eng,
+                     size_t max_heads, uint64_t seed)
+{
+    FunctionalReport rep;
+    Rng rng(seed);
+
+    for (const core::HeadPlan &hp : plan.heads) {
+        if (max_heads > 0 && rep.headsChecked >= max_heads)
+            break;
+        const size_t n = hp.plan.tokens;
+        const size_t dk = plan.model.stageForLayer(hp.layer).headDim;
+        const auto scale = static_cast<float>(
+            1.0 / std::sqrt(static_cast<double>(dk)));
+
+        const auto q = linalg::Matrix::randomNormal(n, dk, rng);
+        const auto k = linalg::Matrix::randomNormal(n, dk, rng);
+        const auto v = linalg::Matrix::randomNormal(n, dk, rng);
+
+        // The head plan's scheduled order: permuted tokens, pruned
+        // mask. Engine vs scalar oracle on identical inputs.
+        const auto qp = linalg::permuteRows(q, hp.plan.perm);
+        const auto kp = linalg::permuteRows(k, hp.plan.perm);
+        const auto vp = linalg::permuteRows(v, hp.plan.perm);
+
+        const linalg::Matrix engine_out =
+            eng.sparseAttention(qp, kp, vp, hp.plan.mask, scale);
+        const linalg::Matrix oracle_out = linalg::spmm(
+            linalg::maskedSoftmaxRows(
+                linalg::sddmm(qp, kp, hp.plan.mask, scale)),
+            vp);
+        rep.maxKernelDrift =
+            std::max(rep.maxKernelDrift,
+                     linalg::maxAbsDiff(engine_out, oracle_out));
+
+        // Un-permute and compare against dense attention on the
+        // original token order: the pruning drift.
+        linalg::Matrix sparse_out(n, dk);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t c = 0; c < dk; ++c)
+                sparse_out(hp.plan.perm[i], c) = engine_out(i, c);
+        sparse::BitMask full(n, n);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < n; ++c)
+                full.set(r, c, true);
+        const linalg::Matrix dense_out =
+            linalg::denseMaskedAttention(q, k, v, full, scale);
+        rep.maxPruningDrift =
+            std::max(rep.maxPruningDrift,
+                     linalg::maxAbsDiff(sparse_out, dense_out));
+
+        ++rep.headsChecked;
+    }
+    return rep;
+}
+
+} // namespace vitcod::accel

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional (value-level) verification of accelerator plans. The
+ * cycle simulators assume a head's scheduled execution — permuted
+ * Q/K/V, fixed mask, SDDMM -> masked softmax -> SpMM — computes the
+ * same values the golden kernels define. This module checks exactly
+ * that, per head, through the optimized KernelEngine, so a single
+ * call certifies both the plan (mask/permutation consistency) and
+ * the engine's kernels against the scalar oracle before a deployment
+ * trusts either.
+ */
+
+#ifndef VITCOD_ACCEL_FUNCTIONAL_H
+#define VITCOD_ACCEL_FUNCTIONAL_H
+
+#include <cstddef>
+
+#include "core/pipeline.h"
+#include "linalg/engine/engine.h"
+
+namespace vitcod::accel {
+
+/** Outcome of a functional verification sweep over one ModelPlan. */
+struct FunctionalReport
+{
+    size_t headsChecked = 0;
+
+    /**
+     * Max |engine - scalar oracle| over all heads, both paths run on
+     * the *pruned* mask: pure kernel disagreement, pruning excluded.
+     */
+    double maxKernelDrift = 0.0;
+
+    /**
+     * Max |sparse plan - dense attention| over all heads: the
+     * pruning-induced drift the finetuning step absorbs.
+     */
+    double maxPruningDrift = 0.0;
+
+    /** kernel drift below @p tol for every head? */
+    bool kernelsMatch(double tol) const { return maxKernelDrift < tol; }
+};
+
+/**
+ * Execute every head plan of @p plan on deterministic synthetic
+ * Q/K/V through @p eng and through the scalar golden kernels,
+ * recording the worst disagreement. Deterministic in (plan, seed).
+ *
+ * @param max_heads Cap on heads checked (0 = all); verification is
+ *        O(heads * nnz * d).
+ */
+FunctionalReport
+verifyPlanFunctional(const core::ModelPlan &plan,
+                     const linalg::engine::KernelEngine &eng,
+                     size_t max_heads = 0, uint64_t seed = 2026);
+
+} // namespace vitcod::accel
+
+#endif // VITCOD_ACCEL_FUNCTIONAL_H

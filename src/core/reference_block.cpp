@@ -35,9 +35,11 @@ BlockWeights::random(const model::StageConfig &stage, Rng &rng)
 }
 
 ReferenceBlock::ReferenceBlock(model::StageConfig stage,
-                               BlockWeights weights)
-    : stage_(stage), w_(std::move(weights))
+                               BlockWeights weights,
+                               const linalg::engine::KernelEngine *eng)
+    : stage_(stage), w_(std::move(weights)), engine_(eng)
 {
+    VITCOD_ASSERT(engine_ != nullptr, "null kernel engine");
     VITCOD_ASSERT(w_.wq.rows() == stage_.embedDim &&
                       w_.wq.cols() == stage_.heads * stage_.headDim,
                   "weight shape mismatch");
@@ -89,22 +91,22 @@ ReferenceBlock::attentionDense(const linalg::Matrix &x) const
     const auto scale = static_cast<float>(
         1.0 / std::sqrt(static_cast<double>(dk)));
 
-    const linalg::Matrix q = linalg::gemm(x, w_.wq);
-    const linalg::Matrix k = linalg::gemm(x, w_.wk);
-    const linalg::Matrix v = linalg::gemm(x, w_.wv);
+    const linalg::Matrix q = engine_->gemm(x, w_.wq);
+    const linalg::Matrix k = engine_->gemm(x, w_.wk);
+    const linalg::Matrix v = engine_->gemm(x, w_.wv);
 
     linalg::Matrix concat(n, h * dk);
     for (size_t head = 0; head < h; ++head) {
-        linalg::Matrix s = linalg::gemmTransB(headSlice(q, head),
-                                              headSlice(k, head));
+        linalg::Matrix s = engine_->gemmTransB(headSlice(q, head),
+                                               headSlice(k, head));
         linalg::scaleInPlace(s, scale);
-        const linalg::Matrix out = linalg::gemm(
+        const linalg::Matrix out = engine_->gemm(
             linalg::softmaxRows(s), headSlice(v, head));
         for (size_t r = 0; r < n; ++r)
             for (size_t c = 0; c < dk; ++c)
                 concat(r, head * dk + c) = out(r, c);
     }
-    return linalg::gemm(concat, w_.wo);
+    return engine_->gemm(concat, w_.wo);
 }
 
 linalg::Matrix
@@ -119,9 +121,9 @@ ReferenceBlock::attentionSparse(
     const auto scale = static_cast<float>(
         1.0 / std::sqrt(static_cast<double>(dk)));
 
-    const linalg::Matrix q = linalg::gemm(x, w_.wq);
-    const linalg::Matrix k = linalg::gemm(x, w_.wk);
-    const linalg::Matrix v = linalg::gemm(x, w_.wv);
+    const linalg::Matrix q = engine_->gemm(x, w_.wq);
+    const linalg::Matrix k = engine_->gemm(x, w_.wk);
+    const linalg::Matrix v = engine_->gemm(x, w_.wv);
 
     linalg::Matrix concat(n, h * dk);
     for (size_t head = 0; head < h; ++head) {
@@ -135,10 +137,8 @@ ReferenceBlock::attentionSparse(
             linalg::permuteRows(headSlice(k, head), plan.perm);
         const linalg::Matrix vp =
             linalg::permuteRows(headSlice(v, head), plan.perm);
-        const linalg::Matrix outp = linalg::spmm(
-            linalg::maskedSoftmaxRows(
-                linalg::sddmm(qp, kp, plan.mask, scale)),
-            vp);
+        const linalg::Matrix outp =
+            engine_->sparseAttention(qp, kp, vp, plan.mask, scale);
         // Un-permute: permuted row i is original token perm[i].
         for (size_t i = 0; i < n; ++i)
             for (size_t c = 0; c < dk; ++c)
@@ -153,11 +153,11 @@ ReferenceBlock::forwardDense(const linalg::Matrix &x) const
     const linalg::Matrix attn =
         attentionDense(layerNorm(x, w_.ln1Gamma, w_.ln1Beta));
     const linalg::Matrix mid = linalg::axpby(1.0f, x, 1.0f, attn);
-    linalg::Matrix hidden = linalg::gemm(
+    linalg::Matrix hidden = engine_->gemm(
         layerNorm(mid, w_.ln2Gamma, w_.ln2Beta), w_.fc1);
     linalg::geluInPlace(hidden);
     return linalg::axpby(1.0f, mid, 1.0f,
-                         linalg::gemm(hidden, w_.fc2));
+                         engine_->gemm(hidden, w_.fc2));
 }
 
 linalg::Matrix
@@ -168,11 +168,11 @@ ReferenceBlock::forwardSparse(
     const linalg::Matrix attn = attentionSparse(
         layerNorm(x, w_.ln1Gamma, w_.ln1Beta), plans);
     const linalg::Matrix mid = linalg::axpby(1.0f, x, 1.0f, attn);
-    linalg::Matrix hidden = linalg::gemm(
+    linalg::Matrix hidden = engine_->gemm(
         layerNorm(mid, w_.ln2Gamma, w_.ln2Beta), w_.fc1);
     linalg::geluInPlace(hidden);
     return linalg::axpby(1.0f, mid, 1.0f,
-                         linalg::gemm(hidden, w_.fc2));
+                         engine_->gemm(hidden, w_.fc2));
 }
 
 } // namespace vitcod::core

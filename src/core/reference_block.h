@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/split_conquer.h"
+#include "linalg/engine/engine.h"
 #include "linalg/matrix.h"
 #include "model/vit_config.h"
 
@@ -42,7 +43,15 @@ struct BlockWeights
 class ReferenceBlock
 {
   public:
-    ReferenceBlock(model::StageConfig stage, BlockWeights weights);
+    /**
+     * @param eng Kernel executor for the GEMMs and the sparse
+     *        attention pipeline. Defaults to the shared Auto-dispatch
+     *        engine; pass an engine pinned to
+     *        DispatchMode::Reference to force the scalar oracle.
+     */
+    ReferenceBlock(model::StageConfig stage, BlockWeights weights,
+                   const linalg::engine::KernelEngine *eng =
+                       &linalg::engine::KernelEngine::shared());
 
     const model::StageConfig &stage() const { return stage_; }
 
@@ -77,6 +86,7 @@ class ReferenceBlock
 
     model::StageConfig stage_;
     BlockWeights w_;
+    const linalg::engine::KernelEngine *engine_;
 };
 
 } // namespace vitcod::core

@@ -1,0 +1,367 @@
+#include "linalg/engine/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "linalg/engine/kernels_opt.h"
+#include "linalg/kernels.h"
+#include "linalg/sparse_kernels.h"
+
+namespace vitcod::linalg::engine {
+
+namespace {
+
+enum Counter : size_t
+{
+    kGemmRef,
+    kGemmOpt,
+    kSddmmRef,
+    kSddmmCsr,
+    kSddmmCsc,
+    kSoftmaxRef,
+    kSoftmaxOpt,
+    kSpmmRef,
+    kSpmmOpt,
+    kParallel,
+    kStructHit,
+    kStructMiss,
+};
+
+/** 64-bit content hash of a mask: 8 storage bytes per mix step. */
+uint64_t
+hashMask(const sparse::BitMask &mask)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                 (mask.rows() * 0x100000001b3ULL + mask.cols());
+    auto mix = [&h](uint64_t x) {
+        h ^= x;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    };
+    const uint8_t *bytes = mask.data();
+    const size_t n = mask.rows() * mask.cols();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t chunk;
+        std::memcpy(&chunk, bytes + i, 8);
+        mix(chunk);
+    }
+    uint64_t tail = 0;
+    for (; i < n; ++i)
+        tail = (tail << 8) | bytes[i];
+    mix(tail);
+    return h;
+}
+
+} // namespace
+
+/** Compressed structure of one mask, shared across calls. */
+struct KernelEngine::MaskStructure
+{
+    sparse::BitMask mask; //!< copy, for exact verification on hit
+    std::vector<uint32_t> rowPtr, colIdx; //!< CSR
+    std::vector<uint32_t> colPtr, rowIdx; //!< CSC (sparser masks only)
+    bool useCsc = false;
+};
+
+/** Content-addressed LRU of MaskStructures. */
+struct KernelEngine::StructureCache
+{
+    struct Entry
+    {
+        std::shared_ptr<const MaskStructure> structure;
+        std::list<uint64_t>::iterator lruIt;
+    };
+
+    std::mutex lock;
+    std::unordered_map<uint64_t, Entry> entries;
+    std::list<uint64_t> lru; //!< front = most recently used
+};
+
+KernelEngine::KernelEngine(EngineConfig cfg, ThreadPool *pool)
+    : cfg_(cfg), pool_(pool),
+      cache_(std::make_unique<StructureCache>())
+{
+    for (auto &c : counters_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+KernelEngine::~KernelEngine() = default;
+
+std::shared_ptr<const KernelEngine::MaskStructure>
+KernelEngine::structureFor(const sparse::BitMask &mask) const
+{
+    const uint64_t key =
+        cfg_.structureCacheCapacity ? hashMask(mask) : 0;
+    if (cfg_.structureCacheCapacity) {
+        std::lock_guard<std::mutex> g(cache_->lock);
+        auto it = cache_->entries.find(key);
+        if (it != cache_->entries.end() &&
+            it->second.structure->mask == mask) {
+            cache_->lru.splice(cache_->lru.begin(), cache_->lru,
+                               it->second.lruIt);
+            counters_[kStructHit].fetch_add(1,
+                                            std::memory_order_relaxed);
+            return it->second.structure;
+        }
+    }
+    counters_[kStructMiss].fetch_add(1, std::memory_order_relaxed);
+
+    auto ms = std::make_shared<MaskStructure>();
+    ms->mask = mask;
+    maskToCsrStructure(mask, ms->rowPtr, ms->colIdx);
+    const auto nnz = static_cast<double>(ms->colIdx.size());
+    ms->useCsc = nnz < (1.0 - cfg_.cscSparsityThreshold) *
+                           static_cast<double>(mask.rows() *
+                                               mask.cols());
+    if (ms->useCsc)
+        csrToCscStructure(mask.rows(), mask.cols(), ms->rowPtr,
+                          ms->colIdx, ms->colPtr, ms->rowIdx);
+
+    if (cfg_.structureCacheCapacity) {
+        std::lock_guard<std::mutex> g(cache_->lock);
+        if (!cache_->entries.contains(key)) {
+            cache_->lru.push_front(key);
+            cache_->entries.emplace(
+                key,
+                StructureCache::Entry{ms, cache_->lru.begin()});
+            if (cache_->lru.size() > cfg_.structureCacheCapacity) {
+                cache_->entries.erase(cache_->lru.back());
+                cache_->lru.pop_back();
+            }
+        }
+    }
+    return ms;
+}
+
+size_t
+KernelEngine::threads() const
+{
+    return pool_ ? std::max<size_t>(1, pool_->threads()) : 1;
+}
+
+bool
+KernelEngine::useOptimized(size_t macs) const
+{
+    switch (cfg_.mode) {
+    case DispatchMode::Reference: return false;
+    case DispatchMode::Optimized: return true;
+    case DispatchMode::Auto: return macs >= cfg_.minOptimizedMacs;
+    }
+    return true;
+}
+
+bool
+KernelEngine::useParallel(size_t rows, size_t macs) const
+{
+    return pool_ && pool_->threads() > 1 &&
+           rows >= 2 * std::max<size_t>(1, cfg_.rowPanel) &&
+           macs >= cfg_.minParallelMacs;
+}
+
+void
+KernelEngine::forPanels(
+    size_t rows, size_t macs,
+    const std::function<void(size_t, size_t)> &body) const
+{
+    if (useParallel(rows, macs)) {
+        counters_[kParallel].fetch_add(1, std::memory_order_relaxed);
+        pool_->parallelFor(0, rows, cfg_.rowPanel, body);
+    } else {
+        body(0, rows);
+    }
+}
+
+Matrix
+KernelEngine::gemm(const Matrix &a, const Matrix &b) const
+{
+    const size_t macs = a.rows() * a.cols() * b.cols();
+    if (!useOptimized(macs)) {
+        counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::gemm(a, b);
+    }
+    VITCOD_ASSERT(a.cols() == b.rows(), "gemm shape mismatch");
+    counters_[kGemmOpt].fetch_add(1, std::memory_order_relaxed);
+    Matrix c(a.rows(), b.cols());
+    forPanels(a.rows(), macs, [&](size_t r0, size_t r1) {
+        gemmPanel(a, b, c, r0, r1, cfg_.gemmKBlock, cfg_.gemmJBlock);
+    });
+    return c;
+}
+
+Matrix
+KernelEngine::gemmTransB(const Matrix &a, const Matrix &b) const
+{
+    const size_t macs = a.rows() * a.cols() * b.rows();
+    if (!useOptimized(macs)) {
+        counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::gemmTransB(a, b);
+    }
+    VITCOD_ASSERT(a.cols() == b.cols(), "gemmTransB shape mismatch");
+    counters_[kGemmOpt].fetch_add(1, std::memory_order_relaxed);
+    Matrix c(a.rows(), b.rows());
+    forPanels(a.rows(), macs, [&](size_t r0, size_t r1) {
+        gemmTransBPanel(a, b, c, r0, r1);
+    });
+    return c;
+}
+
+void
+KernelEngine::sddmmInto(const Matrix &q, const Matrix &k,
+                        const MaskStructure &ms, float scale,
+                        std::vector<float> &values) const
+{
+    VITCOD_ASSERT(q.cols() == k.cols(), "sddmm feature dim mismatch");
+    VITCOD_ASSERT(ms.mask.rows() == q.rows() &&
+                      ms.mask.cols() == k.rows(),
+                  "sddmm mask shape mismatch");
+    const size_t nnz = ms.colIdx.size();
+    const size_t macs = nnz * q.cols();
+    values.resize(nnz);
+
+    if (ms.useCsc) {
+        // Sparser region: K-stationary CSC walk, then an O(nnz)
+        // scatter back into the CSR slots.
+        counters_[kSddmmCsc].fetch_add(1, std::memory_order_relaxed);
+        std::vector<float> csc_values(nnz);
+        forPanels(ms.mask.cols(), macs, [&](size_t c0, size_t c1) {
+            sddmmCscPanel(q, k, ms.colPtr, ms.rowIdx,
+                          csc_values.data(), c0, c1, scale);
+        });
+        cscValuesToCsr(ms.mask.rows(), ms.colPtr, ms.rowIdx,
+                       csc_values, ms.rowPtr, values);
+    } else {
+        counters_[kSddmmCsr].fetch_add(1, std::memory_order_relaxed);
+        forPanels(ms.mask.rows(), macs, [&](size_t r0, size_t r1) {
+            sddmmCsrPanel(q, k, ms.rowPtr, ms.colIdx, values.data(),
+                          r0, r1, scale);
+        });
+    }
+}
+
+sparse::Csr
+KernelEngine::sddmm(const Matrix &q, const Matrix &k,
+                    const sparse::BitMask &mask, float scale) const
+{
+    // Dense upper bound for dispatch; avoids an extra mask scan.
+    if (!useOptimized(mask.rows() * mask.cols() * q.cols())) {
+        counters_[kSddmmRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::sddmm(q, k, mask, scale);
+    }
+    const auto ms = structureFor(mask);
+    std::vector<float> values;
+    sddmmInto(q, k, *ms, scale, values);
+    return sparse::Csr::fromParts(mask.rows(), mask.cols(), ms->rowPtr,
+                                  ms->colIdx, std::move(values));
+}
+
+sparse::Csr
+KernelEngine::maskedSoftmaxRows(sparse::Csr s) const
+{
+    if (!useOptimized(s.nnz())) {
+        counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::maskedSoftmaxRows(s);
+    }
+    counters_[kSoftmaxOpt].fetch_add(1, std::memory_order_relaxed);
+    const auto &row_ptr = s.rowPtr();
+    float *values = s.mutableValues().data();
+    forPanels(s.rows(), s.nnz(), [&](size_t r0, size_t r1) {
+        softmaxCsrPanel(row_ptr, values, r0, r1);
+    });
+    return s;
+}
+
+Matrix
+KernelEngine::spmm(const sparse::Csr &s, const Matrix &v) const
+{
+    const size_t macs = s.nnz() * v.cols();
+    if (!useOptimized(macs)) {
+        counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::spmm(s, v);
+    }
+    VITCOD_ASSERT(s.cols() == v.rows(), "spmm shape mismatch");
+    counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
+    Matrix out(s.rows(), v.cols());
+    forPanels(s.rows(), macs, [&](size_t r0, size_t r1) {
+        spmmPanel(s.rowPtr(), s.colIdx(), s.values().data(), v, out, r0,
+                  r1);
+    });
+    return out;
+}
+
+Matrix
+KernelEngine::sparseAttention(const Matrix &q, const Matrix &k,
+                              const Matrix &v,
+                              const sparse::BitMask &mask,
+                              float scale) const
+{
+    // Dense upper bound for dispatch; avoids an extra mask scan.
+    const size_t macs_bound = mask.rows() * mask.cols() * q.cols();
+    if (!useOptimized(macs_bound)) {
+        counters_[kSddmmRef].fetch_add(1, std::memory_order_relaxed);
+        counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
+        counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
+        return linalg::spmm(
+            linalg::maskedSoftmaxRows(linalg::sddmm(q, k, mask, scale)),
+            v);
+    }
+    VITCOD_ASSERT(mask.cols() == v.rows(), "spmm shape mismatch");
+    // Fused: one (cached) structure, values flow through SDDMM ->
+    // softmax -> SpMM in place — no Csr materialization, no COO
+    // round-trips, no revalidation between stages.
+    const auto ms = structureFor(mask);
+    std::vector<float> values;
+    sddmmInto(q, k, *ms, scale, values);
+
+    const size_t macs = ms->colIdx.size() * q.cols();
+    counters_[kSoftmaxOpt].fetch_add(1, std::memory_order_relaxed);
+    forPanels(mask.rows(), macs, [&](size_t r0, size_t r1) {
+        softmaxCsrPanel(ms->rowPtr, values.data(), r0, r1);
+    });
+
+    counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
+    Matrix out(mask.rows(), v.cols());
+    forPanels(mask.rows(), macs, [&](size_t r0, size_t r1) {
+        spmmPanel(ms->rowPtr, ms->colIdx, values.data(), v, out, r0,
+                  r1);
+    });
+    return out;
+}
+
+EngineStats
+KernelEngine::stats() const
+{
+    EngineStats st;
+    st.gemmReference = counters_[kGemmRef].load();
+    st.gemmOptimized = counters_[kGemmOpt].load();
+    st.sddmmReference = counters_[kSddmmRef].load();
+    st.sddmmCsr = counters_[kSddmmCsr].load();
+    st.sddmmCsc = counters_[kSddmmCsc].load();
+    st.softmaxReference = counters_[kSoftmaxRef].load();
+    st.softmaxOptimized = counters_[kSoftmaxOpt].load();
+    st.spmmReference = counters_[kSpmmRef].load();
+    st.spmmOptimized = counters_[kSpmmOpt].load();
+    st.parallelLaunches = counters_[kParallel].load();
+    st.structureHits = counters_[kStructHit].load();
+    st.structureMisses = counters_[kStructMiss].load();
+    return st;
+}
+
+void
+KernelEngine::resetStats() const
+{
+    for (auto &c : counters_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+const KernelEngine &
+KernelEngine::shared()
+{
+    static KernelEngine engine{EngineConfig{}, &ThreadPool::shared()};
+    return engine;
+}
+
+} // namespace vitcod::linalg::engine

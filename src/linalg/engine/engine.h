@@ -1,0 +1,185 @@
+/**
+ * @file
+ * KernelEngine: the dispatch layer between callers (reference block,
+ * serving backends, benches) and kernel implementations. Per call it
+ * chooses
+ *
+ *  - the scalar golden kernels (src/linalg/{kernels,sparse_kernels})
+ *    for tiny shapes or when pinned to DispatchMode::Reference — the
+ *    oracle stays the oracle;
+ *  - cache-blocked optimized panels, row-stationary CSR SDDMM for
+ *    moderate sparsity and the K-stationary CSC walk above
+ *    cscSparsityThreshold (mirroring the accelerator's denser /
+ *    sparser split);
+ *  - a ThreadPool parallel-for over row panels when the work is big
+ *    enough to amortize the fork.
+ *
+ * Dispatch decisions are counted (EngineStats) so tests and benches
+ * can assert which path actually ran. Engines are safe to share
+ * across threads: all methods are const apart from atomic counters.
+ */
+
+#ifndef VITCOD_LINALG_ENGINE_ENGINE_H
+#define VITCOD_LINALG_ENGINE_ENGINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "linalg/engine/thread_pool.h"
+#include "linalg/matrix.h"
+#include "sparse/formats.h"
+
+namespace vitcod::linalg::engine {
+
+/** Which implementations the engine may pick. */
+enum class DispatchMode
+{
+    Auto,      //!< choose per shape / sparsity / configured threads
+    Reference, //!< always the scalar golden kernels (the oracle)
+    Optimized, //!< always the tiled path, even for tiny shapes
+};
+
+/** Tuning knobs; defaults fit the 196x196 DeiT attention shapes. */
+struct EngineConfig
+{
+    DispatchMode mode = DispatchMode::Auto;
+
+    /** Rows per parallel panel. */
+    size_t rowPanel = 16;
+
+    /** GEMM cache blocking (0 = unblocked). */
+    size_t gemmKBlock = 64;
+    size_t gemmJBlock = 256;
+
+    /** Auto mode: below this many MACs, the scalar reference runs. */
+    size_t minOptimizedMacs = 2048;
+
+    /** Auto mode: below this many MACs a single thread runs. */
+    size_t minParallelMacs = 1u << 16;
+
+    /**
+     * Mask sparsity at or above which SDDMM switches to the
+     * K-stationary CSC traversal (the sparser-engine order).
+     */
+    double cscSparsityThreshold = 0.95;
+
+    /**
+     * Entries in the mask -> compressed-structure cache. ViTCoD
+     * masks are fixed per (layer, head), so the O(n^2) mask scan is
+     * one-time work in steady state — exactly the paper's
+     * preprocessing argument. Content-addressed (64-bit hash, full
+     * compare on hit), LRU eviction; 0 disables caching. Must
+     * exceed the masks a serving worker cycles through for steady-
+     * state hits: the default covers two DeiT-Base-sized plans
+     * (144 heads each) at ~60 KB per cached 196x196 entry.
+     */
+    size_t structureCacheCapacity = 320;
+};
+
+/** Cumulative dispatch counters (one engine instance). */
+struct EngineStats
+{
+    uint64_t gemmReference = 0;
+    uint64_t gemmOptimized = 0;
+    uint64_t sddmmReference = 0;
+    uint64_t sddmmCsr = 0;
+    uint64_t sddmmCsc = 0;
+    uint64_t softmaxReference = 0;
+    uint64_t softmaxOptimized = 0;
+    uint64_t spmmReference = 0;
+    uint64_t spmmOptimized = 0;
+    uint64_t parallelLaunches = 0; //!< calls that fanned out to the pool
+    uint64_t structureHits = 0;    //!< mask structure served from cache
+    uint64_t structureMisses = 0;  //!< mask structure built fresh
+};
+
+/** Shape/sparsity-dispatching kernel executor. */
+class KernelEngine
+{
+  public:
+    /**
+     * @param pool Parallel-for provider; nullptr runs single-threaded.
+     *        Not owned; must outlive the engine.
+     */
+    explicit KernelEngine(EngineConfig cfg = {},
+                          ThreadPool *pool = nullptr);
+
+    ~KernelEngine();
+
+    KernelEngine(const KernelEngine &) = delete;
+    KernelEngine &operator=(const KernelEngine &) = delete;
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** Worker threads available to parallel-for (1 = serial). */
+    size_t threads() const;
+
+    /** C = A * B. */
+    Matrix gemm(const Matrix &a, const Matrix &b) const;
+
+    /** C = A * B^T (the dense score kernel). */
+    Matrix gemmTransB(const Matrix &a, const Matrix &b) const;
+
+    /** SDDMM: scores at mask nonzeros, CSR out. */
+    sparse::Csr sddmm(const Matrix &q, const Matrix &k,
+                      const sparse::BitMask &mask,
+                      float scale = 1.0f) const;
+
+    /** Row softmax over stored nonzeros (in place on the copy). */
+    sparse::Csr maskedSoftmaxRows(sparse::Csr s) const;
+
+    /** out = S * V. */
+    Matrix spmm(const sparse::Csr &s, const Matrix &v) const;
+
+    /**
+     * Fused sparse attention: spmm(softmax(sddmm(q,k,mask))) without
+     * materializing intermediate Csr objects — structure is built
+     * once and values flow through in place.
+     */
+    Matrix sparseAttention(const Matrix &q, const Matrix &k,
+                           const Matrix &v, const sparse::BitMask &mask,
+                           float scale = 1.0f) const;
+
+    /** Snapshot of the dispatch counters. */
+    EngineStats stats() const;
+
+    /** Zero the dispatch counters. */
+    void resetStats() const;
+
+    /**
+     * Process-wide default engine: Auto dispatch over
+     * ThreadPool::shared(). What reference_block and the serving
+     * backends use unless handed a specific engine.
+     */
+    static const KernelEngine &shared();
+
+  private:
+    bool useOptimized(size_t macs) const;
+    bool useParallel(size_t rows, size_t macs) const;
+    void forPanels(size_t rows, size_t macs,
+                   const std::function<void(size_t, size_t)> &body) const;
+
+    struct MaskStructure;
+    struct StructureCache;
+
+    /** Cached (or freshly built) compressed structure of @p mask. */
+    std::shared_ptr<const MaskStructure>
+    structureFor(const sparse::BitMask &mask) const;
+
+    /** Optimized SDDMM core over a pre-built structure. */
+    void sddmmInto(const Matrix &q, const Matrix &k,
+                   const MaskStructure &ms, float scale,
+                   std::vector<float> &values) const;
+
+    EngineConfig cfg_;
+    ThreadPool *pool_;
+    std::unique_ptr<StructureCache> cache_;
+
+    // Indexed by the private Counter enum in engine.cpp.
+    mutable std::atomic<uint64_t> counters_[12];
+};
+
+} // namespace vitcod::linalg::engine
+
+#endif // VITCOD_LINALG_ENGINE_ENGINE_H

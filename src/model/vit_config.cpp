@@ -22,6 +22,19 @@ VitModelConfig::totalHeads() const
     return n;
 }
 
+const StageConfig &
+VitModelConfig::stageForLayer(size_t layer) const
+{
+    VITCOD_ASSERT(!stages.empty(), "model has no stages");
+    size_t first = 0;
+    for (const auto &s : stages) {
+        if (layer < first + s.layers)
+            return s;
+        first += s.layers;
+    }
+    return stages.back();
+}
+
 namespace {
 
 VitModelConfig

@@ -63,6 +63,14 @@ struct VitModelConfig
 
     /** Total attention heads across all blocks. */
     size_t totalHeads() const;
+
+    /**
+     * Stage containing the given global layer index (stages are a
+     * pipeline of stage.layers-deep blocks). Layers past the end
+     * clamp to the last stage.
+     * @pre at least one stage.
+     */
+    const StageConfig &stageForLayer(size_t layer) const;
 };
 
 /** @name Model zoo (paper Sec. VI-A)

@@ -4,9 +4,11 @@
  * simulated execution target to the serving runtime's unit of work —
  * a same-plan batch — and owns the serving-specific cost model:
  *
- *  - the per-request simulated time of a plan is memoized (the
- *    simulators are deterministic in (plan, config), so one run per
- *    task per backend suffices; batches scale it);
+ *  - the per-request simulated time of a plan is memoized for
+ *    simulator backends (they are deterministic in (plan, config),
+ *    so one run per task per backend suffices; batches scale it);
+ *    backends that really execute kernels (CPUKernel) opt out via
+ *    memoizeRuns() and run — and re-time — every batch;
  *  - switching a backend between plans pays the plan's
  *    weightLoadSeconds (stream the new model's weights), which is
  *    what makes same-plan batching profitable in simulated time and
@@ -27,6 +29,7 @@
 
 #include "accel/compiler.h"
 #include "accel/device.h"
+#include "linalg/engine/engine.h"
 #include "serve/plan_cache.h"
 
 namespace vitcod::serve {
@@ -59,8 +62,20 @@ class ServeBackend
     BatchResult runBatch(const CompiledPlan &cp, size_t n);
 
   protected:
-    /** Simulate a single inference of @p cp. Deterministic. */
+    /**
+     * Execute/simulate a single inference of @p cp. Deterministic
+     * for simulator backends (which is what makes memoization
+     * sound); measured-wall-time backends return a fresh timing per
+     * call and must override memoizeRuns().
+     */
     virtual accel::RunStats runOnce(const CompiledPlan &cp) const = 0;
+
+    /**
+     * Memoize runOnce per plan key? True for deterministic
+     * simulators. Backends that really execute work (CPUKernel)
+     * return false so every batch runs — and times — the kernels.
+     */
+    virtual bool memoizeRuns() const { return true; }
 
   private:
     std::string name_;
@@ -86,6 +101,35 @@ class ViTCoDServeBackend : public ServeBackend
     accel::Interpreter interp_;
 };
 
+/**
+ * Host-CPU functional backend: actually executes every head's
+ * SDDMM -> masked softmax -> SpMM through the KernelEngine on
+ * deterministic synthetic Q/K/V, and reports the measured wall time
+ * as the serving cost. Unlike the analytic simulators this backend
+ * puts the kernel engine itself on the serving hot path — it is the
+ * target the perf-regression CI watches end to end.
+ */
+class KernelServeBackend : public ServeBackend
+{
+  public:
+    /**
+     * @param eng Kernel executor; defaults to the shared
+     *        Auto-dispatch engine.
+     */
+    explicit KernelServeBackend(
+        const linalg::engine::KernelEngine *eng =
+            &linalg::engine::KernelEngine::shared());
+
+  protected:
+    accel::RunStats runOnce(const CompiledPlan &cp) const override;
+
+    /** Real execution: never replay a stale wall-time measurement. */
+    bool memoizeRuns() const override { return false; }
+
+  private:
+    const linalg::engine::KernelEngine *engine_;
+};
+
 /** Any analytic Device (platform models, SpAtten, Sanger). */
 class DeviceServeBackend : public ServeBackend
 {
@@ -102,7 +146,8 @@ class DeviceServeBackend : public ServeBackend
 
 /**
  * Backend factory by spec name: "ViTCoD", "CPU", "GPU", "EdgeGPU",
- * "SpAtten", "Sanger". ViTCoD backends compile-share via @p hw,
+ * "SpAtten", "Sanger", "CPUKernel" (functional kernel-engine
+ * execution on the host). ViTCoD backends compile-share via @p hw,
  * which must match the PlanCache's config. fatal() on unknown specs.
  */
 std::unique_ptr<ServeBackend>

@@ -29,20 +29,21 @@ WorkerPool::~WorkerPool()
 void
 WorkerPool::start()
 {
-    if (!threads_.empty())
+    if (pool_)
         return;
-    threads_.reserve(backends_.size());
+    pool_ = std::make_unique<linalg::engine::ThreadPool>(
+        backends_.size());
     for (size_t i = 0; i < backends_.size(); ++i)
-        threads_.emplace_back([this, i] { workerMain(i); });
+        pool_->submit([this, i] { workerMain(i); });
 }
 
 void
 WorkerPool::join()
 {
-    for (auto &t : threads_)
-        if (t.joinable())
-            t.join();
-    threads_.clear();
+    if (!pool_)
+        return;
+    pool_->waitIdle();
+    pool_.reset();
 }
 
 void

@@ -9,6 +9,11 @@
  * tick counter accumulates per-backend simulated busy time in the
  * device's own clock domain, separate from the wall-clock timing
  * the worker also records.
+ *
+ * Worker loops run as long-lived tasks on a linalg::engine::
+ * ThreadPool (one pool thread per backend) rather than ad-hoc
+ * std::threads — the same pool component the KernelEngine uses for
+ * its parallel-for, so thread lifecycle logic lives in one place.
  */
 
 #ifndef VITCOD_SERVE_WORKER_POOL_H
@@ -16,9 +21,9 @@
 
 #include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
+#include "linalg/engine/thread_pool.h"
 #include "serve/backend.h"
 #include "serve/batch_scheduler.h"
 #include "serve/plan_cache.h"
@@ -67,7 +72,8 @@ class WorkerPool
     std::function<void(const InferenceResponse &)> onComplete_;
     std::function<double()> clock_;
 
-    std::vector<std::thread> threads_;
+    /** One pool thread per backend; null until start(). */
+    std::unique_ptr<linalg::engine::ThreadPool> pool_;
 };
 
 } // namespace vitcod::serve

@@ -39,6 +39,13 @@ class BitMask
     /** Element mutator. */
     void set(size_t r, size_t c, bool v) { bits_[r * cols_ + c] = v; }
 
+    /**
+     * Raw row-major byte storage (one byte per element, rows*cols
+     * long). For bulk scans — hashing, memcmp-style comparison —
+     * where per-element get() calls would dominate.
+     */
+    const uint8_t *data() const { return bits_.data(); }
+
     /** Number of set bits. */
     size_t nnz() const;
 

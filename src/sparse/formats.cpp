@@ -76,6 +76,20 @@ Csr::fromCoo(const Coo &coo)
     return csr;
 }
 
+Csr
+Csr::fromParts(size_t rows, size_t cols, std::vector<uint32_t> row_ptr,
+               std::vector<uint32_t> col_idx, std::vector<float> values)
+{
+    Csr csr;
+    csr.rows_ = rows;
+    csr.cols_ = cols;
+    csr.rowPtr_ = std::move(row_ptr);
+    csr.colIdx_ = std::move(col_idx);
+    csr.values_ = std::move(values);
+    csr.validate();
+    return csr;
+}
+
 BitMask
 Csr::toMask() const
 {
@@ -169,6 +183,20 @@ Csc::fromCoo(const Coo &coo)
     }
     for (size_t c = 0; c < coo.cols; ++c)
         csc.colPtr_[c + 1] += csc.colPtr_[c];
+    csc.validate();
+    return csc;
+}
+
+Csc
+Csc::fromParts(size_t rows, size_t cols, std::vector<uint32_t> col_ptr,
+               std::vector<uint32_t> row_idx, std::vector<float> values)
+{
+    Csc csc;
+    csc.rows_ = rows;
+    csc.cols_ = cols;
+    csc.colPtr_ = std::move(col_ptr);
+    csc.rowIdx_ = std::move(row_idx);
+    csc.values_ = std::move(values);
     csc.validate();
     return csc;
 }

@@ -70,6 +70,16 @@ class Csr
     /** Build from sorted COO. @pre coo sorted row-major, indices valid. */
     static Csr fromCoo(const Coo &coo);
 
+    /**
+     * Adopt pre-built arrays without copying — the construction path
+     * of the optimized kernel engine, which fills indices and values
+     * in bulk rather than through a per-nonzero callback. Validates.
+     */
+    static Csr fromParts(size_t rows, size_t cols,
+                         std::vector<uint32_t> row_ptr,
+                         std::vector<uint32_t> col_idx,
+                         std::vector<float> values);
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
     size_t nnz() const { return colIdx_.size(); }
@@ -77,6 +87,13 @@ class Csr
     const std::vector<uint32_t> &rowPtr() const { return rowPtr_; }
     const std::vector<uint32_t> &colIdx() const { return colIdx_; }
     const std::vector<float> &values() const { return values_; }
+
+    /**
+     * Mutable view of the stored values (structure stays fixed).
+     * Lets in-place kernels (fused masked softmax) rescale a row
+     * without a COO round-trip.
+     */
+    std::vector<float> &mutableValues() { return values_; }
 
     /** Nonzeros in row @p r. */
     size_t rowNnz(size_t r) const { return rowPtr_[r + 1] - rowPtr_[r]; }
@@ -121,6 +138,12 @@ class Csc
 
     /** Build from sorted COO. @pre coo sorted col-major, indices valid. */
     static Csc fromCoo(const Coo &coo);
+
+    /** Adopt pre-built arrays without copying. Validates. */
+    static Csc fromParts(size_t rows, size_t cols,
+                         std::vector<uint32_t> col_ptr,
+                         std::vector<uint32_t> row_idx,
+                         std::vector<float> values);
 
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }

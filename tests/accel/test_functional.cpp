@@ -1,0 +1,59 @@
+/**
+ * @file
+ * verifyPlanFunctional: the optimized engine must agree with the
+ * scalar oracle on every head of a real pipeline-built plan (kernel
+ * drift at ulp scale), while pruning drift behaves like pruning —
+ * zero at sparsity 0, growing with pruned mass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/functional.h"
+#include "core/pipeline.h"
+#include "model/vit_config.h"
+
+namespace vitcod::accel {
+namespace {
+
+core::ModelPlan
+tinyPlan(double sparsity)
+{
+    return core::buildModelPlan(
+        model::deitTiny(), core::makePipelineConfig(sparsity, true));
+}
+
+TEST(FunctionalVerification, EngineMatchesOracleOnRealPlans)
+{
+    const auto plan = tinyPlan(0.9);
+    const auto rep = verifyPlanFunctional(
+        plan, linalg::engine::KernelEngine::shared(), /*max_heads=*/6);
+    EXPECT_EQ(rep.headsChecked, 6u);
+    EXPECT_TRUE(rep.kernelsMatch(1e-4))
+        << "kernel drift " << rep.maxKernelDrift;
+}
+
+TEST(FunctionalVerification, PruningDriftGrowsWithSparsity)
+{
+    const auto &eng = linalg::engine::KernelEngine::shared();
+    const auto lo =
+        verifyPlanFunctional(tinyPlan(0.5), eng, /*max_heads=*/3);
+    const auto hi =
+        verifyPlanFunctional(tinyPlan(0.95), eng, /*max_heads=*/3);
+    EXPECT_LT(lo.maxKernelDrift, 1e-4);
+    EXPECT_LT(hi.maxKernelDrift, 1e-4);
+    EXPECT_GT(hi.maxPruningDrift, lo.maxPruningDrift * 0.5);
+    EXPECT_GT(hi.maxPruningDrift, 0.0);
+}
+
+TEST(FunctionalVerification, DeterministicInSeed)
+{
+    const auto plan = tinyPlan(0.9);
+    const auto &eng = linalg::engine::KernelEngine::shared();
+    const auto a = verifyPlanFunctional(plan, eng, 2, /*seed=*/7);
+    const auto b = verifyPlanFunctional(plan, eng, 2, /*seed=*/7);
+    EXPECT_EQ(a.maxKernelDrift, b.maxKernelDrift);
+    EXPECT_EQ(a.maxPruningDrift, b.maxPruningDrift);
+}
+
+} // namespace
+} // namespace vitcod::accel

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Differential tests of the kernel execution engine: every optimized
+ * path (tiled GEMM, CSR and CSC SDDMM, fused masked softmax, SpMM,
+ * fused sparse attention, parallel panels) must reproduce the scalar
+ * golden kernels bit-for-bit or within a small ulp budget, across
+ * random masks spanning sparsity 0.50-0.98, and produce bitwise
+ * identical results across repeated parallel runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/rng.h"
+#include "linalg/engine/engine.h"
+#include "linalg/engine/thread_pool.h"
+#include "linalg/kernels.h"
+#include "linalg/sparse_kernels.h"
+#include "sparse/bitmask.h"
+
+namespace vitcod::linalg {
+namespace {
+
+using engine::DispatchMode;
+using engine::EngineConfig;
+using engine::KernelEngine;
+using engine::ThreadPool;
+
+/** ulp distance between two finite floats (huge when signs differ). */
+uint64_t
+ulpDiff(float a, float b)
+{
+    if (a == b)
+        return 0;
+    int32_t ia, ib;
+    std::memcpy(&ia, &a, sizeof(ia));
+    std::memcpy(&ib, &b, sizeof(ib));
+    if ((ia < 0) != (ib < 0))
+        return UINT64_MAX;
+    return static_cast<uint64_t>(
+        std::abs(static_cast<int64_t>(ia) - static_cast<int64_t>(ib)));
+}
+
+/**
+ * Optimized kernels accumulate in 4 float lanes where the oracle
+ * accumulates in one double, so "equal" means: identical bits, or
+ * within a ulp budget, or within a tiny absolute band (values that
+ * cancel toward zero lose relative precision without being wrong).
+ */
+void
+expectUlpClose(float a, float b, const char *what, uint64_t max_ulps = 4096)
+{
+    if (std::abs(a - b) <= 1e-5f)
+        return;
+    EXPECT_LE(ulpDiff(a, b), max_ulps)
+        << what << ": " << a << " vs " << b;
+}
+
+void
+expectMatrixClose(const Matrix &a, const Matrix &b, const char *what)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            expectUlpClose(a(r, c), b(r, c), what);
+}
+
+void
+expectCsrClose(const sparse::Csr &a, const sparse::Csr &b,
+               const char *what)
+{
+    ASSERT_EQ(a.rowPtr(), b.rowPtr()) << what;
+    ASSERT_EQ(a.colIdx(), b.colIdx()) << what;
+    ASSERT_EQ(a.values().size(), b.values().size()) << what;
+    for (size_t i = 0; i < a.values().size(); ++i)
+        expectUlpClose(a.values()[i], b.values()[i], what);
+}
+
+/** Random mask at the target sparsity; row 0 is forced empty to
+ *  cover the fully-masked-row path. */
+sparse::BitMask
+randomMask(size_t n, double sparsity, Rng &rng)
+{
+    sparse::BitMask mask(n, n);
+    const auto target = static_cast<size_t>(
+        static_cast<double>(n * n) * (1.0 - sparsity));
+    size_t nnz = 0;
+    while (nnz < target) {
+        const auto r = static_cast<size_t>(rng.uniformInt(n));
+        const auto c = static_cast<size_t>(rng.uniformInt(n));
+        if (r == 0 || mask.get(r, c))
+            continue;
+        mask.set(r, c, true);
+        ++nnz;
+    }
+    return mask;
+}
+
+constexpr double kSparsities[] = {0.50, 0.70, 0.85, 0.90, 0.95, 0.98};
+
+TEST(KernelEngine, SddmmMatchesOracleAcrossSparsities)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(7);
+    const auto q = Matrix::randomNormal(196, 64, rng);
+    const auto k = Matrix::randomNormal(196, 64, rng);
+    for (double sp : kSparsities) {
+        const auto mask = randomMask(196, sp, rng);
+        const auto ref = sddmm(q, k, mask, 0.125f);
+        const auto got = opt.sddmm(q, k, mask, 0.125f);
+        expectCsrClose(got, ref, "sddmm");
+    }
+}
+
+TEST(KernelEngine, CscAndCsrSddmmPathsAgreeBitwise)
+{
+    // Same dot4 inner loop, different traversal order: results must
+    // be bitwise identical, not merely close.
+    const KernelEngine always_csc({.mode = DispatchMode::Optimized,
+                                   .cscSparsityThreshold = 0.0});
+    const KernelEngine never_csc({.mode = DispatchMode::Optimized,
+                                  .cscSparsityThreshold = 2.0});
+    Rng rng(11);
+    const auto q = Matrix::randomNormal(128, 48, rng);
+    const auto k = Matrix::randomNormal(128, 48, rng);
+    for (double sp : {0.6, 0.9}) {
+        const auto mask = randomMask(128, sp, rng);
+        const auto a = always_csc.sddmm(q, k, mask, 1.0f);
+        const auto b = never_csc.sddmm(q, k, mask, 1.0f);
+        EXPECT_EQ(a.values(), b.values());
+        EXPECT_EQ(a.colIdx(), b.colIdx());
+    }
+    EXPECT_GT(always_csc.stats().sddmmCsc, 0u);
+    EXPECT_GT(never_csc.stats().sddmmCsr, 0u);
+    EXPECT_EQ(always_csc.stats().sddmmCsr, 0u);
+}
+
+TEST(KernelEngine, MaskedSoftmaxMatchesOracle)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(13);
+    const auto q = Matrix::randomNormal(196, 64, rng);
+    const auto k = Matrix::randomNormal(196, 64, rng);
+    for (double sp : kSparsities) {
+        const auto mask = randomMask(196, sp, rng);
+        const auto s = sddmm(q, k, mask, 0.125f);
+        const auto ref = maskedSoftmaxRows(s);
+        const auto got = opt.maskedSoftmaxRows(s);
+        expectCsrClose(got, ref, "maskedSoftmax");
+        // Rows must still sum to 1.
+        for (size_t r = 1; r < got.rows(); ++r) {
+            if (got.rowNnz(r) == 0)
+                continue;
+            double sum = 0.0;
+            for (uint32_t i = got.rowPtr()[r]; i < got.rowPtr()[r + 1];
+                 ++i)
+                sum += got.values()[i];
+            EXPECT_NEAR(sum, 1.0, 1e-5);
+        }
+    }
+}
+
+TEST(KernelEngine, SpmmMatchesOracle)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(17);
+    const auto q = Matrix::randomNormal(196, 64, rng);
+    const auto k = Matrix::randomNormal(196, 64, rng);
+    const auto v = Matrix::randomNormal(196, 64, rng);
+    for (double sp : kSparsities) {
+        const auto mask = randomMask(196, sp, rng);
+        const auto s = maskedSoftmaxRows(sddmm(q, k, mask, 0.125f));
+        expectMatrixClose(opt.spmm(s, v), spmm(s, v), "spmm");
+    }
+}
+
+TEST(KernelEngine, FusedSparseAttentionMatchesComposedOracle)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(19);
+    const auto q = Matrix::randomNormal(196, 64, rng);
+    const auto k = Matrix::randomNormal(196, 64, rng);
+    const auto v = Matrix::randomNormal(196, 64, rng);
+    for (double sp : kSparsities) {
+        const auto mask = randomMask(196, sp, rng);
+        const auto ref = spmm(
+            maskedSoftmaxRows(sddmm(q, k, mask, 0.125f)), v);
+        expectMatrixClose(opt.sparseAttention(q, k, v, mask, 0.125f),
+                          ref, "sparseAttention");
+    }
+}
+
+TEST(KernelEngine, GemmMatchesOracleBitwise)
+{
+    // Identical accumulation order (ascending k per output element):
+    // the blocked path must be bit-for-bit the reference.
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(23);
+    const auto a = Matrix::randomNormal(197, 384, rng);
+    const auto b = Matrix::randomNormal(384, 384, rng);
+    EXPECT_TRUE(opt.gemm(a, b) == gemm(a, b));
+}
+
+TEST(KernelEngine, GemmTransBMatchesOracle)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(29);
+    const auto a = Matrix::randomNormal(197, 64, rng);
+    const auto b = Matrix::randomNormal(197, 64, rng);
+    expectMatrixClose(opt.gemmTransB(a, b), gemmTransB(a, b),
+                      "gemmTransB");
+}
+
+TEST(KernelEngine, ParallelRunsAreBitwiseDeterministic)
+{
+    ThreadPool pool(4);
+    const KernelEngine par({.mode = DispatchMode::Optimized,
+                            .rowPanel = 8,
+                            .minParallelMacs = 1},
+                           &pool);
+    const KernelEngine ser({.mode = DispatchMode::Optimized});
+    Rng rng(31);
+    const auto q = Matrix::randomNormal(196, 64, rng);
+    const auto k = Matrix::randomNormal(196, 64, rng);
+    const auto v = Matrix::randomNormal(196, 64, rng);
+    const auto mask = randomMask(196, 0.9, rng);
+
+    const Matrix serial = ser.sparseAttention(q, k, v, mask, 0.125f);
+    for (int run = 0; run < 8; ++run) {
+        const Matrix p = par.sparseAttention(q, k, v, mask, 0.125f);
+        EXPECT_TRUE(p == serial) << "parallel run " << run;
+    }
+    EXPECT_GT(par.stats().parallelLaunches, 0u);
+}
+
+TEST(KernelEngine, AutoModeDispatchesBySize)
+{
+    const KernelEngine eng{EngineConfig{}};
+    Rng rng(37);
+    // Tiny: reference path.
+    const auto a_small = Matrix::randomNormal(4, 4, rng);
+    const auto b_small = Matrix::randomNormal(4, 4, rng);
+    (void)eng.gemm(a_small, b_small);
+    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
+    EXPECT_EQ(eng.stats().gemmReference, 1u);
+    // Big: optimized path.
+    const auto a_big = Matrix::randomNormal(196, 384, rng);
+    const auto b_big = Matrix::randomNormal(384, 384, rng);
+    (void)eng.gemm(a_big, b_big);
+    EXPECT_EQ(eng.stats().gemmOptimized, 1u);
+
+    eng.resetStats();
+    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
+}
+
+TEST(KernelEngine, ReferenceModePinsTheOracle)
+{
+    const KernelEngine ref({.mode = DispatchMode::Reference});
+    Rng rng(41);
+    const auto q = Matrix::randomNormal(64, 32, rng);
+    const auto k = Matrix::randomNormal(64, 32, rng);
+    const auto mask = randomMask(64, 0.9, rng);
+    const auto a = ref.sddmm(q, k, mask, 1.0f);
+    const auto b = sddmm(q, k, mask, 1.0f);
+    EXPECT_EQ(a.values(), b.values());
+    EXPECT_EQ(ref.stats().sddmmReference, 1u);
+    EXPECT_EQ(ref.stats().sddmmCsr + ref.stats().sddmmCsc, 0u);
+}
+
+TEST(KernelEngine, EmptyAndFullMasksAreHandled)
+{
+    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    Rng rng(43);
+    const auto q = Matrix::randomNormal(16, 8, rng);
+    const auto k = Matrix::randomNormal(16, 8, rng);
+    const auto v = Matrix::randomNormal(16, 8, rng);
+
+    sparse::BitMask empty(16, 16);
+    const auto out_empty = opt.sparseAttention(q, k, v, empty, 1.0f);
+    EXPECT_EQ(out_empty, Matrix(16, 8)); // all-zero
+
+    sparse::BitMask full(16, 16);
+    for (size_t r = 0; r < 16; ++r)
+        for (size_t c = 0; c < 16; ++c)
+            full.set(r, c, true);
+    const auto ref = spmm(maskedSoftmaxRows(sddmm(q, k, full, 1.0f)), v);
+    expectMatrixClose(opt.sparseAttention(q, k, v, full, 1.0f), ref,
+                      "full mask");
+}
+
+} // namespace
+} // namespace vitcod::linalg
