@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the coverage CI job.
+
+Aggregates gcov line coverage over a VITCOD_COVERAGE=ON build after
+the test suite ran (so .gcda files exist), then fails when overall
+line coverage of files under --source drops below --min-line:
+
+    python3 scripts/check_coverage.py \
+        --build build-cov --source src --min-line 70 \
+        --report coverage_report.txt
+
+Implementation notes: every *.gcda in the build tree is fed to
+`gcov --json-format --stdout`, which needs no third-party tooling
+(no gcovr/lcov). A header compiled into many translation units is
+counted once, merging execution counts per line with max() — a line
+is covered if ANY unit executed it. The floor is a ratchet against
+silent coverage loss, not a target: raise it when real coverage
+grows, never lower it to make a PR pass.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def gcov_json(gcda_path, gcov_tool):
+    """Run gcov in JSON mode; returns parsed docs (one per .gcda)."""
+    res = subprocess.run(
+        [gcov_tool, "--json-format", "--stdout", gcda_path],
+        capture_output=True,
+        text=True,
+    )
+    if res.returncode != 0:
+        print(
+            f"warning: {gcov_tool} failed on {gcda_path}: "
+            f"{res.stderr.strip()}",
+            file=sys.stderr,
+        )
+        return []
+    docs = []
+    for line in res.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", required=True, help="build directory")
+    ap.add_argument(
+        "--source",
+        default="src",
+        help="only count files under this prefix (repo-relative)",
+    )
+    ap.add_argument("--min-line", type=float, default=0.0)
+    ap.add_argument("--gcov", default="gcov")
+    ap.add_argument("--report", default=None)
+    args = ap.parse_args()
+
+    source_prefix = os.path.abspath(args.source) + os.sep
+
+    # file -> line -> max execution count across translation units.
+    coverage = {}
+    gcda_count = 0
+    for gcda in find_gcda(args.build):
+        gcda_count += 1
+        for doc in gcov_json(gcda, args.gcov):
+            for frec in doc.get("files", []):
+                path = os.path.abspath(frec.get("file", ""))
+                if not path.startswith(source_prefix):
+                    continue
+                lines = coverage.setdefault(path, {})
+                for lrec in frec.get("lines", []):
+                    no = lrec.get("line_number")
+                    count = lrec.get("count", 0)
+                    if no is None:
+                        continue
+                    lines[no] = max(lines.get(no, 0), count)
+
+    if gcda_count == 0:
+        print(
+            f"error: no .gcda files under {args.build} — build with "
+            "-DVITCOD_COVERAGE=ON and run the tests first",
+            file=sys.stderr,
+        )
+        return 1
+    if not coverage:
+        print(
+            f"error: no coverage records under {source_prefix}",
+            file=sys.stderr,
+        )
+        return 1
+
+    rows = []
+    total_lines = 0
+    total_covered = 0
+    for path in sorted(coverage):
+        lines = coverage[path]
+        n = len(lines)
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += n
+        total_covered += covered
+        rel = os.path.relpath(path)
+        rows.append((rel, covered, n, 100.0 * covered / n if n else 0))
+
+    pct = 100.0 * total_covered / total_lines
+    out_lines = [f"{'file':<52} {'cov':>6} {'lines':>6} {'pct':>7}"]
+    for rel, covered, n, p in rows:
+        out_lines.append(f"{rel:<52} {covered:>6} {n:>6} {p:>6.1f}%")
+    out_lines.append(
+        f"{'TOTAL':<52} {total_covered:>6} {total_lines:>6} "
+        f"{pct:>6.1f}%"
+    )
+    report = "\n".join(out_lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report + "\n")
+
+    if pct < args.min_line:
+        print(
+            f"\nCOVERAGE REGRESSION: line coverage {pct:.1f}% is "
+            f"below the floor {args.min_line:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nline coverage {pct:.1f}% >= floor {args.min_line:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

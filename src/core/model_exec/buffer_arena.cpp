@@ -1,0 +1,119 @@
+#include "core/model_exec/buffer_arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vitcod::core::model_exec {
+
+namespace {
+
+size_t
+idx(Slot s)
+{
+    return static_cast<size_t>(s);
+}
+
+} // namespace
+
+void
+BufferArena::reserveFor(const model::VitModelConfig &model,
+                        size_t in_dim, size_t num_classes)
+{
+    const size_t n = model.maxTokens();
+    const size_t d = model.maxEmbedDim();
+    const size_t hd = model.maxHeadConcat();
+    const size_t dk = model.maxHeadDim();
+    const size_t hidden = model.maxMlpHidden();
+    const size_t stream = std::max({d, in_dim});
+
+    auto reserve = [&](Slot s, size_t rows, size_t cols) {
+        slots_[idx(s)].resize(rows, cols);
+        reserved_[idx(s)] = rows * cols;
+    };
+    reserve(Slot::kX0, n, stream);
+    reserve(Slot::kX1, n, stream);
+    reserve(Slot::kNorm, n, d);
+    reserve(Slot::kQ, n, hd);
+    reserve(Slot::kK, n, hd);
+    reserve(Slot::kV, n, hd);
+    reserve(Slot::kHeadQ, n, dk);
+    reserve(Slot::kHeadK, n, dk);
+    reserve(Slot::kHeadV, n, dk);
+    reserve(Slot::kHeadOut, n, dk);
+    reserve(Slot::kConcat, n, hd);
+    reserve(Slot::kProj, n, d);
+    reserve(Slot::kHidden, n, hidden);
+    reserve(Slot::kMlpOut, n, d);
+    reserve(Slot::kPooled, 1, d);
+    reserve(Slot::kLogits, 1, num_classes);
+}
+
+linalg::Matrix &
+BufferArena::at(Slot s, size_t rows, size_t cols)
+{
+    VITCOD_ASSERT(s < Slot::kCount, "bad arena slot");
+    linalg::Matrix &m = slots_[idx(s)];
+    if (rows * cols > reserved_[idx(s)]) {
+        ++growths_;
+        reserved_[idx(s)] = rows * cols;
+    }
+    m.resize(rows, cols);
+    return m;
+}
+
+linalg::Matrix &
+BufferArena::atOverwrite(Slot s, size_t rows, size_t cols)
+{
+    VITCOD_ASSERT(s < Slot::kCount, "bad arena slot");
+    linalg::Matrix &m = slots_[idx(s)];
+    if (rows * cols > reserved_[idx(s)]) {
+        ++growths_;
+        reserved_[idx(s)] = rows * cols;
+    }
+    m.reshapeUninit(rows, cols);
+    return m;
+}
+
+linalg::Matrix &
+BufferArena::at(Slot s)
+{
+    VITCOD_ASSERT(s < Slot::kCount, "bad arena slot");
+    return slots_[idx(s)];
+}
+
+const linalg::Matrix &
+BufferArena::at(Slot s) const
+{
+    VITCOD_ASSERT(s < Slot::kCount, "bad arena slot");
+    return slots_[idx(s)];
+}
+
+void
+BufferArena::flipResidual()
+{
+    residualIsX1_ = !residualIsX1_;
+}
+
+linalg::Matrix &
+BufferArena::residual()
+{
+    return slots_[idx(residualIsX1_ ? Slot::kX1 : Slot::kX0)];
+}
+
+linalg::Matrix &
+BufferArena::residualSpare()
+{
+    return slots_[idx(residualIsX1_ ? Slot::kX0 : Slot::kX1)];
+}
+
+size_t
+BufferArena::footprintBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &m : slots_)
+        bytes += m.capacity() * sizeof(float);
+    return bytes;
+}
+
+} // namespace vitcod::core::model_exec

@@ -1,0 +1,385 @@
+#include "core/model_exec/model_executor.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/kernels.h"
+
+namespace vitcod::core::model_exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Per-layer analytic MACs at one stage's shape + that layer's
+ *  mask nonzeros. */
+MacOps
+layerMacs(const model::StageConfig &s, size_t mask_nnz)
+{
+    const MacOps n = s.tokens;
+    const MacOps d = s.embedDim;
+    const MacOps hd = s.heads * s.headDim;
+    const MacOps hidden = s.mlpRatio * s.embedDim;
+    return 3 * n * d * hd               // Q/K/V projections
+           + static_cast<MacOps>(mask_nnz) * s.headDim * 2 // SDDMM+SpMM
+           + n * hd * d                 // output projection
+           + 2 * n * d * hidden;        // FC1 + FC2
+}
+
+} // namespace
+
+ModelExecutor::ModelExecutor(const core::ModelPlan *plan,
+                             ModelWeights weights, ExecutorConfig cfg,
+                             const linalg::engine::KernelEngine *eng)
+    : plan_(plan), weights_(std::move(weights)), cfg_(cfg),
+      engine_(eng)
+{
+    VITCOD_ASSERT(plan_ != nullptr, "null model plan");
+    VITCOD_ASSERT(engine_ != nullptr, "null kernel engine");
+    const model::VitModelConfig &m = plan_->model;
+    VITCOD_ASSERT(!m.stages.empty(), "model has no stages");
+    // Pyramids only shrink; a growing stage would leave pooling
+    // groups empty (divide by zero -> NaN activations).
+    for (size_t s = 0; s + 1 < m.stages.size(); ++s)
+        VITCOD_ASSERT(m.stages[s + 1].tokens <= m.stages[s].tokens,
+                      "stage transition must not grow tokens");
+    const size_t layers = m.totalLayers();
+    VITCOD_ASSERT(weights_.blocks.size() == layers,
+                  "one BlockWeights per layer required");
+    VITCOD_ASSERT(weights_.stageProj.size() + 1 == m.stages.size(),
+                  "one stage projection per transition required");
+    if (cfg_.inDim == 0)
+        cfg_.inDim = m.stages.front().embedDim;
+    VITCOD_ASSERT(weights_.patchEmbed.rows() == cfg_.inDim &&
+                      weights_.patchEmbed.cols() ==
+                          m.stages.front().embedDim,
+                  "patch embedding shape mismatch");
+    VITCOD_ASSERT(weights_.classifier.rows() ==
+                          m.stages.back().embedDim &&
+                      weights_.classifier.cols() == cfg_.numClasses,
+                  "classifier shape mismatch");
+
+    // Resolve every (layer, head) plan once; forward never searches.
+    headPlans_.resize(layers);
+    for (size_t l = 0; l < layers; ++l)
+        headPlans_[l].assign(m.stageForLayer(l).heads, nullptr);
+    for (const core::HeadPlan &hp : plan_->heads) {
+        VITCOD_ASSERT(hp.layer < layers &&
+                          hp.head < headPlans_[hp.layer].size(),
+                      "head plan outside model shape");
+        headPlans_[hp.layer][hp.head] = &hp.plan;
+    }
+    headNnz_.resize(layers);
+    layerNnz_.assign(layers, 0);
+    for (size_t l = 0; l < layers; ++l) {
+        const model::StageConfig &s = m.stageForLayer(l);
+        headNnz_[l].reserve(headPlans_[l].size());
+        for (size_t h = 0; h < headPlans_[l].size(); ++h) {
+            const SparseAttentionPlan *p = headPlans_[l][h];
+            VITCOD_ASSERT(p != nullptr, "missing plan for layer ", l,
+                          " head ", h);
+            VITCOD_ASSERT(p->tokens == s.tokens,
+                          "plan token count mismatch at layer ", l);
+            headNnz_[l].push_back(p->mask.nnz());
+            layerNnz_[l] += headNnz_[l].back();
+        }
+    }
+
+    forwardMacs_ = static_cast<MacOps>(m.stages.front().tokens) *
+                   cfg_.inDim * m.stages.front().embedDim;
+    for (size_t l = 0; l < layers; ++l)
+        forwardMacs_ += layerMacs(m.stageForLayer(l), layerNnz_[l]);
+    for (size_t s = 0; s + 1 < m.stages.size(); ++s)
+        forwardMacs_ += static_cast<MacOps>(m.stages[s + 1].tokens) *
+                        m.stages[s].embedDim *
+                        m.stages[s + 1].embedDim;
+    forwardMacs_ += static_cast<MacOps>(m.stages.back().embedDim) *
+                    cfg_.numClasses;
+
+    arena_.reserveFor(m, cfg_.inDim, cfg_.numClasses);
+}
+
+void
+ModelExecutor::layerNormInto(const linalg::Matrix &x,
+                             const std::vector<float> &gamma,
+                             const std::vector<float> &beta,
+                             linalg::Matrix &out) const
+{
+    // One shared definition with ReferenceBlock, so the
+    // differential test compares attention/MLP numerics rather
+    // than two LayerNorm copies.
+    linalg::layerNormRowsInto(x, gamma, beta, out);
+}
+
+void
+ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
+{
+    const model::StageConfig &s = plan_->model.stageForLayer(layer);
+    const BlockWeights &w = weights_.blocks[layer];
+    const size_t n = s.tokens;
+    const size_t d = s.embedDim;
+    const size_t dk = s.headDim;
+    const size_t hd = s.heads * dk;
+    const auto scale = static_cast<float>(
+        1.0 / std::sqrt(static_cast<double>(dk)));
+
+    linalg::Matrix &x = arena_.residual();
+    VITCOD_ASSERT(x.rows() == n && x.cols() == d,
+                  "residual shape mismatch at layer ", layer);
+
+    // --- attention: LN -> QKV -> per-head sparse attention -------
+    // Slots consumed by *Into callees are acquired shape-free: the
+    // callee reshapes (and zeroes) them itself, so pre-shaping here
+    // would just clear the buffer twice.
+    linalg::Matrix &norm = arena_.at(Slot::kNorm);
+    layerNormInto(x, w.ln1Gamma, w.ln1Beta, norm);
+
+    auto t0 = Clock::now();
+    linalg::Matrix &q = arena_.at(Slot::kQ);
+    linalg::Matrix &k = arena_.at(Slot::kK);
+    linalg::Matrix &v = arena_.at(Slot::kV);
+    engine_->gemmInto(norm, w.wq, q);
+    engine_->gemmInto(norm, w.wk, k);
+    engine_->gemmInto(norm, w.wv, v);
+    if (lt)
+        lt->qkvSeconds += secondsSince(t0);
+
+    t0 = Clock::now();
+    // Overwrite-acquired: every element of these is written by the
+    // permute loops below (perm is a bijection over rows, heads
+    // cover all columns), so the zeroing pass is skipped.
+    linalg::Matrix &concat = arena_.atOverwrite(Slot::kConcat, n, hd);
+    for (size_t head = 0; head < s.heads; ++head) {
+        const SparseAttentionPlan &hp = *headPlans_[layer][head];
+        // Slice this head's columns and permute rows into the
+        // plan's token order in one pass, exactly as the
+        // accelerator schedules it.
+        linalg::Matrix &hq = arena_.atOverwrite(Slot::kHeadQ, n, dk);
+        linalg::Matrix &hk = arena_.atOverwrite(Slot::kHeadK, n, dk);
+        linalg::Matrix &hv = arena_.atOverwrite(Slot::kHeadV, n, dk);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t src = hp.perm[i];
+            for (size_t c = 0; c < dk; ++c) {
+                hq(i, c) = q(src, head * dk + c);
+                hk(i, c) = k(src, head * dk + c);
+                hv(i, c) = v(src, head * dk + c);
+            }
+        }
+        const auto th0 = Clock::now();
+        linalg::Matrix &hout = arena_.at(Slot::kHeadOut);
+        engine_->sparseAttentionInto(hq, hk, hv, hp.mask, scale,
+                                     hout);
+        const double head_seconds = secondsSince(th0);
+        // Un-permute: permuted row i is original token perm[i].
+        for (size_t i = 0; i < n; ++i)
+            for (size_t c = 0; c < dk; ++c)
+                concat(hp.perm[i], head * dk + c) = hout(i, c);
+        if (lt && cfg_.collectHeadTraces) {
+            HeadTrace &ht = lt->headTraces[head];
+            ht.head = head;
+            ht.maskNnz = headNnz_[layer][head];
+            ht.numGlobalTokens = hp.numGlobalTokens;
+            ht.seconds += head_seconds;
+        }
+    }
+    if (lt)
+        lt->attnSeconds += secondsSince(t0);
+
+    // --- output projection + residual ----------------------------
+    t0 = Clock::now();
+    linalg::Matrix &proj = arena_.at(Slot::kProj);
+    engine_->gemmInto(concat, w.wo, proj);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            x(r, c) += proj(r, c);
+    if (lt)
+        lt->projSeconds += secondsSince(t0);
+
+    // --- MLP + residual ------------------------------------------
+    t0 = Clock::now();
+    layerNormInto(x, w.ln2Gamma, w.ln2Beta, norm);
+    linalg::Matrix &hidden = arena_.at(Slot::kHidden);
+    engine_->gemmInto(norm, w.fc1, hidden);
+    linalg::geluInPlace(hidden);
+    linalg::Matrix &mlp_out = arena_.at(Slot::kMlpOut);
+    engine_->gemmInto(hidden, w.fc2, mlp_out);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            x(r, c) += mlp_out(r, c);
+    if (lt)
+        lt->mlpSeconds += secondsSince(t0);
+}
+
+void
+ModelExecutor::stageTransition(size_t next_stage)
+{
+    // LeViT-style pyramid shrink, as a proxy: average-pool token
+    // groups down to the next stage's count, then project the
+    // embedding width. Group boundaries are floor(i * n_old /
+    // n_new), handling non-integer ratios (49 -> 16).
+    const model::VitModelConfig &m = plan_->model;
+    const size_t n_new = m.stages[next_stage].tokens;
+    linalg::Matrix &x = arena_.residual();
+    const size_t n_old = x.rows();
+    const size_t d_old = x.cols();
+
+    linalg::Matrix &pooled = arena_.residualSpare();
+    pooled.reshapeUninit(n_new, d_old); // every element written below
+    for (size_t i = 0; i < n_new; ++i) {
+        const size_t r0 = i * n_old / n_new;
+        const size_t r1 = (i + 1) * n_old / n_new;
+        const auto inv =
+            static_cast<float>(1.0 / static_cast<double>(r1 - r0));
+        for (size_t c = 0; c < d_old; ++c) {
+            float sum = 0.0f;
+            for (size_t r = r0; r < r1; ++r)
+                sum += x(r, c);
+            pooled(i, c) = sum * inv;
+        }
+    }
+    arena_.flipResidual();
+    engine_->gemmInto(arena_.residual(),
+                      weights_.stageProj[next_stage - 1],
+                      arena_.residualSpare());
+    arena_.flipResidual();
+}
+
+void
+ModelExecutor::classify()
+{
+    const size_t d = plan_->model.stages.back().embedDim;
+    linalg::Matrix &x = arena_.residual();
+    linalg::Matrix &norm = arena_.at(Slot::kNorm);
+    layerNormInto(x, weights_.lnFinalGamma, weights_.lnFinalBeta,
+                  norm);
+    linalg::Matrix &pooled = arena_.atOverwrite(Slot::kPooled, 1, d);
+    const auto inv =
+        static_cast<float>(1.0 / static_cast<double>(norm.rows()));
+    for (size_t c = 0; c < d; ++c) {
+        double sum = 0.0;
+        for (size_t r = 0; r < norm.rows(); ++r)
+            sum += norm(r, c);
+        pooled(0, c) = static_cast<float>(sum) * inv;
+    }
+    engine_->gemmInto(pooled, weights_.classifier,
+                      arena_.at(Slot::kLogits));
+}
+
+void
+ModelExecutor::forwardInto(const linalg::Matrix &patches,
+                           ExecTrace *trace)
+{
+    const model::VitModelConfig &m = plan_->model;
+    VITCOD_ASSERT(patches.rows() == m.stages.front().tokens &&
+                      patches.cols() == cfg_.inDim,
+                  "patch input shape mismatch");
+
+    auto t0 = Clock::now();
+    engine_->gemmInto(patches, weights_.patchEmbed,
+                      arena_.residual());
+    if (trace)
+        trace->patchEmbedSeconds += secondsSince(t0);
+
+    size_t stage = 0;
+    size_t stage_first_layer = 0;
+    for (size_t layer = 0; layer < m.totalLayers(); ++layer) {
+        while (layer >= stage_first_layer + m.stages[stage].layers) {
+            stage_first_layer += m.stages[stage].layers;
+            ++stage;
+            stageTransition(stage);
+        }
+        runLayer(layer, trace ? &trace->layers[layer] : nullptr);
+    }
+
+    t0 = Clock::now();
+    classify();
+    if (trace)
+        trace->classifierSeconds += secondsSince(t0);
+}
+
+void
+ModelExecutor::initTrace(ExecTrace *trace, size_t batch) const
+{
+    if (!trace)
+        return;
+    const model::VitModelConfig &m = plan_->model;
+    *trace = ExecTrace{};
+    trace->model = m.name;
+    trace->batch = batch;
+    trace->layers.resize(m.totalLayers());
+    for (size_t l = 0; l < m.totalLayers(); ++l) {
+        const model::StageConfig &s = m.stageForLayer(l);
+        LayerTrace &lt = trace->layers[l];
+        lt.layer = l;
+        lt.tokens = s.tokens;
+        lt.heads = s.heads;
+        lt.headDim = s.headDim;
+        lt.embedDim = s.embedDim;
+        if (cfg_.collectHeadTraces)
+            lt.headTraces.resize(s.heads);
+    }
+}
+
+void
+ModelExecutor::finalizeTrace(
+    ExecTrace *trace, size_t batch,
+    const linalg::engine::EngineStats &before, double seconds) const
+{
+    if (!trace)
+        return;
+    const model::VitModelConfig &m = plan_->model;
+    trace->totalSeconds = seconds;
+    trace->dispatch = engine_->stats() - before;
+    trace->totalMacs = forwardMacs() * static_cast<MacOps>(batch);
+    for (size_t l = 0; l < trace->layers.size(); ++l)
+        trace->layers[l].macs =
+            layerMacs(m.stageForLayer(l), layerNnz_[l]) *
+            static_cast<MacOps>(batch);
+}
+
+linalg::Matrix
+ModelExecutor::forward(const linalg::Matrix &patches,
+                       ExecTrace *trace)
+{
+    initTrace(trace, 1);
+    const linalg::engine::EngineStats before = engine_->stats();
+    const auto t0 = Clock::now();
+    forwardInto(patches, trace);
+    finalizeTrace(trace, 1, before, secondsSince(t0));
+    return arena_.at(Slot::kLogits);
+}
+
+std::vector<linalg::Matrix>
+ModelExecutor::forwardBatch(const std::vector<linalg::Matrix> &inputs,
+                            ExecTrace *trace)
+{
+    VITCOD_ASSERT(!inputs.empty(), "empty batch");
+    initTrace(trace, inputs.size());
+    const linalg::engine::EngineStats before = engine_->stats();
+    const auto t0 = Clock::now();
+
+    std::vector<linalg::Matrix> logits;
+    logits.reserve(inputs.size());
+    for (const linalg::Matrix &patches : inputs) {
+        forwardInto(patches, trace);
+        logits.push_back(arena_.at(Slot::kLogits));
+    }
+
+    finalizeTrace(trace, inputs.size(), before, secondsSince(t0));
+    return logits;
+}
+
+MacOps
+ModelExecutor::forwardMacs() const
+{
+    return forwardMacs_;
+}
+
+} // namespace vitcod::core::model_exec

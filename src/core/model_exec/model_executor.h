@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Full-model forward-pass runtime: executes an entire N-layer ViT
+ * with real activations through the KernelEngine — the quantity
+ * the paper's Fig. 15/17 latency results are about, where the rest
+ * of the repo only times isolated attention blocks.
+ *
+ * Per forward: patch-embedding proxy GEMM, then per layer
+ * {LayerNorm, Q/K/V projection GEMMs, per-head sparse attention
+ * (SDDMM -> fused masked softmax -> SpMM) in that head's plan-
+ * permuted token order using the engine's cached mask structure,
+ * output projection, residual, LayerNorm, MLP (GELU), residual},
+ * LeViT-style token pooling + projection at stage transitions, and
+ * a final LayerNorm + mean-pool + classifier GEMM. The math is the
+ * layer-by-layer composition of ReferenceBlock::forwardSparse —
+ * tests/core/test_model_exec.cpp holds the two implementations to
+ * a ulp budget differentially.
+ *
+ * All activations live in a BufferArena sized once per model:
+ * steady-state forwards perform zero activation allocations.
+ * forwardBatch() runs a batch back to back through the same arena,
+ * so every head's mask-structure lookup after the first sample is
+ * an engine cache hit (size structureCacheCapacity >= the model's
+ * total head count to keep that true).
+ *
+ * An executor owns mutable per-call state (arena, scratch): one
+ * executor per thread. The plan and engine are borrowed and must
+ * outlive the executor.
+ */
+
+#ifndef VITCOD_CORE_MODEL_EXEC_MODEL_EXECUTOR_H
+#define VITCOD_CORE_MODEL_EXEC_MODEL_EXECUTOR_H
+
+#include <vector>
+
+#include "core/model_exec/buffer_arena.h"
+#include "core/model_exec/exec_trace.h"
+#include "core/model_exec/model_weights.h"
+#include "core/pipeline.h"
+#include "linalg/engine/engine.h"
+
+namespace vitcod::core::model_exec {
+
+/** Knobs of one executor instance. */
+struct ExecutorConfig
+{
+    /** Classifier width. */
+    size_t numClasses = 1000;
+
+    /** Patch-feature width entering the embedding; 0 = stage 0's
+     *  embedDim. */
+    size_t inDim = 0;
+
+    /** Record per-head traces (tiny cost; off for pure latency). */
+    bool collectHeadTraces = true;
+};
+
+/** Whole-model forward executor over a built ModelPlan. */
+class ModelExecutor
+{
+  public:
+    /**
+     * @param plan Built algorithm output; borrowed, must outlive
+     *        the executor. One SparseAttentionPlan per (layer,
+     *        head) is required.
+     * @param weights Full weight set; the executor takes ownership.
+     * @param eng Kernel executor; defaults to the shared
+     *        Auto-dispatch engine.
+     */
+    ModelExecutor(const core::ModelPlan *plan, ModelWeights weights,
+                  ExecutorConfig cfg = {},
+                  const linalg::engine::KernelEngine *eng =
+                      &linalg::engine::KernelEngine::shared());
+
+    const core::ModelPlan &plan() const { return *plan_; }
+    const ExecutorConfig &config() const { return cfg_; }
+    const ModelWeights &weights() const { return weights_; }
+    const BufferArena &arena() const { return arena_; }
+
+    /**
+     * One forward pass: @p patches is (stage0.tokens x inDim),
+     * result is (1 x numClasses) logits. When @p trace is non-null
+     * it is overwritten with this call's record.
+     */
+    linalg::Matrix forward(const linalg::Matrix &patches,
+                           ExecTrace *trace = nullptr);
+
+    /**
+     * Batch entry point: runs every input back to back through the
+     * same arena and warm mask-structure cache, amortizing the
+     * per-head structure lookups across the batch. @p trace (when
+     * non-null) accumulates times/dispatch over the whole batch
+     * with batch = inputs.size().
+     */
+    std::vector<linalg::Matrix>
+    forwardBatch(const std::vector<linalg::Matrix> &inputs,
+                 ExecTrace *trace = nullptr);
+
+    /** Analytic MACs of one forward pass (constant per config). */
+    MacOps forwardMacs() const;
+
+  private:
+    /** One transformer layer in place on arena.residual(). */
+    void runLayer(size_t layer, LayerTrace *lt);
+
+    /** Token pooling + projection entering stage @p next_stage. */
+    void stageTransition(size_t next_stage);
+
+    /** Final LN + mean pool + classifier; result in kLogits. */
+    void classify();
+
+    /** LayerNorm of @p x into @p out (row-wise, eps 1e-6). */
+    void layerNormInto(const linalg::Matrix &x,
+                       const std::vector<float> &gamma,
+                       const std::vector<float> &beta,
+                       linalg::Matrix &out) const;
+
+    /** Skeleton of forward(); shared by the batch path. */
+    void forwardInto(const linalg::Matrix &patches, ExecTrace *trace);
+
+    /** Reset @p trace with static per-layer fields for @p batch. */
+    void initTrace(ExecTrace *trace, size_t batch) const;
+
+    /** Fill dispatch delta, MAC counts and total time. */
+    void finalizeTrace(ExecTrace *trace, size_t batch,
+                       const linalg::engine::EngineStats &before,
+                       double seconds) const;
+
+    const core::ModelPlan *plan_;
+    ModelWeights weights_;
+    ExecutorConfig cfg_;
+    const linalg::engine::KernelEngine *engine_;
+
+    /** headPlans_[layer][head] -> plan, resolved once at build. */
+    std::vector<std::vector<const SparseAttentionPlan *>> headPlans_;
+
+    /** Plan-constant mask nonzeros, cached at build: the O(n^2)
+     *  BitMask::nnz() scans never run on the request path. */
+    std::vector<std::vector<size_t>> headNnz_; //!< [layer][head]
+    std::vector<size_t> layerNnz_;             //!< per-layer sum
+    MacOps forwardMacs_ = 0;
+
+    BufferArena arena_;
+};
+
+} // namespace vitcod::core::model_exec
+
+#endif // VITCOD_CORE_MODEL_EXEC_MODEL_EXECUTOR_H

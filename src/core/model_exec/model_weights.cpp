@@ -1,0 +1,62 @@
+#include "core/model_exec/model_weights.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vitcod::core::model_exec {
+
+namespace {
+
+linalg::Matrix
+scaledInit(size_t rows, size_t cols, Rng &rng)
+{
+    return linalg::Matrix::randomNormal(
+        rows, cols, rng, 0.0f,
+        static_cast<float>(1.0 /
+                           std::sqrt(static_cast<double>(rows))));
+}
+
+} // namespace
+
+ModelWeights
+ModelWeights::random(const model::VitModelConfig &model,
+                     size_t in_dim, size_t num_classes, Rng &rng)
+{
+    VITCOD_ASSERT(!model.stages.empty(), "model has no stages");
+    VITCOD_ASSERT(num_classes >= 1, "classifier needs >= 1 class");
+    const size_t d0 = model.stages.front().embedDim;
+    if (in_dim == 0)
+        in_dim = d0;
+
+    ModelWeights w;
+    w.patchEmbed = scaledInit(in_dim, d0, rng);
+    for (size_t layer = 0; layer < model.totalLayers(); ++layer)
+        w.blocks.push_back(
+            BlockWeights::random(model.stageForLayer(layer), rng));
+    for (size_t s = 0; s + 1 < model.stages.size(); ++s)
+        w.stageProj.push_back(
+            scaledInit(model.stages[s].embedDim,
+                       model.stages[s + 1].embedDim, rng));
+    const size_t d_last = model.stages.back().embedDim;
+    w.lnFinalGamma.assign(d_last, 1.0f);
+    w.lnFinalBeta.assign(d_last, 0.0f);
+    w.classifier = scaledInit(d_last, num_classes, rng);
+    return w;
+}
+
+size_t
+ModelWeights::parameterCount() const
+{
+    size_t n = patchEmbed.size() + classifier.size() +
+               lnFinalGamma.size() + lnFinalBeta.size();
+    for (const auto &p : stageProj)
+        n += p.size();
+    for (const BlockWeights &b : blocks)
+        n += b.wq.size() + b.wk.size() + b.wv.size() + b.wo.size() +
+             b.fc1.size() + b.fc2.size() + b.ln1Gamma.size() +
+             b.ln1Beta.size() + b.ln2Gamma.size() + b.ln2Beta.size();
+    return n;
+}
+
+} // namespace vitcod::core::model_exec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The full weight set of one model as the ModelExecutor consumes
+ * it: a patch-embedding projection proxy, one BlockWeights per
+ * transformer layer, a projection per pyramid stage transition
+ * (LeViT-style token pooling), a final LayerNorm and the classifier
+ * head. Weights are plain matrices; random() draws them with the
+ * same 1/sqrt(fan_in) scaling BlockWeights uses so activations stay
+ * stable through deep stacks.
+ */
+
+#ifndef VITCOD_CORE_MODEL_EXEC_MODEL_WEIGHTS_H
+#define VITCOD_CORE_MODEL_EXEC_MODEL_WEIGHTS_H
+
+#include <vector>
+
+#include "core/reference_block.h"
+#include "linalg/matrix.h"
+#include "model/vit_config.h"
+
+namespace vitcod::core::model_exec {
+
+/** Every learnable tensor of one model. */
+struct ModelWeights
+{
+    /** Patch-feature projection: inDim x embedDim(stage 0). */
+    linalg::Matrix patchEmbed;
+
+    /** One per global layer, in layer order. */
+    std::vector<BlockWeights> blocks;
+
+    /**
+     * One per stage transition (stages.size() - 1 entries):
+     * embedDim(stage s) x embedDim(stage s+1), applied after token
+     * pooling. Identity-free: present even when dims match so the
+     * executor has a single code path.
+     */
+    std::vector<linalg::Matrix> stageProj;
+
+    /** Final LayerNorm before the classifier. */
+    std::vector<float> lnFinalGamma, lnFinalBeta;
+
+    /** Classifier head: embedDim(last stage) x numClasses. */
+    linalg::Matrix classifier;
+
+    /**
+     * Random initialization for @p model. @p in_dim is the
+     * patch-feature width (0 picks stage 0's embedDim);
+     * @p num_classes the classifier width.
+     */
+    static ModelWeights random(const model::VitModelConfig &model,
+                               size_t in_dim, size_t num_classes,
+                               Rng &rng);
+
+    /** Total scalar parameters (for weight-streaming estimates). */
+    size_t parameterCount() const;
+};
+
+} // namespace vitcod::core::model_exec
+
+#endif // VITCOD_CORE_MODEL_EXEC_MODEL_WEIGHTS_H

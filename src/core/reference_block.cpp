@@ -61,24 +61,8 @@ ReferenceBlock::layerNorm(const linalg::Matrix &x,
                           const std::vector<float> &gamma,
                           const std::vector<float> &beta) const
 {
-    linalg::Matrix out(x.rows(), x.cols());
-    for (size_t r = 0; r < x.rows(); ++r) {
-        double mean = 0.0;
-        for (size_t c = 0; c < x.cols(); ++c)
-            mean += x(r, c);
-        mean /= static_cast<double>(x.cols());
-        double var = 0.0;
-        for (size_t c = 0; c < x.cols(); ++c) {
-            const double d = x(r, c) - mean;
-            var += d * d;
-        }
-        var /= static_cast<double>(x.cols());
-        const double inv = 1.0 / std::sqrt(var + 1e-6);
-        for (size_t c = 0; c < x.cols(); ++c) {
-            out(r, c) = static_cast<float>(
-                (x(r, c) - mean) * inv * gamma[c] + beta[c]);
-        }
-    }
+    linalg::Matrix out;
+    linalg::layerNormRowsInto(x, gamma, beta, out);
     return out;
 }
 

@@ -178,18 +178,27 @@ KernelEngine::forPanels(
 Matrix
 KernelEngine::gemm(const Matrix &a, const Matrix &b) const
 {
+    Matrix c;
+    gemmInto(a, b, c);
+    return c;
+}
+
+void
+KernelEngine::gemmInto(const Matrix &a, const Matrix &b,
+                       Matrix &c) const
+{
     const size_t macs = a.rows() * a.cols() * b.cols();
     if (!useOptimized(macs)) {
         counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
-        return linalg::gemm(a, b);
+        linalg::gemmInto(a, b, c);
+        return;
     }
     VITCOD_ASSERT(a.cols() == b.rows(), "gemm shape mismatch");
     counters_[kGemmOpt].fetch_add(1, std::memory_order_relaxed);
-    Matrix c(a.rows(), b.cols());
+    c.resize(a.rows(), b.cols());
     forPanels(a.rows(), macs, [&](size_t r0, size_t r1) {
         gemmPanel(a, b, c, r0, r1, cfg_.gemmKBlock, cfg_.gemmJBlock);
     });
-    return c;
 }
 
 Matrix
@@ -298,15 +307,30 @@ KernelEngine::sparseAttention(const Matrix &q, const Matrix &k,
                               const sparse::BitMask &mask,
                               float scale) const
 {
+    Matrix out;
+    sparseAttentionInto(q, k, v, mask, scale, out);
+    return out;
+}
+
+void
+KernelEngine::sparseAttentionInto(const Matrix &q, const Matrix &k,
+                                  const Matrix &v,
+                                  const sparse::BitMask &mask,
+                                  float scale, Matrix &out) const
+{
     // Dense upper bound for dispatch; avoids an extra mask scan.
     const size_t macs_bound = mask.rows() * mask.cols() * q.cols();
     if (!useOptimized(macs_bound)) {
         counters_[kSddmmRef].fetch_add(1, std::memory_order_relaxed);
         counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
         counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
-        return linalg::spmm(
+        // Copy-assign (not move): the vector copy reuses @p out's
+        // capacity, keeping arena-backed callers allocation-stable.
+        const Matrix ref = linalg::spmm(
             linalg::maskedSoftmaxRows(linalg::sddmm(q, k, mask, scale)),
             v);
+        out = ref;
+        return;
     }
     VITCOD_ASSERT(mask.cols() == v.rows(), "spmm shape mismatch");
     // Fused: one (cached) structure, values flow through SDDMM ->
@@ -323,12 +347,43 @@ KernelEngine::sparseAttention(const Matrix &q, const Matrix &k,
     });
 
     counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
-    Matrix out(mask.rows(), v.cols());
+    out.resize(mask.rows(), v.cols());
     forPanels(mask.rows(), macs, [&](size_t r0, size_t r1) {
         spmmPanel(ms->rowPtr, ms->colIdx, values.data(), v, out, r0,
                   r1);
     });
-    return out;
+}
+
+std::span<const EngineStatsField>
+engineStatsFields()
+{
+    static constexpr EngineStatsField kFields[] = {
+        {"gemm_ref", &EngineStats::gemmReference},
+        {"gemm_opt", &EngineStats::gemmOptimized},
+        {"sddmm_ref", &EngineStats::sddmmReference},
+        {"sddmm_csr", &EngineStats::sddmmCsr},
+        {"sddmm_csc", &EngineStats::sddmmCsc},
+        {"softmax_ref", &EngineStats::softmaxReference},
+        {"softmax_opt", &EngineStats::softmaxOptimized},
+        {"spmm_ref", &EngineStats::spmmReference},
+        {"spmm_opt", &EngineStats::spmmOptimized},
+        {"parallel", &EngineStats::parallelLaunches},
+        {"struct_hit", &EngineStats::structureHits},
+        {"struct_miss", &EngineStats::structureMisses},
+    };
+    static_assert(sizeof(EngineStats) ==
+                      std::size(kFields) * sizeof(uint64_t),
+                  "new EngineStats counter: add it to this table");
+    return kFields;
+}
+
+EngineStats
+operator-(const EngineStats &a, const EngineStats &b)
+{
+    EngineStats d;
+    for (const EngineStatsField &f : engineStatsFields())
+        d.*f.member = a.*f.member - b.*f.member;
+    return d;
 }
 
 EngineStats

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "linalg/engine/thread_pool.h"
 #include "linalg/matrix.h"
@@ -92,7 +93,29 @@ struct EngineStats
     uint64_t parallelLaunches = 0; //!< calls that fanned out to the pool
     uint64_t structureHits = 0;    //!< mask structure served from cache
     uint64_t structureMisses = 0;  //!< mask structure built fresh
+
+    bool operator==(const EngineStats &) const = default;
 };
+
+/** One EngineStats counter: serialization name + member pointer. */
+struct EngineStatsField
+{
+    const char *name;
+    uint64_t EngineStats::*member;
+};
+
+/**
+ * Every EngineStats counter, in declaration order. Arithmetic,
+ * serializers and comparators iterate this single table so a newly
+ * added counter cannot be silently dropped by one of them.
+ */
+std::span<const EngineStatsField> engineStatsFields();
+
+/**
+ * Counter-wise difference (a - b): the dispatch activity between two
+ * stats() snapshots of the same engine. @pre a >= b counter-wise.
+ */
+EngineStats operator-(const EngineStats &a, const EngineStats &b);
 
 /** Shape/sparsity-dispatching kernel executor. */
 class KernelEngine
@@ -118,6 +141,13 @@ class KernelEngine
     /** C = A * B. */
     Matrix gemm(const Matrix &a, const Matrix &b) const;
 
+    /**
+     * C = A * B into a caller-owned buffer: @p c is reshaped (its
+     * capacity is reused, so steady-state callers never allocate —
+     * the ModelExecutor's BufferArena path).
+     */
+    void gemmInto(const Matrix &a, const Matrix &b, Matrix &c) const;
+
     /** C = A * B^T (the dense score kernel). */
     Matrix gemmTransB(const Matrix &a, const Matrix &b) const;
 
@@ -140,6 +170,16 @@ class KernelEngine
     Matrix sparseAttention(const Matrix &q, const Matrix &k,
                            const Matrix &v, const sparse::BitMask &mask,
                            float scale = 1.0f) const;
+
+    /**
+     * Fused sparse attention into a caller-owned output buffer.
+     * The optimized path allocates only the nnz value vector; a
+     * reference dispatch still materializes its Csr intermediates.
+     */
+    void sparseAttentionInto(const Matrix &q, const Matrix &k,
+                             const Matrix &v,
+                             const sparse::BitMask &mask, float scale,
+                             Matrix &out) const;
 
     /** Snapshot of the dispatch counters. */
     EngineStats stats() const;

@@ -8,10 +8,18 @@ namespace vitcod::linalg {
 Matrix
 gemm(const Matrix &a, const Matrix &b)
 {
+    Matrix c;
+    gemmInto(a, b, c);
+    return c;
+}
+
+void
+gemmInto(const Matrix &a, const Matrix &b, Matrix &c)
+{
     VITCOD_ASSERT(a.cols() == b.rows(), "gemm shape mismatch: ",
                   a.rows(), "x", a.cols(), " * ", b.rows(), "x",
                   b.cols());
-    Matrix c(a.rows(), b.cols());
+    c.resize(a.rows(), b.cols());
     // i-k-j loop order: streams B rows, accumulates into C rows.
     for (size_t i = 0; i < a.rows(); ++i) {
         float *c_row = c.rowData(i);
@@ -24,7 +32,6 @@ gemm(const Matrix &a, const Matrix &b)
                 c_row[j] += aik * b_row[j];
         }
     }
-    return c;
 }
 
 Matrix
@@ -87,6 +94,32 @@ softmaxRows(const Matrix &a)
             s(i, j) *= inv;
     }
     return s;
+}
+
+void
+layerNormRowsInto(const Matrix &x, const std::vector<float> &gamma,
+                  const std::vector<float> &beta, Matrix &out)
+{
+    VITCOD_ASSERT(gamma.size() == x.cols() &&
+                      beta.size() == x.cols(),
+                  "layerNorm parameter width mismatch");
+    out.resize(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double mean = 0.0;
+        for (size_t c = 0; c < x.cols(); ++c)
+            mean += x(r, c);
+        mean /= static_cast<double>(x.cols());
+        double var = 0.0;
+        for (size_t c = 0; c < x.cols(); ++c) {
+            const double d = x(r, c) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(x.cols());
+        const double inv = 1.0 / std::sqrt(var + 1e-6);
+        for (size_t c = 0; c < x.cols(); ++c)
+            out(r, c) = static_cast<float>(
+                (x(r, c) - mean) * inv * gamma[c] + beta[c]);
+    }
 }
 
 void

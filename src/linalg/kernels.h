@@ -20,6 +20,14 @@ namespace vitcod::linalg {
 /** C = A * B. @pre a.cols == b.rows. */
 Matrix gemm(const Matrix &a, const Matrix &b);
 
+/**
+ * C = A * B into a caller-owned buffer (reshaped in place, capacity
+ * reused). Identical arithmetic to gemm(); what the engine's
+ * reference dispatch uses so arena-backed callers stay
+ * allocation-free in steady state.
+ */
+void gemmInto(const Matrix &a, const Matrix &b, Matrix &c);
+
 /** C = A * B^T; the attention score kernel S = Q * K^T. */
 Matrix gemmTransB(const Matrix &a, const Matrix &b);
 
@@ -31,6 +39,18 @@ Matrix transpose(const Matrix &a);
 
 /** Numerically-stable softmax applied to each row independently. */
 Matrix softmaxRows(const Matrix &a);
+
+/**
+ * Row-wise LayerNorm (mean/variance accumulated in double, eps
+ * 1e-6) into a caller-owned buffer. The single definition both
+ * ReferenceBlock and ModelExecutor normalize with, so the
+ * differential tests compare attention/MLP numerics, never two
+ * drifting LayerNorm copies.
+ * @pre gamma and beta have x.cols() entries.
+ */
+void layerNormRowsInto(const Matrix &x,
+                       const std::vector<float> &gamma,
+                       const std::vector<float> &beta, Matrix &out);
 
 /** In-place ReLU. */
 void reluInPlace(Matrix &a);

@@ -58,6 +58,37 @@ class Matrix
     /** Set every element to @p v. */
     void fill(float v) { data_.assign(data_.size(), v); }
 
+    /**
+     * Reshape to rows x cols and zero every element. The backing
+     * vector's capacity is retained, so shrinking or re-sizing to a
+     * previously seen shape never allocates — what BufferArena relies
+     * on for its zero-allocation steady state.
+     */
+    void
+    resize(size_t rows, size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
+    /**
+     * Reshape without clearing: retained elements keep their stale
+     * values. Only for buffers the caller overwrites in full before
+     * reading (the arena's permute/pool destinations) — skips the
+     * redundant zero pass resize() would do.
+     */
+    void
+    reshapeUninit(size_t rows, size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
+    /** Elements the backing store can hold without reallocating. */
+    size_t capacity() const { return data_.capacity(); }
+
     /** i.i.d. N(mean, stddev) entries from @p rng. */
     static Matrix
     randomNormal(size_t rows, size_t cols, Rng &rng, float mean = 0.0f,

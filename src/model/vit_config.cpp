@@ -1,5 +1,7 @@
 #include "vit_config.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace vitcod::model {
@@ -20,6 +22,57 @@ VitModelConfig::totalHeads() const
     for (const auto &s : stages)
         n += s.layers * s.heads;
     return n;
+}
+
+namespace {
+
+template <typename Fn>
+size_t
+maxOverStages(const std::vector<StageConfig> &stages, Fn &&dim)
+{
+    size_t best = 0;
+    for (const auto &s : stages)
+        best = std::max(best, dim(s));
+    return best;
+}
+
+} // namespace
+
+size_t
+VitModelConfig::maxTokens() const
+{
+    return maxOverStages(stages,
+                         [](const StageConfig &s) { return s.tokens; });
+}
+
+size_t
+VitModelConfig::maxEmbedDim() const
+{
+    return maxOverStages(
+        stages, [](const StageConfig &s) { return s.embedDim; });
+}
+
+size_t
+VitModelConfig::maxHeadConcat() const
+{
+    return maxOverStages(stages, [](const StageConfig &s) {
+        return s.heads * s.headDim;
+    });
+}
+
+size_t
+VitModelConfig::maxMlpHidden() const
+{
+    return maxOverStages(stages, [](const StageConfig &s) {
+        return s.mlpRatio * s.embedDim;
+    });
+}
+
+size_t
+VitModelConfig::maxHeadDim() const
+{
+    return maxOverStages(
+        stages, [](const StageConfig &s) { return s.headDim; });
 }
 
 const StageConfig &

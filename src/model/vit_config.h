@@ -71,6 +71,18 @@ struct VitModelConfig
      * @pre at least one stage.
      */
     const StageConfig &stageForLayer(size_t layer) const;
+
+    /** @name Worst-case activation shapes across all stages.
+     *  What a per-model BufferArena sizes its slots with, so a full
+     *  forward pass touches every stage without ever growing a
+     *  buffer.
+     *  @{ */
+    size_t maxTokens() const;    //!< max stage.tokens
+    size_t maxEmbedDim() const;  //!< max stage.embedDim
+    size_t maxHeadConcat() const; //!< max heads * headDim
+    size_t maxMlpHidden() const; //!< max mlpRatio * embedDim
+    size_t maxHeadDim() const;   //!< max stage.headDim
+    /** @} */
 };
 
 /** @name Model zoo (paper Sec. VI-A)

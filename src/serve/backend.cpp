@@ -127,6 +127,78 @@ KernelServeBackend::runOnce(const CompiledPlan &cp) const
     return st;
 }
 
+ModelExecServeBackend::ModelExecServeBackend(
+    const linalg::engine::KernelEngine *eng, size_t num_classes,
+    size_t states_capacity)
+    : ServeBackend("ModelExec", /*freq_ghz=*/1.0),
+      engine_(eng), numClasses_(num_classes),
+      statesCapacity_(states_capacity)
+{
+    if (!engine_) {
+        ownEngine_ = std::make_unique<linalg::engine::KernelEngine>(
+            linalg::engine::EngineConfig{},
+            &linalg::engine::ThreadPool::shared());
+        engine_ = ownEngine_.get();
+    }
+}
+
+ModelExecServeBackend::PlanState &
+ModelExecServeBackend::stateFor(const CompiledPlan &cp) const
+{
+    const std::string key = cp.key.str();
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+        lru_.remove(key);
+        lru_.push_front(key);
+        return *it->second;
+    }
+
+    // First sight of this task on this worker: copy the plan (the
+    // CompiledPlan's lifetime is the cache's, not ours), draw the
+    // deterministic weight set and build the resident executor.
+    auto st = std::make_unique<PlanState>();
+    st->plan = cp.plan;
+    Rng rng(cp.plan.cfg.seed);
+    core::model_exec::ModelWeights w =
+        core::model_exec::ModelWeights::random(
+            st->plan.model, /*in_dim=*/0, numClasses_, rng);
+    st->exec = std::make_unique<core::model_exec::ModelExecutor>(
+        &st->plan, std::move(w),
+        core::model_exec::ExecutorConfig{.numClasses = numClasses_},
+        engine_);
+    const auto &stage0 = st->plan.model.stages.front();
+    st->input = linalg::Matrix::randomNormal(
+        stage0.tokens, st->exec->config().inDim, rng);
+    it = states_.emplace(key, std::move(st)).first;
+    lru_.push_front(key);
+    if (statesCapacity_ && states_.size() > statesCapacity_) {
+        states_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return *it->second;
+}
+
+accel::RunStats
+ModelExecServeBackend::runOnce(const CompiledPlan &cp) const
+{
+    PlanState &st = stateFor(cp);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const linalg::Matrix logits =
+        st.exec->forward(st.input, &lastTrace_);
+    const auto t1 = std::chrono::steady_clock::now();
+    VITCOD_ASSERT(logits.cols() == numClasses_,
+                  "model exec backend logits shape mismatch");
+
+    accel::RunStats stats;
+    stats.model = st.plan.model.name;
+    stats.macs = st.exec->forwardMacs();
+    stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats.computeSeconds = stats.seconds;
+    stats.utilization = 1.0;
+    return stats;
+}
+
 DeviceServeBackend::DeviceServeBackend(
     std::unique_ptr<accel::Device> dev, double freq_ghz)
     : ServeBackend(dev->name(), freq_ghz), dev_(std::move(dev))
@@ -170,9 +242,11 @@ makeServeBackend(const std::string &spec,
             accel::SangerConfig{}.freqGhz);
     if (spec == "CPUKernel")
         return std::make_unique<KernelServeBackend>();
+    if (spec == "ModelExec")
+        return std::make_unique<ModelExecServeBackend>();
     fatal("unknown serve backend '", spec,
           "' (expected ViTCoD|CPU|GPU|EdgeGPU|SpAtten|Sanger|"
-          "CPUKernel)");
+          "CPUKernel|ModelExec)");
 }
 
 } // namespace vitcod::serve

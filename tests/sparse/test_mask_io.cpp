@@ -9,9 +9,11 @@
 
 #include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "common/rng.h"
 #include "sparse/mask_io.h"
+#include "support/temp_path.h"
 
 namespace vitcod::sparse {
 namespace {
@@ -82,7 +84,7 @@ TEST(MaskIo, ParserSkipsCommentsAndWhitespace)
 TEST(MaskIo, FileRoundTrip)
 {
     const BitMask m = randomMask(31, 47, 0.2, 3);
-    const std::string path = testing::TempDir() + "vitcod_mask.pbm";
+    const std::string path = test::uniqueTempPath("mask.pbm");
     writePbmFile(path, m);
     EXPECT_EQ(readPbmFile(path), m);
     std::remove(path.c_str());

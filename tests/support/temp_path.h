@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared test helper for on-disk scratch files. `ctest -j` runs
+ * test binaries concurrently, so (per TESTING.md) every temp path
+ * must be collision-free across processes: TempDir() plus the PID.
+ * One definition here so the rule has one implementation to fix.
+ */
+
+#ifndef VITCOD_TESTS_SUPPORT_TEMP_PATH_H
+#define VITCOD_TESTS_SUPPORT_TEMP_PATH_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unistd.h>
+
+namespace vitcod::test {
+
+/** TempDir()/vitcod_<pid>_<name>; caller removes it when done. */
+inline std::string
+uniqueTempPath(const std::string &name)
+{
+    return testing::TempDir() + "vitcod_" +
+           std::to_string(static_cast<unsigned long>(::getpid())) +
+           "_" + name;
+}
+
+} // namespace vitcod::test
+
+#endif // VITCOD_TESTS_SUPPORT_TEMP_PATH_H
