@@ -99,5 +99,19 @@ main(int argc, char **argv)
                     b.busySimSeconds + b.switchSimSeconds,
                     static_cast<unsigned long long>(b.busyTicks));
     }
+
+    // Schedule-IR honesty check: each plan's compiled schedule was
+    // priced once by the ViTCoD simulator; compare that prediction
+    // with what the backends actually reported per request.
+    std::printf("\npredicted vs measured per plan (last rate):\n");
+    std::printf("%-28s %7s %12s %12s %7s\n", "plan", "reqs",
+                "predicted s", "measured s", "ratio");
+    for (const auto &p : last.plans) {
+        std::printf("%-28s %7llu %12.6f %12.6f %7.3f\n",
+                    p.key.c_str(),
+                    static_cast<unsigned long long>(p.requests),
+                    p.predictedSeconds, p.measuredMeanSeconds,
+                    p.ratio());
+    }
     return 0;
 }

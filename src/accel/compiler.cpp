@@ -2,12 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <ostream>
 
 #include "common/logging.h"
-#include "accel/dense_phases.h"
-#include "model/flops.h"
 #include "sim/dram.h"
 #include "sim/energy.h"
 #include "sim/tile_scheduler.h"
@@ -93,231 +90,119 @@ Compiler::Compiler(ViTCoDConfig cfg) : cfg_(std::move(cfg))
 }
 
 void
-Compiler::emitAttentionLayer(Program &prog,
-                             const core::ModelPlan &plan,
-                             size_t layer) const
+Compiler::emitAttentionLayer(
+    Program &prog, const core::schedule::LayerSchedule &ls) const
 {
-    const auto shapes = model::attentionShapes(plan.model);
-    const auto &shape = shapes[layer];
-    const size_t n = shape.tokens;
-    const size_t dk = shape.headDim;
-    const size_t h = shape.heads;
-    const auto eb = static_cast<double>(cfg_.elemBytes);
-    const auto L = static_cast<uint32_t>(layer);
-
-    std::vector<const core::SparseAttentionPlan *> hp;
-    for (const auto &head : plan.heads)
-        if (head.layer == layer)
-            hp.push_back(&head.plan);
-    VITCOD_ASSERT(hp.size() == h, "plan missing heads");
-
-    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
-    double ratio = 1.0;
-    size_t c_heads = h;
-    if (ae_on) {
-        ratio = plan.ae[layer].ratio();
-        c_heads = plan.ae[layer].compressed;
-    }
-
-    // ---- Workload extraction (the "network parser" of Fig. 14).
-    MacOps denser_sddmm = 0, sparser_sddmm = 0;
-    uint64_t s_elems = 0;
-    double idx_bytes = 0.0;
-    for (const auto *p : hp) {
-        denser_sddmm +=
-            static_cast<MacOps>(n) * p->numGlobalTokens * dk;
-        sparser_sddmm += static_cast<MacOps>(p->sparserNnz) * dk;
-        s_elems += n * p->numGlobalTokens + p->sparserNnz;
-        if (p->numGlobalTokens < p->tokens)
-            idx_bytes += static_cast<double>(
-                p->sparserCsc.indexBytes(cfg_.indexBytes));
-    }
-
-    const size_t lines = cfg_.macArray.macLines;
-    const size_t mpl = cfg_.macArray.macsPerLine;
-    const auto alloc = allocateEngineLines(
-        {static_cast<double>(denser_sddmm),
-         static_cast<double>(sparser_sddmm)},
-        lines);
+    const auto L = static_cast<uint32_t>(ls.layer);
 
     // ---- Optional dynamic-mask prediction (NLP mode), a serial
-    // preprocessing phase.
-    if (cfg_.dynamicMaskPrediction) {
-        const auto pred_macs = static_cast<MacOps>(
-            static_cast<double>(n) * n * h * dk *
-            cfg_.predictionCostFactor);
-        prog.code.push_back(
-            {Opcode::Predict, L, pred_macs, 2 * n});
-    }
+    // preprocessing phase. Gate on the overhead too: a zero-cost
+    // prediction pass (predictionCostFactor = 0) still pays its
+    // fixed 2n-cycle latency, and the simulator prices it.
+    if (ls.predictMacs > 0 || ls.predictOverhead > 0)
+        prog.code.push_back({Opcode::Predict, L, ls.predictMacs,
+                             ls.predictOverhead});
 
     // ---- Phase 1: SDDMM.
-    prog.code.push_back({Opcode::ConfigLines, L, alloc[0], alloc[1]});
+    prog.code.push_back({Opcode::ConfigLines, L, ls.sddmmDenserLines,
+                         ls.sddmmSparserLines});
     prog.code.push_back({Opcode::SetAccumMode, L, 0, 0});
-
-    const double q_row_bytes = dk * eb * ratio;
-    const size_t window_rows = std::max<size_t>(
-        1, static_cast<size_t>(
-               static_cast<double>(cfg_.qkvBufBytes) / 2.0 /
-               (static_cast<double>(h) * q_row_bytes)));
-    double k_bytes = static_cast<double>(n) * h * dk * eb * ratio;
-    double q_bytes = 0.0;
-    uint64_t gather_misses = 0;
-    for (const auto *p : hp) {
-        if (p->numGlobalTokens > 0 || p->sparserNnz == 0) {
-            q_bytes += static_cast<double>(n) * q_row_bytes;
-            if (window_rows < n) {
-                const auto extra = static_cast<double>(
-                    ceilDiv(n, window_rows) - 1);
-                k_bytes += static_cast<double>(p->numGlobalTokens) *
-                           dk * eb * ratio * extra;
-            }
-        } else {
-            const uint64_t misses = ViTCoDAccelerator::lruQMisses(
-                p->sparserCsc, window_rows);
-            gather_misses += misses;
-            q_bytes += static_cast<double>(misses) * q_row_bytes;
-        }
-    }
-    prog.code.push_back({Opcode::LoadIndex, L,
-                         static_cast<uint64_t>(idx_bytes), 0});
+    prog.code.push_back({Opcode::LoadIndex, L, ls.idxBytes, 0});
+    prog.code.push_back({Opcode::LoadTile, L, ls.qkLoadBytes, 0});
+    if (ls.gatherMisses > 0)
+        prog.code.push_back({Opcode::GatherRows, L, ls.gatherMisses,
+                             ls.gatherRowBytes});
+    if (ls.aeOn)
+        prog.code.push_back({Opcode::Decode, L, ls.decodeMacs, 0});
+    // Denser-engine ops carry both currencies: arg0 the dense-
+    // region workload the engine streams, arg1 the mask-nonzero
+    // subset a value-level execution computes.
+    MacOps denser_exec = 0;
+    for (const core::schedule::HeadSchedule &hs : ls.heads)
+        denser_exec +=
+            static_cast<MacOps>(hs.denserNnz) * hs.headDim;
     prog.code.push_back(
-        {Opcode::LoadTile, L,
-         static_cast<uint64_t>(k_bytes + q_bytes), 0});
-    if (gather_misses > 0) {
-        prog.code.push_back(
-            {Opcode::GatherRows, L, gather_misses,
-             static_cast<uint64_t>(std::max(1.0, q_row_bytes))});
-    }
-    if (ae_on) {
-        prog.code.push_back(
-            {Opcode::Decode, L,
-             static_cast<MacOps>(2) * n * dk * h * c_heads, 0});
-    }
-    prog.code.push_back({Opcode::SddmmDense, L, denser_sddmm, 0});
-    prog.code.push_back(
-        {Opcode::SddmmSparse, L,
-         sparserEngineCycles(hp, dk, alloc[1], mpl,
-                             cfg_.colOverheadCycles),
-         sparser_sddmm});
+        {Opcode::SddmmDense, L, ls.denserSddmmMacs, denser_exec});
+    prog.code.push_back({Opcode::SddmmSparse, L,
+                         ls.sddmmSparserCycles,
+                         ls.sparserSddmmMacs});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 
     // ---- Phase 2: softmax over stored scores.
-    prog.code.push_back({Opcode::Softmax, L, s_elems, 0});
+    prog.code.push_back({Opcode::Softmax, L, ls.softmaxElems, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 
     // ---- Phase 3: SpMM (output stationary; reconfiguration).
-    const auto spmm_alloc = allocateEngineLines(
-        {static_cast<double>(denser_sddmm),
-         static_cast<double>(sparser_sddmm)},
-        lines);
-    prog.code.push_back(
-        {Opcode::ConfigLines, L, spmm_alloc[0], spmm_alloc[1]});
+    prog.code.push_back({Opcode::ConfigLines, L, ls.spmmDenserLines,
+                         ls.spmmSparserLines});
     prog.code.push_back({Opcode::SetAccumMode, L, 1, 0});
-
-    const double s_bytes = static_cast<double>(s_elems) * eb;
-    const double spill =
-        std::max(0.0, s_bytes - static_cast<double>(cfg_.sBufferBytes));
-    const double v_bytes = static_cast<double>(n) * h * dk * eb;
-    const double out_bytes = static_cast<double>(n) * h * dk * eb;
-    prog.code.push_back({Opcode::LoadTile, L,
-                         static_cast<uint64_t>(v_bytes + spill), 0});
-    prog.code.push_back({Opcode::SpmmDense, L, denser_sddmm, 0});
+    prog.code.push_back({Opcode::LoadTile, L, ls.vLoadBytes, 0});
     prog.code.push_back(
-        {Opcode::SpmmSparse, L,
-         sparserEngineCycles(hp, dk, spmm_alloc[1], mpl,
-                             cfg_.colOverheadCycles),
-         sparser_sddmm});
-    prog.code.push_back({Opcode::StoreTile, L,
-                         static_cast<uint64_t>(out_bytes + spill),
-                         0});
+        {Opcode::SpmmDense, L, ls.denserSpmmMacs, denser_exec});
+    prog.code.push_back({Opcode::SpmmSparse, L, ls.spmmSparserCycles,
+                         ls.sparserSpmmMacs});
+    prog.code.push_back(
+        {Opcode::StoreTile, L, ls.outStoreBytes, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 }
 
 void
-Compiler::emitDenseBlock(Program &prog, const core::ModelPlan &plan,
-                         size_t layer) const
+Compiler::emitDenseBlock(
+    Program &prog, const core::schedule::LayerSchedule &ls) const
 {
-    const auto shapes = model::attentionShapes(plan.model);
-    const auto &s = shapes[layer];
-    const double n = static_cast<double>(s.tokens);
-    const double d = static_cast<double>(s.embedDim);
-    const double hd = static_cast<double>(s.heads) * s.headDim;
-    const auto eb = static_cast<double>(cfg_.elemBytes);
-    const auto L = static_cast<uint32_t>(layer);
-    const size_t ratio = mlpRatioOfLayer(plan.model, layer);
-    const double mlp_hidden = d * static_cast<double>(ratio);
-
-    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
-    const double ae_ratio = ae_on ? plan.ae[layer].ratio() : 1.0;
-    const double c_heads =
-        ae_on ? static_cast<double>(plan.ae[layer].compressed) : 0.0;
+    const auto L = static_cast<uint32_t>(ls.layer);
+    const core::schedule::DenseBlockSchedule &db = ls.dense;
 
     // Q/K/V projection (+ encoder overlapped).
-    const double proj_macs = n * d * 3.0 * hd;
-    const double proj_in = n * d * eb + 3.0 * d * hd * eb;
-    const double proj_out =
-        2.0 * n * hd * eb * ae_ratio + n * hd * eb;
-    prog.code.push_back({Opcode::LoadTile, L,
-                         static_cast<uint64_t>(proj_in), 0});
-    prog.code.push_back({Opcode::Gemm, L,
-                         static_cast<MacOps>(proj_macs), 0});
-    if (ae_on) {
-        prog.code.push_back(
-            {Opcode::Encode, L,
-             static_cast<MacOps>(2.0 * n * s.headDim * s.heads *
-                                 c_heads),
-             0});
-    }
-    prog.code.push_back({Opcode::StoreTile, L,
-                         static_cast<uint64_t>(proj_out), 0});
+    prog.code.push_back({Opcode::LoadTile, L, db.projLoadBytes, 0});
+    prog.code.push_back({Opcode::Gemm, L, db.projMacs, 0});
+    if (ls.aeOn)
+        prog.code.push_back({Opcode::Encode, L, db.encodeMacs, 0});
+    prog.code.push_back({Opcode::StoreTile, L, db.projStoreBytes, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 
     // Output projection.
-    const double op_macs = n * hd * d;
-    const double op_bytes = hd * d * eb + n * hd * eb + n * d * eb;
-    prog.code.push_back({Opcode::LoadTile, L,
-                         static_cast<uint64_t>(op_bytes), 0});
-    prog.code.push_back({Opcode::Gemm, L,
-                         static_cast<MacOps>(op_macs), 0});
+    prog.code.push_back({Opcode::LoadTile, L, db.outProjBytes, 0});
+    prog.code.push_back({Opcode::Gemm, L, db.outProjMacs, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 
     // MLP.
-    const double mlp_macs = 2.0 * n * d * mlp_hidden;
-    const double mlp_bytes =
-        2.0 * d * mlp_hidden * eb + 2.0 * n * d * eb;
-    prog.code.push_back({Opcode::LoadTile, L,
-                         static_cast<uint64_t>(mlp_bytes), 0});
-    prog.code.push_back({Opcode::Gemm, L,
-                         static_cast<MacOps>(mlp_macs), 0});
+    prog.code.push_back({Opcode::LoadTile, L, db.mlpBytes, 0});
+    prog.code.push_back({Opcode::Gemm, L, db.mlpMacs, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
 
     // LayerNorms.
-    prog.code.push_back({Opcode::Elementwise, L,
-                         static_cast<uint64_t>(2.0 * n * d), 0});
+    prog.code.push_back({Opcode::Elementwise, L, db.lnElems, 0});
     prog.code.push_back({Opcode::Barrier, L, 0, 0});
+}
+
+Program
+Compiler::compile(const core::schedule::ModelSchedule &sched) const
+{
+    VITCOD_ASSERT(sched.params.twoPronged,
+                  "the compiler targets the two-pronged architecture");
+    Program prog;
+    prog.modelName = sched.modelName;
+    prog.endToEnd = sched.endToEnd;
+    for (const core::schedule::LayerSchedule &ls : sched.layers) {
+        emitAttentionLayer(prog, ls);
+        if (sched.endToEnd)
+            emitDenseBlock(prog, ls);
+    }
+    if (sched.endToEnd && sched.stemFlops > 0.0) {
+        const auto L = static_cast<uint32_t>(sched.layers.size());
+        prog.code.push_back({Opcode::Gemm, L, sched.stemMacs, 0});
+        prog.code.push_back({Opcode::Barrier, L, 0, 0});
+    }
+    return prog;
 }
 
 Program
 Compiler::compile(const core::ModelPlan &plan, bool end_to_end) const
 {
-    Program prog;
-    prog.modelName = plan.model.name;
-    prog.endToEnd = end_to_end;
-    const auto shapes = model::attentionShapes(plan.model);
-    for (size_t l = 0; l < shapes.size(); ++l) {
-        emitAttentionLayer(prog, plan, l);
-        if (end_to_end)
-            emitDenseBlock(prog, plan, l);
-    }
-    if (end_to_end && plan.model.stemFlops > 0.0) {
-        prog.code.push_back(
-            {Opcode::Gemm, static_cast<uint32_t>(shapes.size()),
-             static_cast<MacOps>(plan.model.stemFlops / 2.0), 0});
-        prog.code.push_back({Opcode::Barrier,
-                             static_cast<uint32_t>(shapes.size()), 0,
-                             0});
-    }
-    return prog;
+    const core::schedule::ScheduleBuilder builder(
+        {.hw = scheduleParams(cfg_), .buildLayouts = false});
+    return compile(builder.build(plan, end_to_end));
 }
 
 Interpreter::Interpreter(ViTCoDConfig cfg) : cfg_(std::move(cfg)) {}

@@ -34,10 +34,17 @@ enum class Opcode : uint8_t
     GatherRows,   //!< arg0 = row count, arg1 = bytes/row (LRU misses)
     Decode,       //!< arg0 = decoder MACs (dedicated engine)
     Encode,       //!< arg0 = encoder MACs (dedicated engine)
-    SddmmDense,   //!< arg0 = MACs on the denser engine
+    /**
+     * arg0 = MACs on the denser engine (the region is stored and
+     * processed densely: all n x N_gt entries). arg1 = the subset
+     * falling on mask nonzeros — what a value-level execution
+     * performs; carried so the instruction stream totals both MAC
+     * currencies (ignored by the interpreter's cycle pricing).
+     */
+    SddmmDense,
     SddmmSparse,  //!< arg0 = precomputed engine cycles, arg1 = MACs
     Softmax,      //!< arg0 = stored score elements
-    SpmmDense,    //!< arg0 = MACs on the denser engine
+    SpmmDense,    //!< arg0/arg1 as SddmmDense
     SpmmSparse,   //!< arg0 = precomputed engine cycles, arg1 = MACs
     Gemm,         //!< arg0 = MACs on the whole array (proj/MLP)
     Elementwise,  //!< arg0 = elements (LayerNorm / activation)
@@ -73,8 +80,13 @@ struct Program
 };
 
 /**
- * Parser + compiler: lowers a ModelPlan into a Program for a given
- * hardware configuration. Pure function of (plan, cfg).
+ * The compiler back end of Fig. 14: lowers a ModelSchedule — the
+ * Schedule IR the network parser (core::schedule::ScheduleBuilder)
+ * produced — into the instruction stream. Every instruction operand
+ * is a field of the IR; the compiler re-derives nothing, which is
+ * what keeps it cycle-for-cycle consistent with the analytic
+ * simulator pricing the same schedule. The (plan, end_to_end)
+ * overload is the one-call convenience: build + lower.
  */
 class Compiler
 {
@@ -83,18 +95,21 @@ class Compiler
 
     const ViTCoDConfig &config() const { return cfg_; }
 
-    /** Compile the attention workload (optionally the full model). */
+    /** Build the schedule for @p plan, then lower it. */
     Program compile(const core::ModelPlan &plan,
                     bool end_to_end) const;
 
+    /** Lower a prebuilt schedule (must target a two-pronged array). */
+    Program compile(const core::schedule::ModelSchedule &sched) const;
+
   private:
     /** Emit one layer's attention phases. */
-    void emitAttentionLayer(Program &prog, const core::ModelPlan &plan,
-                            size_t layer) const;
+    void emitAttentionLayer(
+        Program &prog, const core::schedule::LayerSchedule &ls) const;
 
     /** Emit one layer's dense (projection/MLP) phases. */
-    void emitDenseBlock(Program &prog, const core::ModelPlan &plan,
-                        size_t layer) const;
+    void emitDenseBlock(
+        Program &prog, const core::schedule::LayerSchedule &ls) const;
 
     ViTCoDConfig cfg_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "common/logging.h"
 #include "model/flops.h"
@@ -10,117 +9,28 @@
 
 namespace vitcod::accel {
 
-std::vector<size_t>
-allocateEngineLines(const std::vector<double> &weights, size_t total)
+core::schedule::HardwareParams
+scheduleParams(const ViTCoDConfig &cfg)
 {
-    const size_t k = weights.size();
-    std::vector<size_t> lines(k, 0);
-    double sum = 0.0;
-    for (double w : weights)
-        sum += w;
-    if (sum <= 0.0 || total == 0)
-        return lines;
-
-    // Largest-remainder method with a floor of 1 for non-zero work.
-    size_t given = 0;
-    std::vector<double> frac(k, 0.0);
-    for (size_t i = 0; i < k; ++i) {
-        if (weights[i] <= 0.0)
-            continue;
-        const double exact =
-            static_cast<double>(total) * weights[i] / sum;
-        lines[i] = std::max<size_t>(1, static_cast<size_t>(exact));
-        frac[i] = exact - std::floor(exact);
-        given += lines[i];
-    }
-    // Trim if floors overshot (more busy heads than lines handled by
-    // caller via grouping; here we only trim down to total).
-    while (given > total) {
-        size_t victim = k;
-        for (size_t i = 0; i < k; ++i)
-            if (lines[i] > 1 && (victim == k || lines[i] > lines[victim]))
-                victim = i;
-        if (victim == k)
-            break; // all at 1 line; caller must group
-        --lines[victim];
-        --given;
-    }
-    // Distribute leftovers by largest fractional part.
-    while (given < total) {
-        size_t best = k;
-        for (size_t i = 0; i < k; ++i)
-            if (weights[i] > 0.0 && (best == k || frac[i] > frac[best]))
-                best = i;
-        if (best == k)
-            break;
-        ++lines[best];
-        frac[best] = -1.0;
-        ++given;
-    }
-    return lines;
-}
-
-Cycles
-sparserHeadCycles(const sparse::Csc &csc, size_t head_dim,
-                  size_t lines, size_t macs_per_line,
-                  Cycles col_overhead)
-{
-    VITCOD_ASSERT(lines > 0 && macs_per_line > 0,
-                  "sparser engine needs lines");
-    Cycles cy = 0;
-    for (size_t c = 0; c < csc.cols(); ++c) {
-        const size_t nnz_c = csc.colNnz(c);
-        if (nnz_c == 0)
-            continue;
-        const MacOps macs = static_cast<MacOps>(nnz_c) * head_dim;
-        cy += ceilDiv(macs, lines * macs_per_line) + col_overhead;
-    }
-    return cy;
-}
-
-Cycles
-sparserEngineCycles(
-    const std::vector<const core::SparseAttentionPlan *> &heads,
-    size_t head_dim, size_t lines, size_t macs_per_line,
-    Cycles col_overhead)
-{
-    if (lines == 0)
-        return 0;
-    std::vector<double> weights;
-    std::vector<const core::SparseAttentionPlan *> active;
-    for (const auto *p : heads) {
-        if (p->sparserNnz > 0) {
-            weights.push_back(static_cast<double>(p->sparserNnz));
-            active.push_back(p);
-        }
-    }
-    if (active.empty())
-        return 0;
-
-    if (lines >= active.size()) {
-        const auto alloc = allocateEngineLines(weights, lines);
-        Cycles worst = 0;
-        for (size_t i = 0; i < active.size(); ++i) {
-            worst = std::max(
-                worst,
-                sparserHeadCycles(active[i]->sparserCsc, head_dim,
-                                  std::max<size_t>(1, alloc[i]),
-                                  macs_per_line, col_overhead));
-        }
-        return worst;
-    }
-    // More busy heads than lines: LPT-pack heads onto lines.
-    std::vector<Cycles> per_head;
-    per_head.reserve(active.size());
-    for (const auto *p : active)
-        per_head.push_back(sparserHeadCycles(p->sparserCsc, head_dim,
-                                             1, macs_per_line,
-                                             col_overhead));
-    std::sort(per_head.rbegin(), per_head.rend());
-    std::vector<Cycles> bins(lines, 0);
-    for (Cycles c : per_head)
-        *std::min_element(bins.begin(), bins.end()) += c;
-    return *std::max_element(bins.begin(), bins.end());
+    core::schedule::HardwareParams p;
+    p.macLines = cfg.macArray.macLines;
+    p.macsPerLine = cfg.macArray.macsPerLine;
+    p.elemBytes = cfg.elemBytes;
+    p.indexBytes = cfg.indexBytes;
+    p.qkvBufBytes = cfg.qkvBufBytes;
+    p.sBufferBytes = cfg.sBufferBytes;
+    p.aeLines = cfg.aeLines;
+    p.aeDecodeRate = cfg.aeDecodeRate;
+    p.softmaxLanesPerEngine = cfg.softmaxLanesPerEngine;
+    p.colOverheadCycles = cfg.colOverheadCycles;
+    p.reconfigCycles = cfg.reconfigCycles;
+    p.denseEff = cfg.denseEff;
+    p.gemmEff = cfg.gemmEff;
+    p.twoPronged = cfg.twoPronged;
+    p.enableAeEngines = cfg.enableAeEngines;
+    p.dynamicMaskPrediction = cfg.dynamicMaskPrediction;
+    p.predictionCostFactor = cfg.predictionCostFactor;
+    return p;
 }
 
 ViTCoDAccelerator::ViTCoDAccelerator(ViTCoDConfig cfg)
@@ -133,111 +43,25 @@ ViTCoDAccelerator::ViTCoDAccelerator(ViTCoDConfig cfg)
 uint64_t
 ViTCoDAccelerator::lruQMisses(const sparse::Csc &csc, size_t window_rows)
 {
-    if (window_rows == 0)
-        return csc.nnz();
-    // Exact LRU over the column-major nonzero stream. Token counts
-    // are a few hundred, so a linear-scan LRU list is fine.
-    std::vector<uint32_t> lru; // front = most recent
-    lru.reserve(window_rows);
-    uint64_t misses = 0;
-    for (size_t c = 0; c < csc.cols(); ++c) {
-        for (uint32_t i = csc.colPtr()[c]; i < csc.colPtr()[c + 1];
-             ++i) {
-            const uint32_t row = csc.rowIdx()[i];
-            auto it = std::find(lru.begin(), lru.end(), row);
-            if (it != lru.end()) {
-                lru.erase(it);
-            } else {
-                ++misses;
-                if (lru.size() >= window_rows)
-                    lru.pop_back();
-            }
-            lru.insert(lru.begin(), row);
-        }
-    }
-    return misses;
+    return core::schedule::lruQMisses(csc, window_rows);
 }
 
 LayerAttentionStats
-ViTCoDAccelerator::simulateAttentionLayer(const core::ModelPlan &plan,
-                                          size_t layer) const
+ViTCoDAccelerator::priceAttentionLayer(
+    const core::schedule::LayerSchedule &ls) const
 {
-    const auto shapes = model::attentionShapes(plan.model);
-    VITCOD_ASSERT(layer < shapes.size(), "layer out of range");
-    const auto &shape = shapes[layer];
-    const size_t n = shape.tokens;
-    const size_t dk = shape.headDim;
-    const size_t h = shape.heads;
-    const auto eb = static_cast<double>(cfg_.elemBytes);
-
-    // Collect this layer's head plans.
-    std::vector<const core::SparseAttentionPlan *> hp;
-    for (const auto &head : plan.heads)
-        if (head.layer == layer)
-            hp.push_back(&head.plan);
-    VITCOD_ASSERT(hp.size() == h, "plan missing heads for layer ",
-                  layer);
-
-    // AE compression ratio for this layer.
-    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
-    double ratio = 1.0;
-    size_t c_heads = h;
-    if (ae_on) {
-        VITCOD_ASSERT(layer < plan.ae.size(), "AE summary missing");
-        ratio = plan.ae[layer].ratio();
-        c_heads = plan.ae[layer].compressed;
-    }
-
-    LayerAttentionStats st;
-
-    // ---- Workload split (MACs).
-    MacOps denser_sddmm = 0, sparser_sddmm = 0;
-    MacOps denser_spmm = 0, sparser_spmm = 0;
-    uint64_t s_elems_denser = 0, s_elems_sparser = 0;
-    double idx_bytes = 0.0;
-    for (const auto *p : hp) {
-        const MacOps dense_cols_macs =
-            static_cast<MacOps>(n) * p->numGlobalTokens * dk;
-        denser_sddmm += dense_cols_macs;
-        sparser_sddmm += static_cast<MacOps>(p->sparserNnz) * dk;
-        // Denser region is stored/processed densely; sparser via CSC.
-        denser_spmm += dense_cols_macs;
-        sparser_spmm += static_cast<MacOps>(p->sparserNnz) * dk;
-        s_elems_denser += n * p->numGlobalTokens;
-        s_elems_sparser += p->sparserNnz;
-        if (p->numGlobalTokens < p->tokens)
-            idx_bytes += static_cast<double>(
-                p->sparserCsc.indexBytes(cfg_.indexBytes));
-    }
-    st.attentionMacs = denser_sddmm + sparser_sddmm + denser_spmm +
-                       sparser_spmm;
-
-    // Decoder workload: every token's Q and K row is recovered from
-    // the compressed representation once per layer (decoded-row
-    // reuse; re-decodes on re-streamed rows are second-order).
-    if (ae_on)
-        st.decodeMacs = static_cast<MacOps>(2) * n * dk * h * c_heads;
-
-    // ---- Dynamic MAC-line allocation (paper Sec. V-B1): lines go
-    // to the denser and sparser engines proportionally to their
-    // statically-known workloads; the decoder runs on its own
-    // dedicated lines.
     const size_t lines = cfg_.macArray.macLines;
     const size_t mpl = cfg_.macArray.macsPerLine;
-    size_t l_d = 0, l_s = 0;
-    {
-        const auto alloc = allocateEngineLines(
-            {static_cast<double>(denser_sddmm),
-             static_cast<double>(sparser_sddmm)},
-            lines);
-        l_d = alloc[0];
-        l_s = alloc[1];
-    }
-    const size_t l_ae = ae_on ? cfg_.aeLines : 0;
-    st.denserLines = l_d;
-    st.sparserLines = l_s;
+    const sim::DramModel dram(cfg_.dram);
 
-    // ---- Denser-engine SDDMM cycles (dense streaming).
+    LayerAttentionStats st;
+    st.attentionMacs = ls.attentionMacs();
+    st.executedMacs = ls.execMacs.attn;
+    st.decodeMacs = ls.decodeMacs;
+    st.denserLines = ls.sddmmDenserLines;
+    st.sparserLines = ls.sddmmSparserLines;
+    st.qGatherMisses = ls.gatherMisses;
+
     auto dense_cycles = [&](MacOps macs, size_t use_lines) -> Cycles {
         if (macs == 0 || use_lines == 0)
             return 0;
@@ -246,132 +70,56 @@ ViTCoDAccelerator::simulateAttentionLayer(const core::ModelPlan &plan,
         return static_cast<Cycles>(std::ceil(ideal / cfg_.denseEff));
     };
 
-    // ---- Sparser-engine cycles: per-column walk with integer line
-    // allocation across heads, grouping heads when lines are scarce
-    // (shared with the instruction compiler).
-    auto sparser_cycles = [&](bool spmm_phase,
-                              size_t use_lines) -> Cycles {
-        (void)spmm_phase; // same per-column walk both phases
-        return sparserEngineCycles(hp, dk, use_lines, mpl,
-                                   cfg_.colOverheadCycles);
-    };
-
-    const sim::DramModel dram(cfg_.dram);
-
-    // ---- SDDMM input movement under the K-stationary dataflow
-    // (paper Fig. 13): each K vector streams once; Q rows stream
-    // once when the head's Q fits on chip, and are *re-streamed per
-    // global K column* otherwise — the "most inefficient pattern"
-    // the paper's roofline analysis calls out, and exactly what the
-    // AE's compression alleviates by doubling residency.
-    const double q_row_bytes = dk * eb * ratio;
-    const size_t window_rows = std::max<size_t>(
-        1, static_cast<size_t>(
-               static_cast<double>(cfg_.qkvBufBytes) / 2.0 /
-               (static_cast<double>(h) * q_row_bytes)));
-    double k_bytes = static_cast<double>(n) * h * dk * eb * ratio;
-    double q_bytes = 0.0;
-    for (const auto *p : hp) {
-        if (p->numGlobalTokens > 0 || p->sparserNnz == 0) {
-            // Denser engine, Q-block-tiled schedule: a block of
-            // window_rows Q rows stays resident while the (few)
-            // global K vectors cycle through the PEs, so Q streams
-            // once and K re-streams once per extra Q block. The
-            // sparser engine snoops the same Q stream (query-based
-            // Q forwarding).
-            q_bytes += static_cast<double>(n) * q_row_bytes;
-            if (window_rows < n) {
-                const auto extra_passes = static_cast<double>(
-                    ceilDiv(n, window_rows) - 1);
-                k_bytes += static_cast<double>(p->numGlobalTokens) *
-                           dk * eb * ratio * extra_passes;
-            }
-        } else {
-            // Pruning-only ablation: no denser stream to snoop; the
-            // sparser engine gathers rows through an LRU window.
-            const uint64_t misses =
-                lruQMisses(p->sparserCsc, window_rows);
-            st.qGatherMisses += misses;
-            q_bytes += static_cast<double>(misses) * q_row_bytes;
-        }
-    }
-    const auto sddmm_in_bytes =
-        static_cast<Bytes>(k_bytes + q_bytes + idx_bytes);
+    // ---- SDDMM: streams + gathers on the load side, the denser /
+    // sparser / decoder engines racing on the compute side.
+    const Bytes sddmm_in_bytes = ls.qkLoadBytes + ls.idxBytes;
     Cycles sddmm_load = dram.streamCycles(sddmm_in_bytes);
-    if (st.qGatherMisses > 0) {
-        sddmm_load += dram.gatherCycles(
-            st.qGatherMisses,
-            static_cast<Bytes>(std::max(1.0, q_row_bytes)));
-    }
+    if (ls.gatherMisses > 0)
+        sddmm_load +=
+            dram.gatherCycles(ls.gatherMisses, ls.gatherRowBytes);
 
-    // ---- SDDMM compute: the dedicated decoder engine runs in
-    // parallel with the attention engines.
     const Cycles decode_cycles =
-        (ae_on && l_ae > 0)
-            ? ceilDiv(st.decodeMacs,
+        (ls.aeOn && cfg_.aeLines > 0)
+            ? ceilDiv(ls.decodeMacs,
                       static_cast<MacOps>(
-                          static_cast<double>(l_ae * mpl) *
+                          static_cast<double>(cfg_.aeLines * mpl) *
                           cfg_.aeDecodeRate))
             : 0;
-    Cycles sddmm_compute;
     if (cfg_.twoPronged) {
-        sddmm_compute = std::max({dense_cycles(denser_sddmm, l_d),
-                                  sparser_cycles(false, l_s),
-                                  decode_cycles});
+        st.sddmmCompute = std::max(
+            {dense_cycles(ls.denserSddmmMacs, ls.sddmmDenserLines),
+             ls.sddmmSparserCycles, decode_cycles});
     } else {
-        sddmm_compute =
-            std::max(dense_cycles(denser_sddmm, lines) +
-                         sparser_cycles(false, lines) +
-                         cfg_.reconfigCycles,
+        st.sddmmCompute =
+            std::max(dense_cycles(ls.denserSddmmMacs, lines) +
+                         ls.sddmmSparserCycles + cfg_.reconfigCycles,
                      decode_cycles);
     }
-    st.sddmmCompute = sddmm_compute;
 
     // ---- Softmax over stored scores (dense region + sparser nnz).
-    const uint64_t s_elems = s_elems_denser + s_elems_sparser;
     const size_t sm_lanes =
         cfg_.softmaxLanesPerEngine * (cfg_.twoPronged ? 2 : 1);
-    st.softmaxCompute = ceilDiv(2 * s_elems, sm_lanes);
+    st.softmaxCompute = ceilDiv(2 * ls.softmaxElems, sm_lanes);
 
     // ---- SpMM: V streams in, V' streams out, S spills if oversized.
-    const double s_bytes = static_cast<double>(s_elems) * eb;
-    const double spill =
-        std::max(0.0, s_bytes - static_cast<double>(cfg_.sBufferBytes));
-    const double v_bytes = static_cast<double>(n) * h * dk * eb;
-    const double out_bytes = static_cast<double>(n) * h * dk * eb;
-
-    const Cycles spmm_load =
-        dram.streamCycles(static_cast<Bytes>(v_bytes + spill));
-    const Cycles spmm_store =
-        dram.streamCycles(static_cast<Bytes>(out_bytes + spill));
-
-    // Decoder lines return to the engines for SpMM (paper: AE lines
-    // "also used to process other denser/sparser workloads when
-    // encode/decode are not needed").
+    const Cycles spmm_load = dram.streamCycles(ls.vLoadBytes);
+    const Cycles spmm_store = dram.streamCycles(ls.outStoreBytes);
     Cycles spmm_compute;
     if (cfg_.twoPronged) {
-        const auto alloc = allocateEngineLines(
-            {static_cast<double>(denser_spmm),
-             static_cast<double>(sparser_spmm)},
-            lines);
-        spmm_compute =
-            std::max(dense_cycles(denser_spmm, alloc[0]),
-                     sparser_cycles(true, alloc[1]));
+        spmm_compute = std::max(
+            dense_cycles(ls.denserSpmmMacs, ls.spmmDenserLines),
+            ls.spmmSparserCycles);
     } else {
-        spmm_compute = dense_cycles(denser_spmm, lines) +
-                       sparser_cycles(true, lines);
+        spmm_compute = dense_cycles(ls.denserSpmmMacs, lines) +
+                       ls.spmmSparserCycles;
     }
     spmm_compute += cfg_.reconfigCycles; // inter->intra-PE switch
     st.spmmCompute = spmm_compute;
 
     // ---- Optional on-the-fly mask prediction (NLP mode).
-    if (cfg_.dynamicMaskPrediction) {
-        const MacOps pred_macs = static_cast<MacOps>(
-            static_cast<double>(n) * n * h * dk *
-            cfg_.predictionCostFactor);
-        st.prediction = dense_cycles(pred_macs, lines) +
-                        static_cast<Cycles>(2 * n);
-    }
+    if (cfg_.dynamicMaskPrediction)
+        st.prediction = dense_cycles(ls.predictMacs, lines) +
+                        ls.predictOverhead;
 
     // ---- Phase overlap within the layer.
     const std::vector<sim::TileCost> tiles = {
@@ -386,24 +134,32 @@ ViTCoDAccelerator::simulateAttentionLayer(const core::ModelPlan &plan,
     st.exposedMemory = st.total - compute_sum;
 
     st.sddmmRead = sddmm_in_bytes;
-    st.dramRead = sddmm_in_bytes +
-                  static_cast<Bytes>(v_bytes + spill);
-    st.dramWrite = static_cast<Bytes>(out_bytes + spill);
+    st.dramRead = sddmm_in_bytes + ls.vLoadBytes;
+    st.dramWrite = ls.outStoreBytes;
     return st;
 }
 
-RunStats
-ViTCoDAccelerator::finalize(const core::ModelPlan &plan,
-                            bool end_to_end) const
+LayerAttentionStats
+ViTCoDAccelerator::simulateAttentionLayer(const core::ModelPlan &plan,
+                                          size_t layer) const
 {
-    const auto shapes = model::attentionShapes(plan.model);
+    const core::schedule::ScheduleBuilder builder(
+        {.hw = scheduleParams(cfg_), .buildLayouts = false});
+    return priceAttentionLayer(
+        builder.buildAttentionLayer(plan, layer));
+}
+
+RunStats
+ViTCoDAccelerator::finalize(
+    const core::schedule::ModelSchedule &sched) const
+{
     const size_t mpl = cfg_.macArray.macsPerLine;
     const size_t all_lines = cfg_.macArray.macLines;
     const auto eb = static_cast<double>(cfg_.elemBytes);
 
     RunStats rs;
     rs.device = name();
-    rs.model = plan.model.name;
+    rs.model = sched.modelName;
 
     Cycles total = 0;
     Cycles compute = 0;
@@ -411,10 +167,16 @@ ViTCoDAccelerator::finalize(const core::ModelPlan &plan,
     MacOps macs = 0;
 
     const sim::DramModel dram(cfg_.dram);
-    const bool ae_on = cfg_.enableAeEngines && !plan.ae.empty();
 
-    for (size_t l = 0; l < shapes.size(); ++l) {
-        const LayerAttentionStats st = simulateAttentionLayer(plan, l);
+    auto gemm_cycles = [&](MacOps m) -> Cycles {
+        return static_cast<Cycles>(
+            std::ceil(static_cast<double>(
+                          ceilDiv(m, all_lines * mpl)) /
+                      cfg_.gemmEff));
+    };
+
+    for (const core::schedule::LayerSchedule &ls : sched.layers) {
+        const LayerAttentionStats st = priceAttentionLayer(ls);
         total += st.total;
         compute += st.sddmmCompute + st.softmaxCompute +
                    st.spmmCompute;
@@ -423,107 +185,48 @@ ViTCoDAccelerator::finalize(const core::ModelPlan &plan,
         rs.dramRead += st.dramRead;
         rs.dramWrite += st.dramWrite;
 
-        if (!end_to_end)
+        if (!sched.endToEnd)
             continue;
 
-        // ---- Dense phases of the block, on the reused MAC array.
-        const auto &s = shapes[l];
-        const double n = static_cast<double>(s.tokens);
-        const double d = static_cast<double>(s.embedDim);
-        const double hd =
-            static_cast<double>(s.heads) * s.headDim;
-        const double hidden = d * 4.0; // overwritten below per stage
-        (void)hidden;
-        // Find mlpRatio for this layer's stage.
-        size_t ratio = 4;
-        {
-            size_t idx = 0;
-            for (const auto &stage : plan.model.stages) {
-                if (l < idx + stage.layers) {
-                    ratio = stage.mlpRatio;
-                    break;
-                }
-                idx += stage.layers;
-            }
-        }
-        const double mlp_hidden = d * static_cast<double>(ratio);
-
-        auto gemm_cycles = [&](double m) -> Cycles {
-            return static_cast<Cycles>(
-                std::ceil(static_cast<double>(ceilDiv(
-                              static_cast<MacOps>(m),
-                              all_lines * mpl)) /
-                          cfg_.gemmEff));
-        };
-
-        const double ae_ratio =
-            ae_on ? plan.ae[l].ratio() : 1.0;
-        const double c_heads =
-            ae_on ? static_cast<double>(plan.ae[l].compressed) : 0.0;
-
-        // Q/K/V projection (+ encoder overlapped).
-        const double proj_macs = n * d * 3.0 * hd;
-        const double enc_macs =
-            ae_on ? 2.0 * n * s.headDim * s.heads * c_heads : 0.0;
+        // ---- Dense phases of the block, on the reused MAC array
+        // (encoder overlapped on its dedicated lines).
+        const core::schedule::DenseBlockSchedule &db = ls.dense;
         const Cycles proj_compute = std::max(
-            gemm_cycles(proj_macs),
-            ae_on ? ceilDiv(static_cast<MacOps>(enc_macs),
-                            cfg_.aeLines * mpl)
-                  : 0);
-        const double proj_in = n * d * eb + 3.0 * d * hd * eb;
-        const double proj_out =
-            2.0 * n * hd * eb * ae_ratio + n * hd * eb; // Q,K cmp; V
-        const Cycles proj_load =
-            dram.streamCycles(static_cast<Bytes>(proj_in));
-        const Cycles proj_store =
-            dram.streamCycles(static_cast<Bytes>(proj_out));
-
-        // Output projection.
-        const double op_macs = n * hd * d;
-        const double op_bytes = hd * d * eb + n * hd * eb + n * d * eb;
-
-        // MLP (two layers) + GELU.
-        const double mlp_macs = 2.0 * n * d * mlp_hidden;
-        const double mlp_bytes =
-            2.0 * d * mlp_hidden * eb + 2.0 * n * d * eb;
-
-        // LayerNorms: elementwise on the softmax/activation units.
+            gemm_cycles(db.projMacs),
+            ls.aeOn ? ceilDiv(db.encodeMacs, cfg_.aeLines * mpl)
+                    : 0);
         const Cycles ln_cycles = static_cast<Cycles>(
-            2.0 * n * d /
+            static_cast<double>(db.lnElems) /
             static_cast<double>(cfg_.softmaxLanesPerEngine * 2));
 
         const std::vector<sim::TileCost> dense_tiles = {
-            {proj_load, proj_compute, proj_store},
-            {dram.streamCycles(static_cast<Bytes>(op_bytes)),
-             gemm_cycles(op_macs), 0},
-            {dram.streamCycles(static_cast<Bytes>(mlp_bytes)),
-             gemm_cycles(mlp_macs), 0},
+            {dram.streamCycles(db.projLoadBytes), proj_compute,
+             dram.streamCycles(db.projStoreBytes)},
+            {dram.streamCycles(db.outProjBytes),
+             gemm_cycles(db.outProjMacs), 0},
+            {dram.streamCycles(db.mlpBytes), gemm_cycles(db.mlpMacs),
+             0},
             {0, ln_cycles, 0},
         };
         const Cycles dense_total =
             sim::doubleBufferedCycles(dense_tiles);
-        const Cycles dense_compute = proj_compute +
-                                     gemm_cycles(op_macs) +
-                                     gemm_cycles(mlp_macs) + ln_cycles;
+        const Cycles dense_compute =
+            proj_compute + gemm_cycles(db.outProjMacs) +
+            gemm_cycles(db.mlpMacs) + ln_cycles;
         total += dense_total;
         compute += dense_compute;
-        macs += static_cast<MacOps>(proj_macs + enc_macs + op_macs +
-                                    mlp_macs);
-        rs.dramRead += static_cast<Bytes>(proj_in + op_bytes +
-                                          mlp_bytes);
-        rs.dramWrite += static_cast<Bytes>(proj_out);
+        macs += db.projMacs + db.encodeMacs + db.outProjMacs +
+                db.mlpMacs;
+        rs.dramRead +=
+            db.projLoadBytes + db.outProjBytes + db.mlpBytes;
+        rs.dramWrite += db.projStoreBytes;
     }
 
-    if (end_to_end && plan.model.stemFlops > 0.0) {
-        const auto stem_macs =
-            static_cast<MacOps>(plan.model.stemFlops / 2.0);
-        const Cycles stem = static_cast<Cycles>(
-            std::ceil(static_cast<double>(
-                          ceilDiv(stem_macs, all_lines * mpl)) /
-                      cfg_.gemmEff));
+    if (sched.endToEnd && sched.stemFlops > 0.0) {
+        const Cycles stem = gemm_cycles(sched.stemMacs);
         total += stem;
         compute += stem;
-        macs += stem_macs;
+        macs += sched.stemMacs;
     }
 
     rs.cycles = total;
@@ -552,15 +255,28 @@ ViTCoDAccelerator::finalize(const core::ModelPlan &plan,
 }
 
 RunStats
+ViTCoDAccelerator::runSchedule(
+    const core::schedule::ModelSchedule &sched) const
+{
+    VITCOD_ASSERT(sched.params == scheduleParams(cfg_),
+                  "schedule was built for different hardware");
+    return finalize(sched);
+}
+
+RunStats
 ViTCoDAccelerator::runAttention(const core::ModelPlan &plan) const
 {
-    return finalize(plan, /*end_to_end=*/false);
+    const core::schedule::ScheduleBuilder builder(
+        {.hw = scheduleParams(cfg_), .buildLayouts = false});
+    return finalize(builder.build(plan, /*end_to_end=*/false));
 }
 
 RunStats
 ViTCoDAccelerator::runEndToEnd(const core::ModelPlan &plan) const
 {
-    return finalize(plan, /*end_to_end=*/true);
+    const core::schedule::ScheduleBuilder builder(
+        {.hw = scheduleParams(cfg_), .buildLayouts = false});
+    return finalize(builder.build(plan, /*end_to_end=*/true));
 }
 
 } // namespace vitcod::accel

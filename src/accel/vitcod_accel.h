@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "accel/device.h"
+#include "core/schedule/builder.h"
+#include "core/schedule/schedule.h"
 #include "sim/dram.h"
 #include "sim/energy.h"
 #include "sim/mac_array.h"
@@ -113,7 +115,15 @@ struct LayerAttentionStats
     Cycles spmmCompute = 0;
     Cycles exposedMemory = 0;  //!< total - sum of compute phases
     Cycles prediction = 0;     //!< dynamic-mask NLP mode only
+    /** Engine workload: the denser region is stored/processed
+     *  densely, so this counts all n x N_gt entries plus the
+     *  sparser nonzeros (what the datapath streams and energy
+     *  pays for). */
     MacOps attentionMacs = 0;
+    /** Mask-nonzero subset of attentionMacs: what a value-level
+     *  execution (ModelExecutor) performs. The difference is the
+     *  denser region's zero padding. */
+    MacOps executedMacs = 0;
     MacOps decodeMacs = 0;
     Bytes dramRead = 0;
     Bytes dramWrite = 0;
@@ -123,32 +133,23 @@ struct LayerAttentionStats
     uint64_t qGatherMisses = 0; //!< sparser-engine Q misses (no fwd)
 };
 
-/**
- * Sparser-engine cost of one head: walk the CSC columns, each
- * costing ceil(nnz_c * dk / (lines * macs_per_line)) plus the
- * per-column index-decode overhead. Shared by the simulator and the
- * instruction compiler so both agree on the static schedule.
- */
-Cycles sparserHeadCycles(const sparse::Csc &csc, size_t head_dim,
-                         size_t lines, size_t macs_per_line,
-                         Cycles col_overhead);
+/** @name Static schedule math
+ * The derivations themselves live in core::schedule (the Schedule
+ * IR owns the static schedule); re-exported here for the accel API
+ * and its existing tests.
+ * @{ */
+using core::schedule::allocateEngineLines;
+using core::schedule::sparserEngineCycles;
+using core::schedule::sparserHeadCycles;
+/** @} */
 
 /**
- * Largest-remainder integer allocation of @p total MAC lines
- * proportional to @p weights (floor of 1 for nonzero weights).
+ * The schedule-relevant subset of @p cfg as the Schedule IR's
+ * hardware parameters (DRAM/energy pricing knobs stay behind in the
+ * accelerator config — they do not change the static schedule).
  */
-std::vector<size_t> allocateEngineLines(
-    const std::vector<double> &weights, size_t total);
-
-/**
- * Whole sparser-engine cost for a layer: allocate @p lines across
- * the active heads proportional to their nonzeros (or LPT-pack heads
- * onto lines when heads outnumber lines) and take the slowest head.
- */
-Cycles sparserEngineCycles(
-    const std::vector<const core::SparseAttentionPlan *> &heads,
-    size_t head_dim, size_t lines, size_t macs_per_line,
-    Cycles col_overhead);
+core::schedule::HardwareParams
+scheduleParams(const ViTCoDConfig &cfg);
 
 /** The ViTCoD accelerator simulator. */
 class ViTCoDAccelerator : public Device
@@ -163,24 +164,36 @@ class ViTCoDAccelerator : public Device
     RunStats runAttention(const core::ModelPlan &plan) const override;
     RunStats runEndToEnd(const core::ModelPlan &plan) const override;
 
+    /**
+     * Price a prebuilt schedule (attention-only or end-to-end per
+     * its endToEnd flag). The schedule must have been built with
+     * scheduleParams(config()) — the static decisions baked into it
+     * are only meaningful for the hardware they were derived for.
+     */
+    RunStats runSchedule(
+        const core::schedule::ModelSchedule &sched) const;
+
     /** Detailed simulation of one layer's attention. */
     LayerAttentionStats
     simulateAttentionLayer(const core::ModelPlan &plan,
                            size_t layer) const;
 
+    /** Price one layer's attention schedule. */
+    LayerAttentionStats priceAttentionLayer(
+        const core::schedule::LayerSchedule &ls) const;
+
     /**
      * Exact LRU simulation of sparser-engine Q-row residency over a
      * CSC nonzero stream: returns the number of DRAM gathers needed
-     * with an on-chip window of @p window_rows Q rows. Exposed for
-     * unit testing.
+     * with an on-chip window of @p window_rows Q rows. Forwarded
+     * from core::schedule for API compatibility.
      */
     static uint64_t lruQMisses(const sparse::Csc &csc,
                                size_t window_rows);
 
   private:
-    /** Convert per-layer stats + dense-phase work into RunStats. */
-    RunStats finalize(const core::ModelPlan &plan,
-                      bool end_to_end) const;
+    /** Price a whole schedule into RunStats. */
+    RunStats finalize(const core::schedule::ModelSchedule &sched) const;
 
     ViTCoDConfig cfg_;
 };

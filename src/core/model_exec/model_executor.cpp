@@ -18,26 +18,12 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Per-layer analytic MACs at one stage's shape + that layer's
- *  mask nonzeros. */
-MacOps
-layerMacs(const model::StageConfig &s, size_t mask_nnz)
-{
-    const MacOps n = s.tokens;
-    const MacOps d = s.embedDim;
-    const MacOps hd = s.heads * s.headDim;
-    const MacOps hidden = s.mlpRatio * s.embedDim;
-    return 3 * n * d * hd               // Q/K/V projections
-           + static_cast<MacOps>(mask_nnz) * s.headDim * 2 // SDDMM+SpMM
-           + n * hd * d                 // output projection
-           + 2 * n * d * hidden;        // FC1 + FC2
-}
-
 } // namespace
 
 ModelExecutor::ModelExecutor(const core::ModelPlan *plan,
                              ModelWeights weights, ExecutorConfig cfg,
-                             const linalg::engine::KernelEngine *eng)
+                             const linalg::engine::KernelEngine *eng,
+                             const core::schedule::ModelSchedule *sched)
     : plan_(plan), weights_(std::move(weights)), cfg_(cfg),
       engine_(eng)
 {
@@ -76,26 +62,45 @@ ModelExecutor::ModelExecutor(const core::ModelPlan *plan,
                       "head plan outside model shape");
         headPlans_[hp.layer][hp.head] = &hp.plan;
     }
-    headNnz_.resize(layers);
-    layerNnz_.assign(layers, 0);
     for (size_t l = 0; l < layers; ++l) {
         const model::StageConfig &s = m.stageForLayer(l);
-        headNnz_[l].reserve(headPlans_[l].size());
         for (size_t h = 0; h < headPlans_[l].size(); ++h) {
             const SparseAttentionPlan *p = headPlans_[l][h];
             VITCOD_ASSERT(p != nullptr, "missing plan for layer ", l,
                           " head ", h);
             VITCOD_ASSERT(p->tokens == s.tokens,
                           "plan token count mismatch at layer ", l);
-            headNnz_[l].push_back(p->mask.nnz());
-            layerNnz_[l] += headNnz_[l].back();
         }
+    }
+
+    // The Schedule IR carries the per-head mask layouts, nnz and MAC
+    // counts this executor runs from. Building it is the one place
+    // the masks are scanned; the serving path shares the PlanCache's
+    // schedule instead of rebuilding.
+    if (sched == nullptr) {
+        ownSchedule_ = std::make_unique<core::schedule::ModelSchedule>(
+            core::schedule::ScheduleBuilder().build(
+                *plan_, /*end_to_end=*/false));
+        sched = ownSchedule_.get();
+    }
+    schedule_ = sched;
+    VITCOD_ASSERT(schedule_->layers.size() == layers,
+                  "schedule does not match the plan's layer count");
+    for (size_t l = 0; l < layers; ++l) {
+        const core::schedule::LayerSchedule &ls = schedule_->layers[l];
+        VITCOD_ASSERT(ls.heads.size() == headPlans_[l].size() &&
+                          ls.shape.tokens ==
+                              m.stageForLayer(l).tokens,
+                      "schedule does not match layer ", l);
+        for (const core::schedule::HeadSchedule &hs : ls.heads)
+            VITCOD_ASSERT(hs.layout.rowPtr.size() == hs.tokens + 1,
+                          "schedule head layout malformed at layer ",
+                          l);
     }
 
     forwardMacs_ = static_cast<MacOps>(m.stages.front().tokens) *
                    cfg_.inDim * m.stages.front().embedDim;
-    for (size_t l = 0; l < layers; ++l)
-        forwardMacs_ += layerMacs(m.stageForLayer(l), layerNnz_[l]);
+    forwardMacs_ += schedule_->execMacs();
     for (size_t s = 0; s + 1 < m.stages.size(); ++s)
         forwardMacs_ += static_cast<MacOps>(m.stages[s + 1].tokens) *
                         m.stages[s].embedDim *
@@ -156,8 +161,12 @@ ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
     // permute loops below (perm is a bijection over rows, heads
     // cover all columns), so the zeroing pass is skipped.
     linalg::Matrix &concat = arena_.atOverwrite(Slot::kConcat, n, hd);
+    const core::schedule::LayerSchedule &lsched =
+        schedule_->layers[layer];
     for (size_t head = 0; head < s.heads; ++head) {
         const SparseAttentionPlan &hp = *headPlans_[layer][head];
+        const core::schedule::HeadSchedule &hsched =
+            lsched.heads[head];
         // Slice this head's columns and permute rows into the
         // plan's token order in one pass, exactly as the
         // accelerator schedules it.
@@ -174,8 +183,16 @@ ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
         }
         const auto th0 = Clock::now();
         linalg::Matrix &hout = arena_.at(Slot::kHeadOut);
-        engine_->sparseAttentionInto(hq, hk, hv, hp.mask, scale,
-                                     hout);
+        // Execute through the schedule's prebuilt layout: the same
+        // CSC/CSR visit order the simulator priced, and no engine
+        // structure-cache traffic on the request path.
+        const linalg::engine::MaskLayoutView layout{
+            hp.mask.rows(),          hp.mask.cols(),
+            &hsched.layout.rowPtr,   &hsched.layout.colIdx,
+            &hsched.layout.colPtr,   &hsched.layout.rowIdx,
+            hsched.layout.useCsc};
+        engine_->sparseAttentionInto(hq, hk, hv, hp.mask, layout,
+                                     scale, hout);
         const double head_seconds = secondsSince(th0);
         // Un-permute: permuted row i is original token perm[i].
         for (size_t i = 0; i < n; ++i)
@@ -184,7 +201,7 @@ ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
         if (lt && cfg_.collectHeadTraces) {
             HeadTrace &ht = lt->headTraces[head];
             ht.head = head;
-            ht.maskNnz = headNnz_[layer][head];
+            ht.maskNnz = hsched.maskNnz();
             ht.numGlobalTokens = hp.numGlobalTokens;
             ht.seconds += head_seconds;
         }
@@ -334,13 +351,12 @@ ModelExecutor::finalizeTrace(
 {
     if (!trace)
         return;
-    const model::VitModelConfig &m = plan_->model;
     trace->totalSeconds = seconds;
     trace->dispatch = engine_->stats() - before;
     trace->totalMacs = forwardMacs() * static_cast<MacOps>(batch);
     for (size_t l = 0; l < trace->layers.size(); ++l)
         trace->layers[l].macs =
-            layerMacs(m.stageForLayer(l), layerNnz_[l]) *
+            schedule_->layers[l].execMacs.total() *
             static_cast<MacOps>(batch);
 }
 

@@ -31,12 +31,14 @@
 #ifndef VITCOD_CORE_MODEL_EXEC_MODEL_EXECUTOR_H
 #define VITCOD_CORE_MODEL_EXEC_MODEL_EXECUTOR_H
 
+#include <memory>
 #include <vector>
 
 #include "core/model_exec/buffer_arena.h"
 #include "core/model_exec/exec_trace.h"
 #include "core/model_exec/model_weights.h"
 #include "core/pipeline.h"
+#include "core/schedule/builder.h"
 #include "linalg/engine/engine.h"
 
 namespace vitcod::core::model_exec {
@@ -66,13 +68,26 @@ class ModelExecutor
      * @param weights Full weight set; the executor takes ownership.
      * @param eng Kernel executor; defaults to the shared
      *        Auto-dispatch engine.
+     * @param sched Prebuilt Schedule IR for @p plan (borrowed, must
+     *        outlive the executor) — what the serving path passes so
+     *        the one compiled schedule drives simulator and runtime
+     *        alike. nullptr builds a private schedule once here;
+     *        either way the executor runs from schedule layouts and
+     *        never scans a mask itself.
      */
     ModelExecutor(const core::ModelPlan *plan, ModelWeights weights,
                   ExecutorConfig cfg = {},
                   const linalg::engine::KernelEngine *eng =
-                      &linalg::engine::KernelEngine::shared());
+                      &linalg::engine::KernelEngine::shared(),
+                  const core::schedule::ModelSchedule *sched = nullptr);
 
     const core::ModelPlan &plan() const { return *plan_; }
+
+    /** The schedule this executor runs from. */
+    const core::schedule::ModelSchedule &schedule() const
+    {
+        return *schedule_;
+    }
     const ExecutorConfig &config() const { return cfg_; }
     const ModelWeights &weights() const { return weights_; }
     const BufferArena &arena() const { return arena_; }
@@ -131,13 +146,16 @@ class ModelExecutor
     ExecutorConfig cfg_;
     const linalg::engine::KernelEngine *engine_;
 
+    /** Built here when the caller did not inject a schedule. */
+    std::unique_ptr<core::schedule::ModelSchedule> ownSchedule_;
+    /** The Schedule IR execution runs from (owned or borrowed):
+     *  per-head mask layouts, nnz and MAC counts — no mask is ever
+     *  scanned on the request path. */
+    const core::schedule::ModelSchedule *schedule_ = nullptr;
+
     /** headPlans_[layer][head] -> plan, resolved once at build. */
     std::vector<std::vector<const SparseAttentionPlan *>> headPlans_;
 
-    /** Plan-constant mask nonzeros, cached at build: the O(n^2)
-     *  BitMask::nnz() scans never run on the request path. */
-    std::vector<std::vector<size_t>> headNnz_; //!< [layer][head]
-    std::vector<size_t> layerNnz_;             //!< per-layer sum
     MacOps forwardMacs_ = 0;
 
     BufferArena arena_;

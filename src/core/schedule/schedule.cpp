@@ -1,0 +1,577 @@
+#include "core/schedule/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vitcod::core::schedule {
+
+// --------------------------------------------------------- schedule math
+
+std::vector<size_t>
+allocateEngineLines(const std::vector<double> &weights, size_t total)
+{
+    const size_t k = weights.size();
+    std::vector<size_t> lines(k, 0);
+    double sum = 0.0;
+    for (double w : weights)
+        sum += w;
+    if (sum <= 0.0 || total == 0)
+        return lines;
+
+    // Largest-remainder method with a floor of 1 for non-zero work.
+    size_t given = 0;
+    std::vector<double> frac(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        const double exact =
+            static_cast<double>(total) * weights[i] / sum;
+        lines[i] = std::max<size_t>(1, static_cast<size_t>(exact));
+        frac[i] = exact - std::floor(exact);
+        given += lines[i];
+    }
+    // Trim if floors overshot (more busy heads than lines handled by
+    // caller via grouping; here we only trim down to total).
+    while (given > total) {
+        size_t victim = k;
+        for (size_t i = 0; i < k; ++i)
+            if (lines[i] > 1 && (victim == k || lines[i] > lines[victim]))
+                victim = i;
+        if (victim == k)
+            break; // all at 1 line; caller must group
+        --lines[victim];
+        --given;
+    }
+    // Distribute leftovers by largest fractional part.
+    while (given < total) {
+        size_t best = k;
+        for (size_t i = 0; i < k; ++i)
+            if (weights[i] > 0.0 && (best == k || frac[i] > frac[best]))
+                best = i;
+        if (best == k)
+            break;
+        ++lines[best];
+        frac[best] = -1.0;
+        ++given;
+    }
+    return lines;
+}
+
+Cycles
+sparserHeadCycles(const sparse::Csc &csc, size_t head_dim,
+                  size_t lines, size_t macs_per_line,
+                  Cycles col_overhead)
+{
+    VITCOD_ASSERT(lines > 0 && macs_per_line > 0,
+                  "sparser engine needs lines");
+    Cycles cy = 0;
+    for (size_t c = 0; c < csc.cols(); ++c) {
+        const size_t nnz_c = csc.colNnz(c);
+        if (nnz_c == 0)
+            continue;
+        const MacOps macs = static_cast<MacOps>(nnz_c) * head_dim;
+        cy += ceilDiv(macs, lines * macs_per_line) + col_overhead;
+    }
+    return cy;
+}
+
+Cycles
+sparserEngineCycles(
+    const std::vector<const core::SparseAttentionPlan *> &heads,
+    size_t head_dim, size_t lines, size_t macs_per_line,
+    Cycles col_overhead)
+{
+    if (lines == 0)
+        return 0;
+    std::vector<double> weights;
+    std::vector<const core::SparseAttentionPlan *> active;
+    for (const auto *p : heads) {
+        if (p->sparserNnz > 0) {
+            weights.push_back(static_cast<double>(p->sparserNnz));
+            active.push_back(p);
+        }
+    }
+    if (active.empty())
+        return 0;
+
+    if (lines >= active.size()) {
+        const auto alloc = allocateEngineLines(weights, lines);
+        Cycles worst = 0;
+        for (size_t i = 0; i < active.size(); ++i) {
+            worst = std::max(
+                worst,
+                sparserHeadCycles(active[i]->sparserCsc, head_dim,
+                                  std::max<size_t>(1, alloc[i]),
+                                  macs_per_line, col_overhead));
+        }
+        return worst;
+    }
+    // More busy heads than lines: LPT-pack heads onto lines.
+    std::vector<Cycles> per_head;
+    per_head.reserve(active.size());
+    for (const auto *p : active)
+        per_head.push_back(sparserHeadCycles(p->sparserCsc, head_dim,
+                                             1, macs_per_line,
+                                             col_overhead));
+    std::sort(per_head.rbegin(), per_head.rend());
+    std::vector<Cycles> bins(lines, 0);
+    for (Cycles c : per_head)
+        *std::min_element(bins.begin(), bins.end()) += c;
+    return *std::max_element(bins.begin(), bins.end());
+}
+
+uint64_t
+lruQMisses(const sparse::Csc &csc, size_t window_rows)
+{
+    if (window_rows == 0)
+        return csc.nnz();
+    // Exact LRU over the column-major nonzero stream. Token counts
+    // are a few hundred, so a linear-scan LRU list is fine.
+    std::vector<uint32_t> lru; // front = most recent
+    lru.reserve(window_rows);
+    uint64_t misses = 0;
+    for (size_t c = 0; c < csc.cols(); ++c) {
+        for (uint32_t i = csc.colPtr()[c]; i < csc.colPtr()[c + 1];
+             ++i) {
+            const uint32_t row = csc.rowIdx()[i];
+            auto it = std::find(lru.begin(), lru.end(), row);
+            if (it != lru.end()) {
+                lru.erase(it);
+            } else {
+                ++misses;
+                if (lru.size() >= window_rows)
+                    lru.pop_back();
+            }
+            lru.insert(lru.begin(), row);
+        }
+    }
+    return misses;
+}
+
+// ------------------------------------------------------------- totals
+
+MacOps
+ModelSchedule::attentionMacs() const
+{
+    MacOps m = 0;
+    for (const LayerSchedule &l : layers)
+        m += l.attentionMacs();
+    return m;
+}
+
+MacOps
+ModelSchedule::execMacs() const
+{
+    MacOps m = 0;
+    for (const LayerSchedule &l : layers)
+        m += l.execMacs.total();
+    return m;
+}
+
+model::Breakdown
+ModelSchedule::breakdown() const
+{
+    model::Breakdown b{};
+    for (const LayerSchedule &l : layers) {
+        const model::Breakdown lb = blockBreakdown(
+            l.shape, static_cast<double>(l.softmaxElems),
+            params.elemBytes);
+        for (size_t g = 0; g < lb.size(); ++g)
+            b[g] += lb[g];
+    }
+    groupOf(b, model::OpGroup::Other) +=
+        {stemFlops,
+         stemFlops / 4.0 * static_cast<double>(params.elemBytes)};
+    return b;
+}
+
+// ------------------------------------------------------- serialization
+
+namespace {
+
+constexpr const char *kMagic = "vitcod-schedule";
+constexpr const char *kVersion = "v1";
+
+void
+expectWord(std::istream &is, const char *expected)
+{
+    std::string word;
+    if (!(is >> word) || word != expected)
+        fatal("schedule parse error: expected '", expected,
+              "', got '", word, "'");
+}
+
+template <typename T>
+T
+readValue(std::istream &is, const char *label)
+{
+    expectWord(is, label);
+    T v{};
+    if (!(is >> v))
+        fatal("schedule parse error: bad value for '", label, "'");
+    return v;
+}
+
+void
+writeVec(std::ostream &os, const char *label,
+         const std::vector<uint32_t> &v)
+{
+    os << label << ' ' << v.size();
+    for (uint32_t x : v)
+        os << ' ' << x;
+    os << '\n';
+}
+
+std::vector<uint32_t>
+readVec(std::istream &is, const char *label)
+{
+    const auto n = readValue<size_t>(is, label);
+    std::vector<uint32_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        if (!(is >> v[i]))
+            fatal("schedule parse error: short '", label, "' array");
+    return v;
+}
+
+} // namespace
+
+void
+ModelSchedule::write(std::ostream &os) const
+{
+    // Doubles round-trip exactly at 17 significant digits.
+    const auto old_precision = os.precision(17);
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "model " << modelName << '\n';
+    os << "end_to_end " << endToEnd << '\n';
+    os << "stem_macs " << stemMacs << '\n';
+    os << "stem_flops " << stemFlops << '\n';
+    const HardwareParams &p = params;
+    os << "hw mac_lines " << p.macLines << " macs_per_line "
+       << p.macsPerLine << " elem_bytes " << p.elemBytes
+       << " index_bytes " << p.indexBytes << " qkv_buf "
+       << p.qkvBufBytes << " s_buf " << p.sBufferBytes << " ae_lines "
+       << p.aeLines << " ae_decode_rate " << p.aeDecodeRate
+       << " softmax_lanes " << p.softmaxLanesPerEngine
+       << " col_overhead " << p.colOverheadCycles << " reconfig "
+       << p.reconfigCycles << " dense_eff " << p.denseEff
+       << " gemm_eff " << p.gemmEff << " two_pronged " << p.twoPronged
+       << " ae_engines " << p.enableAeEngines << " dyn_mask "
+       << p.dynamicMaskPrediction << " pred_cost "
+       << p.predictionCostFactor << '\n';
+    os << "layers " << layers.size() << '\n';
+    for (const LayerSchedule &l : layers) {
+        os << "layer " << l.layer << " tokens " << l.shape.tokens
+           << " heads " << l.shape.heads << " head_dim "
+           << l.shape.headDim << " embed_dim " << l.shape.embedDim
+           << " mlp_ratio " << l.shape.mlpRatio << '\n';
+        os << "ae " << l.aeOn << " ratio " << l.aeRatio
+           << " compressed " << l.compressedHeads << " decode_macs "
+           << l.decodeMacs << '\n';
+        os << "split sddmm_d " << l.denserSddmmMacs << " sddmm_s "
+           << l.sparserSddmmMacs << " spmm_d " << l.denserSpmmMacs
+           << " spmm_s " << l.sparserSpmmMacs << " softmax_elems "
+           << l.softmaxElems << '\n';
+        os << "lines sddmm_d " << l.sddmmDenserLines << " sddmm_s "
+           << l.sddmmSparserLines << " spmm_d " << l.spmmDenserLines
+           << " spmm_s " << l.spmmSparserLines << " sddmm_s_cycles "
+           << l.sddmmSparserCycles << " spmm_s_cycles "
+           << l.spmmSparserCycles << '\n';
+        os << "mem window " << l.windowRows << " idx " << l.idxBytes
+           << " qk " << l.qkLoadBytes << " gathers " << l.gatherMisses
+           << " gather_row " << l.gatherRowBytes << " s " << l.sBytes
+           << " spill " << l.spillBytes << " v " << l.vLoadBytes
+           << " out " << l.outStoreBytes << '\n';
+        os << "predict macs " << l.predictMacs << " overhead "
+           << l.predictOverhead << '\n';
+        os << "exec qkv " << l.execMacs.qkv << " attn "
+           << l.execMacs.attn << " out_proj " << l.execMacs.outProj
+           << " mlp " << l.execMacs.mlp << '\n';
+        const DenseBlockSchedule &d = l.dense;
+        os << "dense proj " << d.projMacs << " encode "
+           << d.encodeMacs << " out_proj " << d.outProjMacs << " mlp "
+           << d.mlpMacs << " proj_load " << d.projLoadBytes
+           << " proj_store " << d.projStoreBytes << " op_bytes "
+           << d.outProjBytes << " mlp_bytes " << d.mlpBytes << " ln "
+           << d.lnElems << '\n';
+        os << "head_scheds " << l.heads.size() << '\n';
+        for (const HeadSchedule &h : l.heads) {
+            os << "head " << h.head << " tokens " << h.tokens
+               << " head_dim " << h.headDim << " global "
+               << h.numGlobalTokens << " denser_nnz " << h.denserNnz
+               << " sparser_nnz " << h.sparserNnz << " denser_macs "
+               << h.denserMacs << " sparser_macs " << h.sparserMacs
+               << " idx_bytes " << h.idxBytes << " gathers "
+               << h.qGatherMisses << " use_csc " << h.layout.useCsc
+               << '\n';
+            writeVec(os, "row_ptr", h.layout.rowPtr);
+            writeVec(os, "col_idx", h.layout.colIdx);
+            if (h.layout.useCsc) {
+                writeVec(os, "col_ptr", h.layout.colPtr);
+                writeVec(os, "row_idx", h.layout.rowIdx);
+            }
+        }
+    }
+    os.precision(old_precision);
+}
+
+void
+ModelSchedule::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    write(os);
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+ModelSchedule
+ModelSchedule::read(std::istream &is)
+{
+    expectWord(is, kMagic);
+    expectWord(is, kVersion);
+
+    ModelSchedule s;
+    s.modelName = readValue<std::string>(is, "model");
+    s.endToEnd = readValue<bool>(is, "end_to_end");
+    s.stemMacs = readValue<MacOps>(is, "stem_macs");
+    s.stemFlops = readValue<double>(is, "stem_flops");
+    expectWord(is, "hw");
+    HardwareParams &p = s.params;
+    p.macLines = readValue<size_t>(is, "mac_lines");
+    p.macsPerLine = readValue<size_t>(is, "macs_per_line");
+    p.elemBytes = readValue<size_t>(is, "elem_bytes");
+    p.indexBytes = readValue<size_t>(is, "index_bytes");
+    p.qkvBufBytes = readValue<Bytes>(is, "qkv_buf");
+    p.sBufferBytes = readValue<Bytes>(is, "s_buf");
+    p.aeLines = readValue<size_t>(is, "ae_lines");
+    p.aeDecodeRate = readValue<double>(is, "ae_decode_rate");
+    p.softmaxLanesPerEngine = readValue<size_t>(is, "softmax_lanes");
+    p.colOverheadCycles = readValue<Cycles>(is, "col_overhead");
+    p.reconfigCycles = readValue<Cycles>(is, "reconfig");
+    p.denseEff = readValue<double>(is, "dense_eff");
+    p.gemmEff = readValue<double>(is, "gemm_eff");
+    p.twoPronged = readValue<bool>(is, "two_pronged");
+    p.enableAeEngines = readValue<bool>(is, "ae_engines");
+    p.dynamicMaskPrediction = readValue<bool>(is, "dyn_mask");
+    p.predictionCostFactor = readValue<double>(is, "pred_cost");
+
+    const auto n_layers = readValue<size_t>(is, "layers");
+    s.layers.reserve(n_layers);
+    for (size_t i = 0; i < n_layers; ++i) {
+        LayerSchedule l;
+        l.layer = readValue<size_t>(is, "layer");
+        l.shape.tokens = readValue<size_t>(is, "tokens");
+        l.shape.heads = readValue<size_t>(is, "heads");
+        l.shape.headDim = readValue<size_t>(is, "head_dim");
+        l.shape.embedDim = readValue<size_t>(is, "embed_dim");
+        l.shape.mlpRatio = readValue<size_t>(is, "mlp_ratio");
+        l.aeOn = readValue<bool>(is, "ae");
+        l.aeRatio = readValue<double>(is, "ratio");
+        l.compressedHeads = readValue<size_t>(is, "compressed");
+        l.decodeMacs = readValue<MacOps>(is, "decode_macs");
+        expectWord(is, "split");
+        l.denserSddmmMacs = readValue<MacOps>(is, "sddmm_d");
+        l.sparserSddmmMacs = readValue<MacOps>(is, "sddmm_s");
+        l.denserSpmmMacs = readValue<MacOps>(is, "spmm_d");
+        l.sparserSpmmMacs = readValue<MacOps>(is, "spmm_s");
+        l.softmaxElems = readValue<uint64_t>(is, "softmax_elems");
+        expectWord(is, "lines");
+        l.sddmmDenserLines = readValue<size_t>(is, "sddmm_d");
+        l.sddmmSparserLines = readValue<size_t>(is, "sddmm_s");
+        l.spmmDenserLines = readValue<size_t>(is, "spmm_d");
+        l.spmmSparserLines = readValue<size_t>(is, "spmm_s");
+        l.sddmmSparserCycles = readValue<Cycles>(is, "sddmm_s_cycles");
+        l.spmmSparserCycles = readValue<Cycles>(is, "spmm_s_cycles");
+        expectWord(is, "mem");
+        l.windowRows = readValue<size_t>(is, "window");
+        l.idxBytes = readValue<Bytes>(is, "idx");
+        l.qkLoadBytes = readValue<Bytes>(is, "qk");
+        l.gatherMisses = readValue<uint64_t>(is, "gathers");
+        l.gatherRowBytes = readValue<Bytes>(is, "gather_row");
+        l.sBytes = readValue<Bytes>(is, "s");
+        l.spillBytes = readValue<Bytes>(is, "spill");
+        l.vLoadBytes = readValue<Bytes>(is, "v");
+        l.outStoreBytes = readValue<Bytes>(is, "out");
+        expectWord(is, "predict");
+        l.predictMacs = readValue<MacOps>(is, "macs");
+        l.predictOverhead = readValue<Cycles>(is, "overhead");
+        expectWord(is, "exec");
+        l.execMacs.qkv = readValue<MacOps>(is, "qkv");
+        l.execMacs.attn = readValue<MacOps>(is, "attn");
+        l.execMacs.outProj = readValue<MacOps>(is, "out_proj");
+        l.execMacs.mlp = readValue<MacOps>(is, "mlp");
+        expectWord(is, "dense");
+        DenseBlockSchedule &d = l.dense;
+        d.projMacs = readValue<MacOps>(is, "proj");
+        d.encodeMacs = readValue<MacOps>(is, "encode");
+        d.outProjMacs = readValue<MacOps>(is, "out_proj");
+        d.mlpMacs = readValue<MacOps>(is, "mlp");
+        d.projLoadBytes = readValue<Bytes>(is, "proj_load");
+        d.projStoreBytes = readValue<Bytes>(is, "proj_store");
+        d.outProjBytes = readValue<Bytes>(is, "op_bytes");
+        d.mlpBytes = readValue<Bytes>(is, "mlp_bytes");
+        d.lnElems = readValue<uint64_t>(is, "ln");
+        const auto n_heads = readValue<size_t>(is, "head_scheds");
+        l.heads.reserve(n_heads);
+        for (size_t h = 0; h < n_heads; ++h) {
+            HeadSchedule hs;
+            hs.head = readValue<size_t>(is, "head");
+            hs.tokens = readValue<size_t>(is, "tokens");
+            hs.headDim = readValue<size_t>(is, "head_dim");
+            hs.numGlobalTokens = readValue<size_t>(is, "global");
+            hs.denserNnz = readValue<size_t>(is, "denser_nnz");
+            hs.sparserNnz = readValue<size_t>(is, "sparser_nnz");
+            hs.denserMacs = readValue<MacOps>(is, "denser_macs");
+            hs.sparserMacs = readValue<MacOps>(is, "sparser_macs");
+            hs.idxBytes = readValue<Bytes>(is, "idx_bytes");
+            hs.qGatherMisses = readValue<uint64_t>(is, "gathers");
+            hs.layout.useCsc = readValue<bool>(is, "use_csc");
+            hs.layout.rowPtr = readVec(is, "row_ptr");
+            hs.layout.colIdx = readVec(is, "col_idx");
+            if (hs.layout.useCsc) {
+                hs.layout.colPtr = readVec(is, "col_ptr");
+                hs.layout.rowIdx = readVec(is, "row_idx");
+            }
+            l.heads.push_back(std::move(hs));
+        }
+        s.layers.push_back(std::move(l));
+    }
+    return s;
+}
+
+ModelSchedule
+ModelSchedule::readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return read(is);
+}
+
+// ----------------------------------------------------------- equality
+
+namespace {
+
+bool
+fail(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+template <typename T>
+bool
+check(std::string *why, const std::string &what, const T &a,
+      const T &b)
+{
+    if (a == b)
+        return true;
+    std::ostringstream os;
+    os << what << ": " << a << " vs " << b;
+    return fail(why, os.str());
+}
+
+} // namespace
+
+bool
+structurallyEqual(const ModelSchedule &a, const ModelSchedule &b,
+                  std::string *why)
+{
+    if (!check(why, "model", a.modelName, b.modelName) ||
+        !check(why, "end_to_end", a.endToEnd, b.endToEnd) ||
+        !check(why, "stem_macs", a.stemMacs, b.stemMacs) ||
+        !check(why, "stem_flops", a.stemFlops, b.stemFlops) ||
+        !check(why, "layer count", a.layers.size(), b.layers.size()))
+        return false;
+    if (!(a.params == b.params))
+        return fail(why, "hardware params differ");
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        const LayerSchedule &la = a.layers[i];
+        const LayerSchedule &lb = b.layers[i];
+        const std::string tag = "layer " + std::to_string(i) + " ";
+        if (!check(why, tag + "index", la.layer, lb.layer) ||
+            !check(why, tag + "tokens", la.shape.tokens,
+                   lb.shape.tokens) ||
+            !check(why, tag + "heads", la.shape.heads,
+                   lb.shape.heads) ||
+            !check(why, tag + "head_dim", la.shape.headDim,
+                   lb.shape.headDim) ||
+            !check(why, tag + "embed_dim", la.shape.embedDim,
+                   lb.shape.embedDim) ||
+            !check(why, tag + "mlp_ratio", la.shape.mlpRatio,
+                   lb.shape.mlpRatio) ||
+            !check(why, tag + "ae", la.aeOn, lb.aeOn) ||
+            !check(why, tag + "ae_ratio", la.aeRatio, lb.aeRatio) ||
+            !check(why, tag + "compressed", la.compressedHeads,
+                   lb.compressedHeads) ||
+            !check(why, tag + "decode_macs", la.decodeMacs,
+                   lb.decodeMacs) ||
+            !check(why, tag + "sddmm_d", la.denserSddmmMacs,
+                   lb.denserSddmmMacs) ||
+            !check(why, tag + "sddmm_s", la.sparserSddmmMacs,
+                   lb.sparserSddmmMacs) ||
+            !check(why, tag + "spmm_d", la.denserSpmmMacs,
+                   lb.denserSpmmMacs) ||
+            !check(why, tag + "spmm_s", la.sparserSpmmMacs,
+                   lb.sparserSpmmMacs) ||
+            !check(why, tag + "softmax_elems", la.softmaxElems,
+                   lb.softmaxElems) ||
+            !check(why, tag + "sddmm lines d", la.sddmmDenserLines,
+                   lb.sddmmDenserLines) ||
+            !check(why, tag + "sddmm lines s", la.sddmmSparserLines,
+                   lb.sddmmSparserLines) ||
+            !check(why, tag + "spmm lines d", la.spmmDenserLines,
+                   lb.spmmDenserLines) ||
+            !check(why, tag + "spmm lines s", la.spmmSparserLines,
+                   lb.spmmSparserLines) ||
+            !check(why, tag + "sddmm_s_cycles", la.sddmmSparserCycles,
+                   lb.sddmmSparserCycles) ||
+            !check(why, tag + "spmm_s_cycles", la.spmmSparserCycles,
+                   lb.spmmSparserCycles) ||
+            !check(why, tag + "window", la.windowRows,
+                   lb.windowRows) ||
+            !check(why, tag + "idx", la.idxBytes, lb.idxBytes) ||
+            !check(why, tag + "qk", la.qkLoadBytes, lb.qkLoadBytes) ||
+            !check(why, tag + "gathers", la.gatherMisses,
+                   lb.gatherMisses) ||
+            !check(why, tag + "gather_row", la.gatherRowBytes,
+                   lb.gatherRowBytes) ||
+            !check(why, tag + "s_bytes", la.sBytes, lb.sBytes) ||
+            !check(why, tag + "spill", la.spillBytes,
+                   lb.spillBytes) ||
+            !check(why, tag + "v", la.vLoadBytes, lb.vLoadBytes) ||
+            !check(why, tag + "out", la.outStoreBytes,
+                   lb.outStoreBytes) ||
+            !check(why, tag + "predict_macs", la.predictMacs,
+                   lb.predictMacs) ||
+            !check(why, tag + "predict_overhead", la.predictOverhead,
+                   lb.predictOverhead) ||
+            !check(why, tag + "exec qkv", la.execMacs.qkv,
+                   lb.execMacs.qkv) ||
+            !check(why, tag + "exec attn", la.execMacs.attn,
+                   lb.execMacs.attn) ||
+            !check(why, tag + "exec out_proj", la.execMacs.outProj,
+                   lb.execMacs.outProj) ||
+            !check(why, tag + "exec mlp", la.execMacs.mlp,
+                   lb.execMacs.mlp) ||
+            !check(why, tag + "head count", la.heads.size(),
+                   lb.heads.size()))
+            return false;
+        if (!(la.dense == lb.dense))
+            return fail(why, tag + "dense block differs");
+        for (size_t h = 0; h < la.heads.size(); ++h) {
+            if (!(la.heads[h] == lb.heads[h]))
+                return fail(why, tag + "head " + std::to_string(h) +
+                                     " differs");
+        }
+    }
+    return true;
+}
+
+} // namespace vitcod::core::schedule

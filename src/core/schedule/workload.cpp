@@ -1,0 +1,72 @@
+#include "core/schedule/workload.h"
+
+namespace vitcod::core::schedule {
+
+BlockMacs
+blockMacs(const BlockShape &b, size_t mask_nnz)
+{
+    const MacOps n = b.tokens;
+    const MacOps d = b.embedDim;
+    const MacOps hd = static_cast<MacOps>(b.heads) * b.headDim;
+    const MacOps hidden = static_cast<MacOps>(b.mlpRatio) * b.embedDim;
+
+    BlockMacs m;
+    m.qkv = 3 * n * d * hd;
+    m.attn = static_cast<MacOps>(mask_nnz) * b.headDim * 2;
+    m.outProj = n * hd * d;
+    m.mlp = 2 * n * d * hidden;
+    return m;
+}
+
+model::Breakdown
+blockBreakdown(const BlockShape &b, double s_elems, size_t elem_bytes)
+{
+    const auto n = static_cast<double>(b.tokens);
+    const auto dk = static_cast<double>(b.headDim);
+    const auto d = static_cast<double>(b.embedDim);
+    const auto hidden = static_cast<double>(b.mlpRatio) * d;
+    const double hd = static_cast<double>(b.heads) * dk;
+    const auto eb = static_cast<double>(elem_bytes);
+
+    model::Breakdown out{};
+
+    // Q/K/V projections: three d -> h*dk linear maps.
+    groupOf(out, model::OpGroup::QkvProj) = {
+        2.0 * n * d * 3.0 * hd,
+        (n * d + 3.0 * d * hd + 3.0 * n * hd) * eb};
+
+    // Q.K^T (SDDMM when sparse) and S.V (SpMM when sparse).
+    groupOf(out, model::OpGroup::AttnMatMul) = {
+        2.0 * s_elems * dk     // Q.K^T
+            + 2.0 * s_elems * dk, // S.V
+        (2.0 * n * hd          // Q and K
+         + s_elems             // S write
+         + s_elems             // S read
+         + n * hd              // V
+         + n * hd) * eb};      // V' write
+
+    // Head split before attention, concat after: pure movement.
+    groupOf(out, model::OpGroup::Reshape) = {
+        0.0, 2.0 * (3.0 * n * hd) * eb};
+
+    // Softmax: exp + accumulate + normalize per surviving score.
+    groupOf(out, model::OpGroup::Softmax) = {5.0 * s_elems,
+                                             2.0 * s_elems * eb};
+
+    // Output projection h*dk -> d.
+    groupOf(out, model::OpGroup::OutProj) = {
+        2.0 * n * hd * d, (n * hd + hd * d + n * d) * eb};
+
+    // Two-layer MLP with GELU.
+    groupOf(out, model::OpGroup::Mlp) = {
+        2.0 * n * d * hidden * 2.0 + 8.0 * n * hidden,
+        (2.0 * d * hidden + n * d * 2.0 + n * hidden) * eb};
+
+    // Two LayerNorms per block: ~5 ops/element each.
+    groupOf(out, model::OpGroup::LayerNorm) = {
+        2.0 * 5.0 * n * d, 2.0 * 2.0 * n * d * eb};
+
+    return out;
+}
+
+} // namespace vitcod::core::schedule

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The single copy of the per-block MAC/FLOP/byte formulas. Every
+ * other accounting in the repo — `model::modelBreakdown`'s Fig. 4
+ * op-group breakdowns, the Schedule IR's per-layer MAC counts, the
+ * ModelExecutor's trace MACs and the accelerator simulators' dense
+ * phases — derives from these two functions, so the four historic
+ * copies (flops.cpp, vitcod_accel.cpp, compiler.cpp,
+ * model_executor.cpp) can never drift apart again.
+ *
+ * The attention terms are parameterized on *stored score elements*
+ * (`s_elems`): callers with a real mask pass its nonzero count
+ * summed over heads; analytic callers pass `keep * h * n * n`.
+ */
+
+#ifndef VITCOD_CORE_SCHEDULE_WORKLOAD_H
+#define VITCOD_CORE_SCHEDULE_WORKLOAD_H
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "model/flops.h"
+
+namespace vitcod::core::schedule {
+
+/** Shape of one transformer block (a stage's per-layer geometry). */
+struct BlockShape
+{
+    size_t tokens = 0;   //!< sequence length n
+    size_t heads = 0;    //!< attention heads h
+    size_t headDim = 0;  //!< per-head width d_k
+    size_t embedDim = 0; //!< model width d
+    size_t mlpRatio = 0; //!< MLP hidden = mlpRatio * embedDim
+};
+
+/** Exact matmul MAC counts of one block at an integer mask nnz. */
+struct BlockMacs
+{
+    MacOps qkv = 0;     //!< three d -> h*dk projections
+    MacOps attn = 0;    //!< SDDMM + SpMM at the mask nonzeros
+    MacOps outProj = 0; //!< h*dk -> d projection
+    MacOps mlp = 0;     //!< FC1 + FC2 (GELU is not a MAC)
+
+    MacOps total() const { return qkv + attn + outProj + mlp; }
+};
+
+/**
+ * Matmul MACs of one block whose attention masks keep @p mask_nnz
+ * score entries summed over all heads.
+ */
+BlockMacs blockMacs(const BlockShape &b, size_t mask_nnz);
+
+/**
+ * Per-op-group FLOPs and bytes of one block (the currency of
+ * `model::modelBreakdown`). @p s_elems is the stored attention score
+ * count summed over heads (may be fractional for analytic callers);
+ * the Reshape/Softmax/LayerNorm groups are included, the stem is
+ * not (it is a whole-model constant, not a block cost).
+ */
+model::Breakdown blockBreakdown(const BlockShape &b, double s_elems,
+                                size_t elem_bytes);
+
+} // namespace vitcod::core::schedule
+
+#endif // VITCOD_CORE_SCHEDULE_WORKLOAD_H

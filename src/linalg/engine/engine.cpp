@@ -65,6 +65,13 @@ struct KernelEngine::MaskStructure
     std::vector<uint32_t> rowPtr, colIdx; //!< CSR
     std::vector<uint32_t> colPtr, rowIdx; //!< CSC (sparser masks only)
     bool useCsc = false;
+
+    /** Borrowed layout view of this structure. */
+    MaskLayoutView view() const
+    {
+        return {mask.rows(), mask.cols(), &rowPtr, &colIdx,
+                &colPtr,     &rowIdx,     useCsc};
+    }
 };
 
 /** Content-addressed LRU of MaskStructures. */
@@ -220,33 +227,32 @@ KernelEngine::gemmTransB(const Matrix &a, const Matrix &b) const
 
 void
 KernelEngine::sddmmInto(const Matrix &q, const Matrix &k,
-                        const MaskStructure &ms, float scale,
+                        const MaskLayoutView &layout, float scale,
                         std::vector<float> &values) const
 {
     VITCOD_ASSERT(q.cols() == k.cols(), "sddmm feature dim mismatch");
-    VITCOD_ASSERT(ms.mask.rows() == q.rows() &&
-                      ms.mask.cols() == k.rows(),
+    VITCOD_ASSERT(layout.rows == q.rows() && layout.cols == k.rows(),
                   "sddmm mask shape mismatch");
-    const size_t nnz = ms.colIdx.size();
+    const size_t nnz = layout.colIdx->size();
     const size_t macs = nnz * q.cols();
     values.resize(nnz);
 
-    if (ms.useCsc) {
+    if (layout.useCsc) {
         // Sparser region: K-stationary CSC walk, then an O(nnz)
         // scatter back into the CSR slots.
         counters_[kSddmmCsc].fetch_add(1, std::memory_order_relaxed);
         std::vector<float> csc_values(nnz);
-        forPanels(ms.mask.cols(), macs, [&](size_t c0, size_t c1) {
-            sddmmCscPanel(q, k, ms.colPtr, ms.rowIdx,
+        forPanels(layout.cols, macs, [&](size_t c0, size_t c1) {
+            sddmmCscPanel(q, k, *layout.colPtr, *layout.rowIdx,
                           csc_values.data(), c0, c1, scale);
         });
-        cscValuesToCsr(ms.mask.rows(), ms.colPtr, ms.rowIdx,
-                       csc_values, ms.rowPtr, values);
+        cscValuesToCsr(layout.rows, *layout.colPtr, *layout.rowIdx,
+                       csc_values, *layout.rowPtr, values);
     } else {
         counters_[kSddmmCsr].fetch_add(1, std::memory_order_relaxed);
-        forPanels(ms.mask.rows(), macs, [&](size_t r0, size_t r1) {
-            sddmmCsrPanel(q, k, ms.rowPtr, ms.colIdx, values.data(),
-                          r0, r1, scale);
+        forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
+            sddmmCsrPanel(q, k, *layout.rowPtr, *layout.colIdx,
+                          values.data(), r0, r1, scale);
         });
     }
 }
@@ -262,7 +268,7 @@ KernelEngine::sddmm(const Matrix &q, const Matrix &k,
     }
     const auto ms = structureFor(mask);
     std::vector<float> values;
-    sddmmInto(q, k, *ms, scale, values);
+    sddmmInto(q, k, ms->view(), scale, values);
     return sparse::Csr::fromParts(mask.rows(), mask.cols(), ms->rowPtr,
                                   ms->colIdx, std::move(values));
 }
@@ -337,21 +343,57 @@ KernelEngine::sparseAttentionInto(const Matrix &q, const Matrix &k,
     // softmax -> SpMM in place — no Csr materialization, no COO
     // round-trips, no revalidation between stages.
     const auto ms = structureFor(mask);
-    std::vector<float> values;
-    sddmmInto(q, k, *ms, scale, values);
+    sparseAttentionOpt(q, k, v, ms->view(), scale, out);
+}
 
-    const size_t macs = ms->colIdx.size() * q.cols();
+void
+KernelEngine::sparseAttentionOpt(const Matrix &q, const Matrix &k,
+                                 const Matrix &v,
+                                 const MaskLayoutView &layout,
+                                 float scale, Matrix &out) const
+{
+    std::vector<float> values;
+    sddmmInto(q, k, layout, scale, values);
+
+    const size_t macs = layout.colIdx->size() * q.cols();
     counters_[kSoftmaxOpt].fetch_add(1, std::memory_order_relaxed);
-    forPanels(mask.rows(), macs, [&](size_t r0, size_t r1) {
-        softmaxCsrPanel(ms->rowPtr, values.data(), r0, r1);
+    forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
+        softmaxCsrPanel(*layout.rowPtr, values.data(), r0, r1);
     });
 
     counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
-    out.resize(mask.rows(), v.cols());
-    forPanels(mask.rows(), macs, [&](size_t r0, size_t r1) {
-        spmmPanel(ms->rowPtr, ms->colIdx, values.data(), v, out, r0,
-                  r1);
+    out.resize(layout.rows, v.cols());
+    forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
+        spmmPanel(*layout.rowPtr, *layout.colIdx, values.data(), v,
+                  out, r0, r1);
     });
+}
+
+void
+KernelEngine::sparseAttentionInto(const Matrix &q, const Matrix &k,
+                                  const Matrix &v,
+                                  const sparse::BitMask &mask,
+                                  const MaskLayoutView &layout,
+                                  float scale, Matrix &out) const
+{
+    // Same dispatch bound as the mask-only overload, so a Reference-
+    // pinned or tiny-shape call behaves identically either way.
+    const size_t macs_bound = mask.rows() * mask.cols() * q.cols();
+    if (!useOptimized(macs_bound)) {
+        counters_[kSddmmRef].fetch_add(1, std::memory_order_relaxed);
+        counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
+        counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
+        const Matrix ref = linalg::spmm(
+            linalg::maskedSoftmaxRows(linalg::sddmm(q, k, mask, scale)),
+            v);
+        out = ref;
+        return;
+    }
+    VITCOD_ASSERT(mask.cols() == v.rows(), "spmm shape mismatch");
+    VITCOD_ASSERT(layout.rows == mask.rows() &&
+                      layout.cols == mask.cols(),
+                  "layout does not describe this mask");
+    sparseAttentionOpt(q, k, v, layout, scale, out);
 }
 
 std::span<const EngineStatsField>

@@ -117,6 +117,26 @@ std::span<const EngineStatsField> engineStatsFields();
  */
 EngineStats operator-(const EngineStats &a, const EngineStats &b);
 
+/**
+ * Borrowed view of a prebuilt compressed mask layout — what the
+ * Schedule IR (core::schedule::HeadLayout) hands the engine so a
+ * caller that already compiled its masks skips the engine's
+ * content-addressed structure cache entirely: no hashing, no lock,
+ * no O(n^2) mask scan on the execution path. The referenced arrays
+ * must outlive the call and describe the same mask the caller
+ * passes alongside.
+ */
+struct MaskLayoutView
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    const std::vector<uint32_t> *rowPtr = nullptr; //!< CSR, rows+1
+    const std::vector<uint32_t> *colIdx = nullptr;
+    const std::vector<uint32_t> *colPtr = nullptr; //!< useCsc only
+    const std::vector<uint32_t> *rowIdx = nullptr;
+    bool useCsc = false; //!< K-stationary CSC walk for the SDDMM
+};
+
 /** Shape/sparsity-dispatching kernel executor. */
 class KernelEngine
 {
@@ -181,6 +201,21 @@ class KernelEngine
                              const sparse::BitMask &mask, float scale,
                              Matrix &out) const;
 
+    /**
+     * Fused sparse attention over a prebuilt layout (the Schedule
+     * IR's visit order): the structure cache is bypassed — no
+     * lookup, no scan, no structure counters. @p mask must be the
+     * mask @p layout was compiled from; it is consulted only by the
+     * reference dispatch (tiny shapes / DispatchMode::Reference),
+     * which keeps dispatch decisions identical to the mask-only
+     * overload.
+     */
+    void sparseAttentionInto(const Matrix &q, const Matrix &k,
+                             const Matrix &v,
+                             const sparse::BitMask &mask,
+                             const MaskLayoutView &layout, float scale,
+                             Matrix &out) const;
+
     /** Snapshot of the dispatch counters. */
     EngineStats stats() const;
 
@@ -207,10 +242,16 @@ class KernelEngine
     std::shared_ptr<const MaskStructure>
     structureFor(const sparse::BitMask &mask) const;
 
-    /** Optimized SDDMM core over a pre-built structure. */
+    /** Optimized SDDMM core over a pre-built layout. */
     void sddmmInto(const Matrix &q, const Matrix &k,
-                   const MaskStructure &ms, float scale,
+                   const MaskLayoutView &layout, float scale,
                    std::vector<float> &values) const;
+
+    /** Optimized fused attention core over a pre-built layout. */
+    void sparseAttentionOpt(const Matrix &q, const Matrix &k,
+                            const Matrix &v,
+                            const MaskLayoutView &layout, float scale,
+                            Matrix &out) const;
 
     EngineConfig cfg_;
     ThreadPool *pool_;

@@ -1,6 +1,7 @@
 #include "flops.h"
 
 #include "common/logging.h"
+#include "core/schedule/workload.h"
 
 namespace vitcod::model {
 
@@ -63,76 +64,30 @@ modelBreakdown(const VitModelConfig &cfg, double attn_sparsity,
     VITCOD_ASSERT(attn_sparsity >= 0.0 && attn_sparsity < 1.0,
                   "sparsity out of [0,1)");
     const double keep = 1.0 - attn_sparsity;
-    const auto eb = static_cast<double>(elem_bytes);
 
+    // The per-block formulas are the Schedule IR's (one canonical
+    // copy); this analytic view feeds them the uniform surviving
+    // score count keep * h * n^2 where a built schedule would use
+    // its masks' actual nonzeros.
     Breakdown b{};
     for (const auto &s : cfg.stages) {
-        const auto n = static_cast<double>(s.tokens);
-        const auto h = static_cast<double>(s.heads);
-        const auto dk = static_cast<double>(s.headDim);
-        const auto d = static_cast<double>(s.embedDim);
-        const auto hidden = static_cast<double>(s.mlpRatio) * d;
+        const core::schedule::BlockShape shape{
+            s.tokens, s.heads, s.headDim, s.embedDim, s.mlpRatio};
+        const double s_elems = keep *
+                               static_cast<double>(s.heads) *
+                               static_cast<double>(s.tokens) *
+                               static_cast<double>(s.tokens);
+        const Breakdown block = core::schedule::blockBreakdown(
+            shape, s_elems, elem_bytes);
         const auto layers = static_cast<double>(s.layers);
-        const double hd = h * dk; // concatenated head width
-
-        // Q/K/V projections: three d -> h*dk linear maps.
-        OpCount qkv;
-        qkv.flops = 2.0 * n * d * 3.0 * hd;
-        qkv.bytes = (n * d + 3.0 * d * hd + 3.0 * n * hd) * eb;
-
-        // Q.K^T (SDDMM when sparse) and S.V (SpMM when sparse).
-        OpCount mm;
-        mm.flops = 2.0 * h * n * n * dk * keep   // Q.K^T
-                 + 2.0 * h * n * n * dk * keep;  // S.V
-        mm.bytes = (2.0 * n * hd                 // Q and K
-                    + h * n * n * keep           // S write
-                    + h * n * n * keep           // S read
-                    + n * hd                     // V
-                    + n * hd) * eb;              // V' write
-
-        // Head split before attention, concat after: pure movement.
-        OpCount rs;
-        rs.flops = 0.0;
-        rs.bytes = 2.0 * (3.0 * n * hd) * eb;
-
-        // Softmax: exp + accumulate + normalize per surviving score.
-        OpCount sm;
-        sm.flops = 5.0 * h * n * n * keep;
-        sm.bytes = 2.0 * h * n * n * keep * eb;
-
-        // Output projection h*dk -> d.
-        OpCount op;
-        op.flops = 2.0 * n * hd * d;
-        op.bytes = (n * hd + hd * d + n * d) * eb;
-
-        // Two-layer MLP with GELU.
-        OpCount mlp;
-        mlp.flops = 2.0 * n * d * hidden * 2.0 + 8.0 * n * hidden;
-        mlp.bytes = (2.0 * d * hidden + n * d * 2.0 + n * hidden) * eb;
-
-        // Two LayerNorms per block: ~5 ops/element each.
-        OpCount ln;
-        ln.flops = 2.0 * 5.0 * n * d;
-        ln.bytes = 2.0 * 2.0 * n * d * eb;
-
-        groupOf(b, OpGroup::QkvProj) +=
-            {qkv.flops * layers, qkv.bytes * layers};
-        groupOf(b, OpGroup::AttnMatMul) +=
-            {mm.flops * layers, mm.bytes * layers};
-        groupOf(b, OpGroup::Reshape) +=
-            {rs.flops * layers, rs.bytes * layers};
-        groupOf(b, OpGroup::Softmax) +=
-            {sm.flops * layers, sm.bytes * layers};
-        groupOf(b, OpGroup::OutProj) +=
-            {op.flops * layers, op.bytes * layers};
-        groupOf(b, OpGroup::Mlp) +=
-            {mlp.flops * layers, mlp.bytes * layers};
-        groupOf(b, OpGroup::LayerNorm) +=
-            {ln.flops * layers, ln.bytes * layers};
+        for (size_t g = 0; g < block.size(); ++g)
+            b[g] += {block[g].flops * layers,
+                     block[g].bytes * layers};
     }
 
     groupOf(b, OpGroup::Other) +=
-        {cfg.stemFlops, cfg.stemFlops / 4.0 * eb};
+        {cfg.stemFlops,
+         cfg.stemFlops / 4.0 * static_cast<double>(elem_bytes)};
     return b;
 }
 

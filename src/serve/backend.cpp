@@ -153,11 +153,14 @@ ModelExecServeBackend::stateFor(const CompiledPlan &cp) const
         return *it->second;
     }
 
-    // First sight of this task on this worker: copy the plan (the
-    // CompiledPlan's lifetime is the cache's, not ours), draw the
-    // deterministic weight set and build the resident executor.
+    // First sight of this task on this worker: copy the plan and
+    // its compiled schedule (the CompiledPlan's lifetime is the
+    // cache's, not ours), draw the deterministic weight set and
+    // build the resident executor over the copied schedule — no
+    // mask scan, no schedule rebuild.
     auto st = std::make_unique<PlanState>();
     st->plan = cp.plan;
+    st->schedule = cp.schedule;
     Rng rng(cp.plan.cfg.seed);
     core::model_exec::ModelWeights w =
         core::model_exec::ModelWeights::random(
@@ -165,7 +168,7 @@ ModelExecServeBackend::stateFor(const CompiledPlan &cp) const
     st->exec = std::make_unique<core::model_exec::ModelExecutor>(
         &st->plan, std::move(w),
         core::model_exec::ExecutorConfig{.numClasses = numClasses_},
-        engine_);
+        engine_, &st->schedule);
     const auto &stage0 = st->plan.model.stages.front();
     st->input = linalg::Matrix::randomNormal(
         stage0.tokens, st->exec->config().inDim, rng);

@@ -185,6 +185,10 @@ class ModelExecServeBackend : public ServeBackend
     struct PlanState
     {
         core::ModelPlan plan; //!< owned copy (outlives the executor)
+        /** Owned copy of the cache's compiled schedule: the executor
+         *  runs from its layouts, so residency never rescans a mask
+         *  or rebuilds a schedule. */
+        core::schedule::ModelSchedule schedule;
         std::unique_ptr<core::model_exec::ModelExecutor> exec;
         linalg::Matrix input; //!< deterministic synthetic patches
     };

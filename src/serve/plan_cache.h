@@ -34,7 +34,24 @@ struct CompiledPlan
 {
     PlanKey key;
     core::ModelPlan plan;      //!< algorithm output (all backends)
+
+    /**
+     * The compiled Schedule IR: masks scanned and the static
+     * schedule derived exactly once per task. The instruction
+     * stream below is lowered from it, the simulated estimate is
+     * priced from it, and ModelExec workers execute from its
+     * per-head layouts.
+     */
+    core::schedule::ModelSchedule schedule;
+
     accel::Program program;    //!< instruction stream (ViTCoD backend)
+
+    /**
+     * ViTCoD-simulated cost of one inference of this plan (priced
+     * from the schedule at compile time). ServerStats reports it
+     * against each backend's measured per-request latency.
+     */
+    accel::RunStats simEstimate;
 
     /**
      * Simulated cost of switching a backend onto this plan: stream

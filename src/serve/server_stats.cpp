@@ -68,6 +68,20 @@ ServerStats::recordResponse(const InferenceResponse &resp)
 }
 
 void
+ServerStats::recordPlanBatch(const std::string &plan_key,
+                             Seconds predicted_seconds,
+                             Seconds measured_seconds,
+                             size_t requests)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    PlanCounters &p = plans_[plan_key];
+    p.predictedSeconds = predicted_seconds;
+    p.measuredSum +=
+        measured_seconds * static_cast<double>(requests);
+    p.requests += requests;
+}
+
+void
 ServerStats::sampleQueueDepth(size_t depth)
 {
     std::lock_guard<std::mutex> g(lock_);
@@ -129,6 +143,17 @@ ServerStats::snapshot(double elapsed_seconds) const
                 elapsed_seconds;
         }
         s.backends.push_back(std::move(out));
+    }
+
+    for (const auto &[key, p] : plans_) {
+        StatsSnapshot::PlanLatency pl;
+        pl.key = key;
+        pl.predictedSeconds = p.predictedSeconds;
+        pl.requests = p.requests;
+        if (p.requests > 0)
+            pl.measuredMeanSeconds =
+                p.measuredSum / static_cast<double>(p.requests);
+        s.plans.push_back(std::move(pl));
     }
     return s;
 }

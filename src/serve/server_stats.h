@@ -19,6 +19,7 @@
 #define VITCOD_SERVE_SERVER_STATS_H
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -77,6 +78,34 @@ struct StatsSnapshot
     double totalEnergyJoules = 0;
 
     std::vector<Backend> backends;
+
+    /**
+     * Per-plan predicted-vs-measured latency. `predicted` is the
+     * PlanCache's schedule-derived ViTCoD simulation of one
+     * inference; `measured` is what the serving backends actually
+     * reported per request (interpreter time for simulator
+     * backends — which matches the prediction cycle-for-cycle — or
+     * wall time for real-execution backends). The ratio is the
+     * honesty check the shared Schedule IR exists to enable.
+     */
+    struct PlanLatency
+    {
+        std::string key;
+        Seconds predictedSeconds = 0; //!< simulated, per request
+        Seconds measuredMeanSeconds = 0;
+        uint64_t requests = 0;
+
+        /** measured / predicted (0 when predicted is 0). */
+        double ratio() const
+        {
+            return predictedSeconds > 0
+                       ? measuredMeanSeconds / predictedSeconds
+                       : 0.0;
+        }
+    };
+
+    /** Sorted by plan key. */
+    std::vector<PlanLatency> plans;
 };
 
 /** Shared metrics sink for the whole server. */
@@ -94,6 +123,17 @@ class ServerStats
 
     /** Record one completed request. */
     void recordResponse(const InferenceResponse &resp);
+
+    /**
+     * Record one executed batch against its plan's schedule-derived
+     * prediction: @p predicted_seconds is the CompiledPlan's
+     * simulated per-request latency, @p measured_seconds the
+     * backend's reported per-request service time, @p requests the
+     * batch size.
+     */
+    void recordPlanBatch(const std::string &plan_key,
+                         Seconds predicted_seconds,
+                         Seconds measured_seconds, size_t requests);
 
     /** Record an observation of the scheduler queue depth. */
     void sampleQueueDepth(size_t depth);
@@ -115,8 +155,16 @@ class ServerStats
         double energyJoules = 0;
     };
 
+    struct PlanCounters
+    {
+        Seconds predictedSeconds = 0;
+        Seconds measuredSum = 0;
+        uint64_t requests = 0;
+    };
+
     mutable std::mutex lock_;
     std::vector<BackendCounters> backends_;
+    std::map<std::string, PlanCounters> plans_;
     std::vector<double> wallLatency_;
     std::vector<double> queueWait_;
     std::vector<double> simService_;

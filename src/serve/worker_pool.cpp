@@ -72,6 +72,11 @@ WorkerPool::workerMain(size_t idx)
                            r.switchSeconds, r.switched, t1 - t0,
                            deviceClock.curTick(),
                            r.stats.energyJoules());
+        // Predicted-vs-measured per plan: the schedule-derived
+        // simulation estimate against what this backend reported.
+        stats_.recordPlanBatch(batch->key.str(),
+                               cp->simEstimate.seconds,
+                               r.perRequestSeconds, n);
 
         for (const InferenceRequest &req : batch->requests) {
             InferenceResponse resp;

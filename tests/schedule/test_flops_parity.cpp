@@ -1,0 +1,151 @@
+/**
+ * @file
+ * MAC/FLOP/byte parity: `model::modelBreakdown` now derives from the
+ * Schedule IR's canonical per-block formulas
+ * (core::schedule::blockBreakdown); these tests pin its outputs to
+ * the exact values the pre-refactor closed forms produced for the
+ * DeiT shapes, and hold the IR's MAC counts (blockMacs) consistent
+ * with the FLOP accounting. Any drift here means the single-copy
+ * formulas changed — which must be an intentional, visible decision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/schedule/workload.h"
+#include "model/flops.h"
+
+namespace vitcod::core::schedule {
+namespace {
+
+using model::Breakdown;
+using model::groupOf;
+using model::OpGroup;
+
+/** Pre-refactor totals, captured from the old flops.cpp closed
+ *  forms at sparsity 0, elem_bytes 2. */
+struct Pinned
+{
+    const char *name;
+    double totalFlops;
+    double totalBytes;
+    double attnFlops;
+    double mlpFlops;
+    double attnMatMulFlops;
+};
+
+constexpr Pinned kPinned[] = {
+    {"DeiT-Tiny", 2533326228.0, 74444832.0, 1061821332.0,
+     1408868352.0, 357663744.0},
+    {"DeiT-Small", 9249684264.0, 170123328.0, 3517986600.0,
+     5606424576.0, 715327488.0},
+    {"DeiT-Base", 35231495760.0, 425181312.0, 12613348944.0,
+     22367600640.0, 1430654976.0},
+};
+
+model::VitModelConfig
+byName(const std::string &name)
+{
+    return model::modelByName(name);
+}
+
+TEST(FlopsParity, DenseBreakdownsMatchPreRefactorValues)
+{
+    for (const Pinned &p : kPinned) {
+        const Breakdown b = model::modelBreakdown(byName(p.name));
+        // Dense counts are integral-valued products: both the old
+        // and the schedule-derived formulation compute them exactly.
+        EXPECT_DOUBLE_EQ(model::totalFlops(b), p.totalFlops)
+            << p.name;
+        EXPECT_DOUBLE_EQ(model::totalBytes(b), p.totalBytes)
+            << p.name;
+        EXPECT_DOUBLE_EQ(model::attentionFlops(b), p.attnFlops)
+            << p.name;
+        EXPECT_DOUBLE_EQ(groupOf(b, OpGroup::Mlp).flops, p.mlpFlops)
+            << p.name;
+        EXPECT_DOUBLE_EQ(groupOf(b, OpGroup::AttnMatMul).flops,
+                         p.attnMatMulFlops)
+            << p.name;
+    }
+}
+
+TEST(FlopsParity, SparseBreakdownsMatchPreRefactorValues)
+{
+    // At 90% sparsity the surviving-score count is fractional, so
+    // the old and new formulations may differ in evaluation order;
+    // allow relative 1e-9 (they agreed to ~1e-15 when captured).
+    struct SparsePin
+    {
+        const char *name;
+        double attnMatMulFlops;
+        double softmaxFlops;
+    };
+    constexpr SparsePin kSparse[] = {
+        {"DeiT-Tiny", 35766374.399999991, 698561.99999999977},
+        {"DeiT-Small", 71532748.799999982, 1397123.9999999995},
+        {"DeiT-Base", 143065497.59999996, 2794247.9999999991},
+    };
+    for (const SparsePin &p : kSparse) {
+        const Breakdown b =
+            model::modelBreakdown(byName(p.name), 0.9);
+        EXPECT_NEAR(groupOf(b, OpGroup::AttnMatMul).flops,
+                    p.attnMatMulFlops,
+                    p.attnMatMulFlops * 1e-9)
+            << p.name;
+        EXPECT_NEAR(groupOf(b, OpGroup::Softmax).flops,
+                    p.softmaxFlops, p.softmaxFlops * 1e-9)
+            << p.name;
+    }
+}
+
+TEST(FlopsParity, BlockMacsAreHalfTheMatmulFlops)
+{
+    // The IR's MAC counts and the FLOP accounting must describe the
+    // same matmuls: 2 FLOPs per MAC, GELU excluded from MACs.
+    for (const Pinned &p : kPinned) {
+        const auto cfg = byName(p.name);
+        for (const auto &s : cfg.stages) {
+            const BlockShape shape{s.tokens, s.heads, s.headDim,
+                                   s.embedDim, s.mlpRatio};
+            const size_t s_elems =
+                s.heads * s.tokens * s.tokens; // dense mask
+            const BlockMacs macs = blockMacs(shape, s_elems);
+            const Breakdown b = blockBreakdown(
+                shape, static_cast<double>(s_elems), 2);
+
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(2 * macs.qkv),
+                groupOf(b, OpGroup::QkvProj).flops);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(2 * macs.attn),
+                groupOf(b, OpGroup::AttnMatMul).flops);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(2 * macs.outProj),
+                groupOf(b, OpGroup::OutProj).flops);
+            // MLP FLOPs include the GELU's 8 ops/element on top of
+            // the two matmuls.
+            const double gelu =
+                8.0 * static_cast<double>(s.tokens) *
+                static_cast<double>(s.mlpRatio * s.embedDim);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(2 * macs.mlp) + gelu,
+                groupOf(b, OpGroup::Mlp).flops);
+        }
+    }
+}
+
+TEST(FlopsParity, SparsityOnlyScalesAttentionGroups)
+{
+    const Breakdown dense = model::modelBreakdown(byName("DeiT-Base"));
+    const Breakdown sparse =
+        model::modelBreakdown(byName("DeiT-Base"), 0.5);
+    EXPECT_DOUBLE_EQ(groupOf(sparse, OpGroup::QkvProj).flops,
+                     groupOf(dense, OpGroup::QkvProj).flops);
+    EXPECT_DOUBLE_EQ(groupOf(sparse, OpGroup::Mlp).flops,
+                     groupOf(dense, OpGroup::Mlp).flops);
+    EXPECT_NEAR(groupOf(sparse, OpGroup::AttnMatMul).flops,
+                groupOf(dense, OpGroup::AttnMatMul).flops * 0.5,
+                1.0);
+}
+
+} // namespace
+} // namespace vitcod::core::schedule

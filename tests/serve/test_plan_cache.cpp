@@ -103,6 +103,33 @@ TEST(PlanCache, ConcurrentFirstRequestsCompileOnce)
     EXPECT_EQ(st.hits, static_cast<uint64_t>(kThreads - 1));
 }
 
+TEST(PlanCache, CompiledPlanCarriesScheduleAndSimEstimate)
+{
+    PlanCache cache;
+    const auto cp = cache.get(tinyKey(0.9));
+
+    // The schedule is the single compilation artifact: one layer
+    // entry per block, one head schedule (with a runtime layout)
+    // per head, and the same MAC totals the instruction stream and
+    // the simulator report.
+    ASSERT_EQ(cp->schedule.layers.size(),
+              cp->plan.model.totalLayers());
+    for (const auto &ls : cp->schedule.layers) {
+        ASSERT_EQ(ls.heads.size(), 3u);
+        for (const auto &hs : ls.heads)
+            EXPECT_EQ(hs.layout.rowPtr.size(), hs.tokens + 1);
+    }
+
+    // The cached estimate is the interpreter's own cost of the
+    // cached program — schedule-derived, cycle-for-cycle.
+    const accel::RunStats executed =
+        accel::Interpreter(cache.hwConfig()).execute(cp->program);
+    EXPECT_EQ(cp->simEstimate.cycles, executed.cycles);
+    EXPECT_EQ(cp->simEstimate.macs, executed.macs);
+    EXPECT_GT(cp->simEstimate.seconds, 0.0);
+    EXPECT_GT(cp->simEstimate.energyJoules(), 0.0);
+}
+
 TEST(PlanCache, WeightBytesGrowWithModelSize)
 {
     const auto tiny =

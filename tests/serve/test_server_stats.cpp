@@ -99,5 +99,37 @@ TEST(ServerStats, QueueDepthSamples)
     EXPECT_DOUBLE_EQ(s.maxQueueDepth, 9.0);
 }
 
+TEST(ServerStats, PredictedVsMeasuredPerPlan)
+{
+    ServerStats st;
+    // Plan A: prediction 0.010s, two batches measuring 0.012/0.008.
+    st.recordPlanBatch("A", 0.010, 0.012, 2);
+    st.recordPlanBatch("A", 0.010, 0.008, 2);
+    // Plan B: prediction matches measurement exactly (a simulator
+    // backend replaying the schedule's own cost).
+    st.recordPlanBatch("B", 0.020, 0.020, 3);
+
+    const auto s = st.snapshot(1.0);
+    ASSERT_EQ(s.plans.size(), 2u);
+    const auto &a = s.plans[0];
+    EXPECT_EQ(a.key, "A");
+    EXPECT_DOUBLE_EQ(a.predictedSeconds, 0.010);
+    EXPECT_EQ(a.requests, 4u);
+    EXPECT_NEAR(a.measuredMeanSeconds, 0.010, 1e-12);
+    EXPECT_NEAR(a.ratio(), 1.0, 1e-9);
+
+    const auto &b = s.plans[1];
+    EXPECT_EQ(b.key, "B");
+    EXPECT_EQ(b.requests, 3u);
+    EXPECT_NEAR(b.ratio(), 1.0, 1e-12);
+}
+
+TEST(ServerStats, PlanLatencyRatioHandlesZeroPrediction)
+{
+    StatsSnapshot::PlanLatency pl;
+    pl.measuredMeanSeconds = 1.0;
+    EXPECT_DOUBLE_EQ(pl.ratio(), 0.0);
+}
+
 } // namespace
 } // namespace vitcod::serve

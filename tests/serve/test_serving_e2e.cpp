@@ -106,6 +106,15 @@ TEST(ServingE2E, DeterministicSimAggregatesOnTwoWorkers)
     EXPECT_NEAR(busy1, static_cast<double>(kRequests) * single,
                 1e-9);
 
+    // Predicted-vs-measured per plan: the ViTCoD backend executes
+    // the schedule's own program, so measurement equals the cached
+    // schedule-derived prediction exactly.
+    ASSERT_EQ(snap1.plans.size(), 1u);
+    EXPECT_EQ(snap1.plans[0].key, key.str());
+    EXPECT_EQ(snap1.plans[0].requests, kRequests);
+    EXPECT_DOUBLE_EQ(snap1.plans[0].predictedSeconds, single);
+    EXPECT_NEAR(snap1.plans[0].ratio(), 1.0, 1e-9);
+
     // Plan switches: a single-task trace switches each worker at
     // most once (cold load), and the switch cost matches the plan's.
     for (const auto &b : snap1.backends) {
