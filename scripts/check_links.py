@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo Markdown link resolves.
+
+Dependency-free (stdlib only). Walks the repository's tracked-ish
+Markdown files (skipping build trees and .git), extracts inline
+links/images `[text](target)`, and verifies that
+
+  - relative file targets exist (resolved against the linking file),
+  - fragment targets (`file.md#section` or `#section`) match a
+    GitHub-style heading slug in the target file.
+
+External links (http/https/mailto) are ignored: CI must not depend
+on the network. Exit status 1 with one line per broken link.
+
+Usage: python3 scripts/check_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".ccache", "__pycache__"}
+SKIP_PREFIXES = ("build",)  # build/, build-asan/, build-docs/, ...
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code_blocks(lines):
+    """Yield (lineno, line) outside fenced code blocks."""
+    fenced = False
+    for i, line in enumerate(lines, 1):
+        if CODE_FENCE_RE.match(line):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield i, line
+
+
+def github_slug(heading):
+    """GitHub's anchor algorithm: lowercase, drop punctuation,
+    spaces to hyphens. Inline code/links inside headings keep their
+    text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    for _, line in strip_code_blocks(lines):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        lines = f.readlines()
+    for lineno, line in strip_code_blocks(lines):
+        line = re.sub(r"`[^`]*`", "", line)  # inline code spans
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path_part)
+                )
+                if not os.path.exists(resolved):
+                    errors.append(
+                        (lineno, target, "file not found")
+                    )
+                    continue
+            else:
+                resolved = md_path
+            if fragment:
+                if not resolved.lower().endswith(".md"):
+                    continue  # anchors into non-Markdown: skip
+                if fragment not in heading_slugs(resolved):
+                    errors.append(
+                        (lineno, target, "no such heading anchor")
+                    )
+    return [
+        f"{os.path.relpath(md_path, root)}:{lineno}: "
+        f"broken link '{target}' ({why})"
+        for lineno, target, why in errors
+    ]
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = sorted(markdown_files(root))
+    if not files:
+        print(f"check_links: no Markdown files under {root}")
+        return 1
+    broken = []
+    for path in files:
+        broken.extend(check_file(path, root))
+    for line in broken:
+        print(line)
+    print(
+        f"check_links: {len(files)} files, "
+        f"{len(broken)} broken link(s)"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

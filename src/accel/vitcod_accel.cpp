@@ -30,6 +30,7 @@ scheduleParams(const ViTCoDConfig &cfg)
     p.enableAeEngines = cfg.enableAeEngines;
     p.dynamicMaskPrediction = cfg.dynamicMaskPrediction;
     p.predictionCostFactor = cfg.predictionCostFactor;
+    p.sparserLineFrac = cfg.sparserLineFrac;
     return p;
 }
 

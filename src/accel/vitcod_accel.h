@@ -92,6 +92,14 @@ struct ViTCoDConfig
     /** Efficiency of the reused array on GEMM (proj/MLP) phases. */
     double gemmEff = 0.90;
 
+    /**
+     * Static sparser-engine share of the MAC lines in (0, 1) —
+     * the denser/sparser PE-split axis the design-space explorer
+     * (src/dse/) sweeps. 0 (default) keeps the dynamic
+     * workload-proportional allocation of paper Sec. V-B1.
+     */
+    double sparserLineFrac = 0.0;
+
     /** @name Feature toggles (ablations)
      *  @{ */
     bool twoPronged = true;      //!< false: single monolithic engine

@@ -1,6 +1,7 @@
 #include "core/schedule/builder.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/logging.h"
@@ -119,16 +120,34 @@ ScheduleBuilder::buildAttentionLayer(const core::ModelPlan &plan,
     const size_t lines = hw.macLines;
     const size_t mpl = hw.macsPerLine;
     {
-        const auto sddmm = allocateEngineLines(
-            {static_cast<double>(ls.denserSddmmMacs),
-             static_cast<double>(ls.sparserSddmmMacs)},
-            lines);
+        // A static sparser share (hw.sparserLineFrac, a DSE axis)
+        // overrides the proportional split, except when only one
+        // engine has work — then it takes the whole array, exactly
+        // like the dynamic allocator.
+        const auto split = [&](MacOps denser,
+                               MacOps sparser) -> std::array<size_t, 2> {
+            // lines >= 2: a static split needs one line per engine;
+            // a single-line array falls back to the dynamic path.
+            if (hw.sparserLineFrac > 0.0 && denser > 0 &&
+                sparser > 0 && lines >= 2) {
+                const auto s = std::clamp<size_t>(
+                    static_cast<size_t>(std::lround(
+                        hw.sparserLineFrac *
+                        static_cast<double>(lines))),
+                    1, lines - 1);
+                return {lines - s, s};
+            }
+            const auto a = allocateEngineLines(
+                {static_cast<double>(denser),
+                 static_cast<double>(sparser)},
+                lines);
+            return {a[0], a[1]};
+        };
+        const auto sddmm =
+            split(ls.denserSddmmMacs, ls.sparserSddmmMacs);
         ls.sddmmDenserLines = sddmm[0];
         ls.sddmmSparserLines = sddmm[1];
-        const auto spmm = allocateEngineLines(
-            {static_cast<double>(ls.denserSpmmMacs),
-             static_cast<double>(ls.sparserSpmmMacs)},
-            lines);
+        const auto spmm = split(ls.denserSpmmMacs, ls.sparserSpmmMacs);
         ls.spmmDenserLines = spmm[0];
         ls.spmmSparserLines = spmm[1];
     }

@@ -194,7 +194,7 @@ ModelSchedule::breakdown() const
 namespace {
 
 constexpr const char *kMagic = "vitcod-schedule";
-constexpr const char *kVersion = "v1";
+constexpr const char *kVersion = "v2";
 
 void
 expectWord(std::istream &is, const char *expected)
@@ -261,7 +261,8 @@ ModelSchedule::write(std::ostream &os) const
        << " gemm_eff " << p.gemmEff << " two_pronged " << p.twoPronged
        << " ae_engines " << p.enableAeEngines << " dyn_mask "
        << p.dynamicMaskPrediction << " pred_cost "
-       << p.predictionCostFactor << '\n';
+       << p.predictionCostFactor << " sparser_frac "
+       << p.sparserLineFrac << '\n';
     os << "layers " << layers.size() << '\n';
     for (const LayerSchedule &l : layers) {
         os << "layer " << l.layer << " tokens " << l.shape.tokens
@@ -359,6 +360,7 @@ ModelSchedule::read(std::istream &is)
     p.enableAeEngines = readValue<bool>(is, "ae_engines");
     p.dynamicMaskPrediction = readValue<bool>(is, "dyn_mask");
     p.predictionCostFactor = readValue<double>(is, "pred_cost");
+    p.sparserLineFrac = readValue<double>(is, "sparser_frac");
 
     const auto n_layers = readValue<size_t>(is, "layers");
     s.layers.reserve(n_layers);

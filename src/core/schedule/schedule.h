@@ -46,23 +46,33 @@ namespace vitcod::core::schedule {
  */
 struct HardwareParams
 {
-    size_t macLines = 64;
-    size_t macsPerLine = 8;
-    size_t elemBytes = 2;
-    size_t indexBytes = 1;
-    Bytes qkvBufBytes = 128 * 1024;
-    Bytes sBufferBytes = 96 * 1024;
-    size_t aeLines = 16;
-    double aeDecodeRate = 2.0;
-    size_t softmaxLanesPerEngine = 16;
-    Cycles colOverheadCycles = 2;
-    Cycles reconfigCycles = 16;
-    double denseEff = 0.95;
-    double gemmEff = 0.90;
-    bool twoPronged = true;
-    bool enableAeEngines = true;
-    bool dynamicMaskPrediction = false;
-    double predictionCostFactor = 0.25;
+    size_t macLines = 64;        //!< engine MAC lines (denser+sparser)
+    size_t macsPerLine = 8;      //!< MAC units per line
+    size_t elemBytes = 2;        //!< activation/weight element size
+    size_t indexBytes = 1;       //!< CSC row-index size
+    Bytes qkvBufBytes = 128 * 1024; //!< Q/K/S/V (or input) buffer
+    Bytes sBufferBytes = 96 * 1024; //!< S working set before spilling
+    size_t aeLines = 16;         //!< dedicated AE en/decoder lines
+    double aeDecodeRate = 2.0;   //!< AE throughput multiplier (8-bit)
+    size_t softmaxLanesPerEngine = 16; //!< exp/normalize lanes
+    Cycles colOverheadCycles = 2;  //!< per-CSC-column index decode
+    Cycles reconfigCycles = 16;    //!< inter-/intra-PE accumulation switch
+    double denseEff = 0.95;      //!< denser-engine streaming efficiency
+    double gemmEff = 0.90;       //!< reused-array GEMM efficiency
+    bool twoPronged = true;      //!< false: single monolithic engine
+    bool enableAeEngines = true; //!< false: Q/K move uncompressed
+    bool dynamicMaskPrediction = false; //!< NLP on-the-fly mask mode
+    double predictionCostFactor = 0.25; //!< low-precision factor of it
+
+    /**
+     * Static sparser-engine share of the MAC lines in (0, 1); the
+     * design-space explorer sweeps this denser/sparser PE split.
+     * 0 (the default) keeps the dynamic proportional allocation of
+     * paper Sec. V-B1. Ignored when a phase has work on only one
+     * engine (that engine then takes the whole array, matching the
+     * dynamic allocator's behavior).
+     */
+    double sparserLineFrac = 0.0;
 
     bool operator==(const HardwareParams &) const = default;
 };
@@ -98,6 +108,7 @@ struct HeadSchedule
     uint64_t qGatherMisses = 0; //!< LRU gathers (no Q forwarding)
     HeadLayout layout;          //!< runtime visit order
 
+    /** Total mask nonzeros (denser + sparser partition). */
     size_t maskNnz() const { return denserNnz + sparserNnz; }
 
     bool operator==(const HeadSchedule &) const = default;

@@ -41,6 +41,7 @@ struct BlockMacs
     MacOps outProj = 0; //!< h*dk -> d projection
     MacOps mlp = 0;     //!< FC1 + FC2 (GELU is not a MAC)
 
+    /** Whole-block matmul MACs. */
     MacOps total() const { return qkv + attn + outProj + mlp; }
 };
 

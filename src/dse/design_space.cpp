@@ -1,0 +1,140 @@
+#include "dse/design_space.h"
+
+#include "common/logging.h"
+
+namespace vitcod::dse {
+
+double
+areaProxyMm2(const accel::ViTCoDConfig &cfg, const AreaModel &model)
+{
+    const double macs = static_cast<double>(
+        (cfg.macArray.macLines + cfg.aeLines) *
+        cfg.macArray.macsPerLine);
+    const double sram_bytes = static_cast<double>(
+        cfg.qkvBufBytes + cfg.sBufferBytes + cfg.idxBufBytes +
+        cfg.outBufBytes + cfg.weightBufBytes);
+    const double um2 = macs * model.macUm2 +
+                       sram_bytes * model.sramUm2PerByte +
+                       cfg.dram.bandwidthGBps * model.ioUm2PerGBps;
+    return um2 * 1e-6;
+}
+
+size_t
+HwConfigSpace::axisSize(size_t axis) const
+{
+    switch (axis) {
+    case 0: return macLines.size();
+    case 1: return macsPerLine.size();
+    case 2: return aeLines.size();
+    case 3: return sparserLineFrac.size();
+    case 4: return qkvBufBytes.size();
+    case 5: return sBufferBytes.size();
+    case 6: return bandwidthGBps.size();
+    default: fatal("HwConfigSpace: axis ", axis, " out of range");
+    }
+}
+
+size_t
+HwConfigSpace::size() const
+{
+    size_t n = 1;
+    for (size_t a = 0; a < kAxes; ++a)
+        n *= axisSize(a);
+    return n;
+}
+
+std::vector<size_t>
+HwConfigSpace::decode(size_t index) const
+{
+    VITCOD_ASSERT(index < size(), "point index out of range");
+    std::vector<size_t> digits(kAxes);
+    for (size_t a = 0; a < kAxes; ++a) {
+        const size_t radix = axisSize(a);
+        digits[a] = index % radix;
+        index /= radix;
+    }
+    return digits;
+}
+
+size_t
+HwConfigSpace::encode(const std::vector<size_t> &digits) const
+{
+    VITCOD_ASSERT(digits.size() == kAxes, "need one digit per axis");
+    size_t index = 0;
+    for (size_t a = kAxes; a-- > 0;) {
+        VITCOD_ASSERT(digits[a] < axisSize(a), "digit out of range");
+        index = index * axisSize(a) + digits[a];
+    }
+    return index;
+}
+
+accel::ViTCoDConfig
+HwConfigSpace::configAt(size_t index) const
+{
+    const std::vector<size_t> d = decode(index);
+    accel::ViTCoDConfig cfg = base;
+    cfg.macArray.macLines = macLines[d[0]];
+    cfg.macArray.macsPerLine = macsPerLine[d[1]];
+    cfg.aeLines = aeLines[d[2]];
+    cfg.sparserLineFrac = sparserLineFrac[d[3]];
+    cfg.qkvBufBytes = qkvBufBytes[d[4]];
+    cfg.sBufferBytes = sBufferBytes[d[5]];
+    cfg.dram.bandwidthGBps = bandwidthGBps[d[6]];
+    return cfg;
+}
+
+bool
+HwConfigSpace::valid(size_t index) const
+{
+    const std::vector<size_t> d = decode(index);
+    return macLines[d[0]] > aeLines[d[2]] && macLines[d[0]] > 0 &&
+           macsPerLine[d[1]] > 0 && qkvBufBytes[d[4]] > 0 &&
+           sBufferBytes[d[5]] > 0 && bandwidthGBps[d[6]] > 0.0;
+}
+
+void
+HwConfigSpace::validate() const
+{
+    for (size_t a = 0; a < kAxes; ++a)
+        VITCOD_ASSERT(axisSize(a) > 0, "empty axis ", a,
+                      " in HwConfigSpace");
+    for (double f : sparserLineFrac)
+        VITCOD_ASSERT(f >= 0.0 && f < 1.0,
+                      "sparserLineFrac axis values must be in [0, 1)");
+    for (double bw : bandwidthGBps)
+        VITCOD_ASSERT(bw > 0.0, "bandwidth axis values must be > 0");
+    size_t n_valid = 0;
+    for (size_t i = 0; i < size(); ++i)
+        n_valid += valid(i) ? 1 : 0;
+    VITCOD_ASSERT(n_valid > 0, "HwConfigSpace has no valid point");
+}
+
+HwConfigSpace
+HwConfigSpace::defaultSpace()
+{
+    HwConfigSpace s;
+    s.macLines = {32, 64, 96, 128};
+    s.macsPerLine = {8};
+    s.aeLines = {8, 16};
+    s.sparserLineFrac = {0.0, 0.3, 0.5};
+    s.qkvBufBytes = {64 * 1024, 128 * 1024, 192 * 1024};
+    s.sBufferBytes = {32 * 1024, 64 * 1024, 96 * 1024};
+    s.bandwidthGBps = {38.4, 76.8, 115.2, 153.6};
+    return s;
+}
+
+HwConfigSpace
+HwConfigSpace::smokeSpace()
+{
+    HwConfigSpace s;
+    s.macLines = {64, 96};
+    s.macsPerLine = {8};
+    s.aeLines = {16};
+    s.sparserLineFrac = {0.0, 0.5};
+    s.qkvBufBytes = {128 * 1024};
+    s.sBufferBytes = {32 * 1024, 96 * 1024};
+    s.bandwidthGBps = {76.8, 115.2};
+    return s;
+}
+
+} // namespace vitcod::dse

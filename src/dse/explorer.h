@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The design-space exploration engine (the "overall design space
+ * exploration" usage paper Sec. VII advertises, automated): given a
+ * workload bundle — one or more (model, sparsity, AE, scope) tasks,
+ * each compiled once into a ModelPlan — and a HwConfigSpace, the
+ * Explorer prices candidate accelerator configurations through the
+ * Schedule IR (ScheduleBuilder -> ViTCoDAccelerator::runSchedule)
+ * and accumulates the Pareto frontier over (latency, energy proxy,
+ * area proxy).
+ *
+ * Cost structure: the expensive artifacts are reused aggressively.
+ * Each workload's ModelPlan (mask generation + AE fitting) is built
+ * exactly once per Explorer. Schedules are memoized by their
+ * schedule-relevant HardwareParams, so pricing-only axes (off-chip
+ * bandwidth — the only swept knob outside HardwareParams) re-price
+ * a cached schedule instead of rebuilding it. Point evaluations are
+ * independent and fan out over the engine ThreadPool; every search
+ * algorithm is bitwise deterministic in (bundle, space, config) —
+ * guided search draws from a seeded vitcod::Rng and results never
+ * depend on thread scheduling.
+ */
+
+#ifndef VITCOD_DSE_EXPLORER_H
+#define VITCOD_DSE_EXPLORER_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/design_space.h"
+#include "dse/pareto.h"
+#include "linalg/engine/thread_pool.h"
+
+namespace vitcod::dse {
+
+/** Search knobs of one Explorer instance. */
+struct ExplorerConfig
+{
+    /** Worker threads for point fan-out; 0 = shared engine pool. */
+    size_t threads = 0;
+
+    /** Seed of the guided-search RNG (annealing proposals). */
+    uint64_t seed = 1;
+
+    /** @name Simulated annealing
+     *  @{ */
+    size_t annealChains = 4;  //!< independent restarts
+    size_t annealSteps = 120; //!< proposals per chain
+    double annealStartTemp = 0.25; //!< of the scalarized score
+    double annealEndTemp = 0.005;  //!< geometric schedule endpoint
+    /** @} */
+
+    /** Max full axis sweeps of coordinate descent. */
+    size_t descentSweeps = 6;
+
+    /** @name Scalarization weights (guided-search acceptance only)
+     * Objectives are normalized by the base configuration's values,
+     * so weights compare dimensionless ratios. The frontier itself
+     * is always the full multi-objective non-dominated set.
+     *  @{ */
+    double latencyWeight = 1.0;
+    double energyWeight = 0.25;
+    double areaWeight = 0.5;
+    /** @} */
+};
+
+/** Outcome of one search run. */
+struct DseResult
+{
+    ParetoFrontier frontier;
+
+    /** Unique design points priced (== frontier.evaluated). */
+    uint64_t evaluated = 0;
+
+    /** Objectives of the space's base (untuned) configuration. */
+    Objectives baseline;
+
+    /** Wall time of the search (informational; never serialized). */
+    double wallSeconds = 0.0;
+};
+
+/** Design-space exploration engine over one workload bundle. */
+class Explorer
+{
+  public:
+    /**
+     * Builds every workload's ModelPlan up front (the one-time
+     * algorithm cost; dominates small searches) and validates the
+     * space. @p workloads must be non-empty with positive weights.
+     */
+    Explorer(std::vector<WorkloadSpec> workloads, HwConfigSpace space,
+             ExplorerConfig cfg = {});
+
+    ~Explorer();
+
+    Explorer(const Explorer &) = delete;
+    Explorer &operator=(const Explorer &) = delete;
+
+    const HwConfigSpace &space() const { return space_; }
+
+    /** The bundle's specs, in construction order. */
+    const std::vector<WorkloadSpec> &workloads() const
+    {
+        return specs_;
+    }
+
+    /** Objectives of the space's base configuration. */
+    const Objectives &baseline() const { return baseline_; }
+
+    /**
+     * Price @p cfg against the whole bundle: weighted sums of the
+     * simulated latency and energy plus the configuration's area
+     * proxy. Shares the schedule memo with the searches, so probing
+     * the base configuration (or any external candidate) is cheap.
+     */
+    Objectives evaluateConfig(const accel::ViTCoDConfig &cfg) const;
+
+    /** Evaluate grid point @p index. @pre space().valid(index). */
+    DsePoint evaluateIndex(size_t index) const;
+
+    /**
+     * Price every valid grid point. The frontier is exact for the
+     * space; cost is one evaluation per point (parallelized, with
+     * schedules shared across pricing-only axes).
+     */
+    DseResult exhaustive();
+
+    /**
+     * Greedy coordinate descent from the point nearest the base
+     * configuration: sweep one axis at a time (all candidate values
+     * of that axis evaluated in parallel), move to the best
+     * scalarized score, and stop after a full pass without
+     * improvement (or cfg.descentSweeps passes). Evaluates a small
+     * fraction of the grid; the frontier contains every point it
+     * priced.
+     */
+    DseResult coordinateDescent();
+
+    /**
+     * Simulated annealing: cfg.annealChains independent chains of
+     * cfg.annealSteps single-axis proposals each, Metropolis
+     * acceptance on the scalarized score under a geometric
+     * temperature schedule, chain c seeded from (cfg.seed, c).
+     * Deterministic in the seed; chains run in parallel.
+     */
+    DseResult anneal();
+
+  private:
+    struct Workload; //!< spec + built ModelPlan
+
+    /** Schedule for (workload w, params key), memoized. */
+    std::shared_ptr<const core::schedule::ModelSchedule>
+    scheduleFor(size_t w, const accel::ViTCoDConfig &cfg) const;
+
+    /** Scalarized score of @p obj relative to the baseline. */
+    double score(const Objectives &obj) const;
+
+    /** Deterministic fan-out over [0, n) on the configured pool. */
+    void parallelOver(size_t n,
+                      const std::function<void(size_t)> &fn) const;
+
+    /** Assemble a DseResult from evaluated points, in index order. */
+    DseResult finish(const std::string &algorithm, uint64_t seed,
+                     std::vector<DsePoint> points, double t0) const;
+
+    std::vector<WorkloadSpec> specs_;
+    std::vector<Workload> workloads_;
+    HwConfigSpace space_;
+    ExplorerConfig cfg_;
+    Objectives baseline_; //!< base config priced at construction
+
+    std::unique_ptr<linalg::engine::ThreadPool> ownPool_;
+    linalg::engine::ThreadPool *pool_;
+
+    mutable std::mutex schedLock_;
+    mutable std::map<
+        std::string,
+        std::shared_ptr<const core::schedule::ModelSchedule>>
+        schedules_;
+};
+
+} // namespace vitcod::dse
+
+#endif // VITCOD_DSE_EXPLORER_H

@@ -55,6 +55,15 @@ struct ServerConfig
 
     /** Hardware config Programs are compiled for (ViTCoD workers). */
     accel::ViTCoDConfig hw;
+
+    /**
+     * Optional DSE result file (dse::ParetoFrontier JSON). When
+     * non-empty, the frontier's best-latency point is applied onto
+     * hw before the cache and workers are built, so plans compile
+     * and price against the tuned accelerator (see tunedHwConfig()
+     * and docs/DSE.md).
+     */
+    std::string tunedFrontierPath;
 };
 
 /** A running inference service over simulated accelerators. */

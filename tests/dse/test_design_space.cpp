@@ -1,0 +1,128 @@
+/**
+ * @file
+ * HwConfigSpace tests: mixed-radix indexing round-trips, config
+ * materialization onto the base, validity rules, axis validation,
+ * and monotonicity of the area proxy in every resource it counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/design_space.h"
+
+namespace vitcod::dse {
+namespace {
+
+TEST(HwConfigSpace, SizeIsAxisProduct)
+{
+    const HwConfigSpace s = HwConfigSpace::defaultSpace();
+    size_t expect = 1;
+    for (size_t a = 0; a < HwConfigSpace::kAxes; ++a)
+        expect *= s.axisSize(a);
+    EXPECT_EQ(s.size(), expect);
+    EXPECT_EQ(HwConfigSpace{}.size(), 1u);
+}
+
+TEST(HwConfigSpace, EncodeDecodeRoundTripsEveryIndex)
+{
+    const HwConfigSpace s = HwConfigSpace::defaultSpace();
+    for (size_t i = 0; i < s.size(); ++i) {
+        const std::vector<size_t> d = s.decode(i);
+        ASSERT_EQ(d.size(), HwConfigSpace::kAxes);
+        EXPECT_EQ(s.encode(d), i);
+    }
+}
+
+TEST(HwConfigSpace, ConfigAtMaterializesAxesOntoBase)
+{
+    HwConfigSpace s;
+    s.macLines = {32, 64};
+    s.aeLines = {8, 16};
+    s.bandwidthGBps = {38.4, 76.8};
+    s.base.name = "tuned";
+    s.base.freqGhz = 1.0;
+
+    std::vector<size_t> d(HwConfigSpace::kAxes, 0);
+    d[0] = 1; // macLines = 64
+    d[2] = 1; // aeLines = 16
+    d[6] = 1; // bandwidth = 76.8
+    const accel::ViTCoDConfig cfg = s.configAt(s.encode(d));
+    EXPECT_EQ(cfg.macArray.macLines, 64u);
+    EXPECT_EQ(cfg.aeLines, 16u);
+    EXPECT_DOUBLE_EQ(cfg.dram.bandwidthGBps, 76.8);
+    // Non-swept knobs come from the base, untouched.
+    EXPECT_EQ(cfg.name, "tuned");
+    EXPECT_DOUBLE_EQ(cfg.freqGhz, 1.0);
+    EXPECT_EQ(cfg.qkvBufBytes, s.qkvBufBytes[0]);
+}
+
+TEST(HwConfigSpace, ValidRejectsAeEatingTheArray)
+{
+    HwConfigSpace s;
+    s.macLines = {16, 64};
+    s.aeLines = {16};
+    // macLines must exceed aeLines (accelerator ctor invariant).
+    std::vector<size_t> d(HwConfigSpace::kAxes, 0);
+    EXPECT_FALSE(s.valid(s.encode(d)));
+    d[0] = 1;
+    EXPECT_TRUE(s.valid(s.encode(d)));
+}
+
+TEST(HwConfigSpace, ValidateRejectsBadAxes)
+{
+    HwConfigSpace empty;
+    empty.macLines = {};
+    EXPECT_DEATH(empty.validate(), "empty axis");
+
+    HwConfigSpace frac;
+    frac.sparserLineFrac = {1.0};
+    EXPECT_DEATH(frac.validate(), "sparserLineFrac");
+
+    HwConfigSpace dead;
+    dead.macLines = {8};
+    dead.aeLines = {16};
+    EXPECT_DEATH(dead.validate(), "no valid point");
+
+    EXPECT_NO_FATAL_FAILURE(HwConfigSpace::defaultSpace().validate());
+    EXPECT_NO_FATAL_FAILURE(HwConfigSpace::smokeSpace().validate());
+}
+
+TEST(AreaProxy, MonotoneInEveryResource)
+{
+    const accel::ViTCoDConfig base;
+    const double a0 = areaProxyMm2(base);
+    EXPECT_GT(a0, 0.0);
+
+    accel::ViTCoDConfig more = base;
+    more.macArray.macLines *= 2;
+    EXPECT_GT(areaProxyMm2(more), a0);
+
+    more = base;
+    more.aeLines += 8;
+    EXPECT_GT(areaProxyMm2(more), a0);
+
+    more = base;
+    more.sBufferBytes += 64 * 1024;
+    EXPECT_GT(areaProxyMm2(more), a0);
+
+    more = base;
+    more.qkvBufBytes /= 2;
+    EXPECT_LT(areaProxyMm2(more), a0);
+
+    more = base;
+    more.dram.bandwidthGBps *= 2;
+    EXPECT_GT(areaProxyMm2(more), a0);
+}
+
+TEST(AreaProxy, ScalesWithModelConstants)
+{
+    const accel::ViTCoDConfig cfg;
+    AreaModel m;
+    const double a0 = areaProxyMm2(cfg, m);
+    m.macUm2 *= 2;
+    m.sramUm2PerByte *= 2;
+    m.ioUm2PerGBps *= 2;
+    EXPECT_DOUBLE_EQ(areaProxyMm2(cfg, m), 2.0 * a0);
+}
+
+} // namespace
+} // namespace vitcod::dse

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Explorer tests: exhaustive exactness (every valid grid point is
+ * on the frontier or dominated by it), bitwise determinism of all
+ * three search algorithms across independent Explorer instances
+ * (same seed => identical frontier), the paper's co-design payoff
+ * (a config strictly dominating the default accelerator on latency
+ * at equal-or-lower area proxy for DeiT-Tiny @ 90% sparsity), and a
+ * golden frontier fixture under tests/data/ with the established
+ * --update-goldens flow:
+ *
+ *     dse_test_explorer --update-goldens
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "dse/explorer.h"
+
+namespace vitcod::dse {
+namespace {
+
+bool g_update_goldens = false;
+
+std::string
+dataDir()
+{
+#ifdef VITCOD_TEST_DATA_DIR
+    return std::string(VITCOD_TEST_DATA_DIR) + "/";
+#else
+    return "tests/data/";
+#endif
+}
+
+constexpr const char *kFrontierGolden = "dse_frontier.golden.json";
+
+/** The acceptance workload: DeiT-Tiny at 90% sparsity, AE on. */
+std::vector<WorkloadSpec>
+tinyBundle()
+{
+    return {{"DeiT-Tiny", 0.9, true, false, 1.0}};
+}
+
+ExplorerConfig
+testConfig()
+{
+    ExplorerConfig ec;
+    ec.threads = 4; // pinned per TESTING.md determinism rules
+    ec.seed = 7;
+    ec.annealChains = 2;
+    ec.annealSteps = 40;
+    return ec;
+}
+
+TEST(Explorer, ExhaustiveFrontierIsExact)
+{
+    Explorer ex(tinyBundle(), HwConfigSpace::smokeSpace(),
+                testConfig());
+    const DseResult r = ex.exhaustive();
+    const HwConfigSpace &space = ex.space();
+
+    size_t n_valid = 0;
+    for (size_t i = 0; i < space.size(); ++i)
+        if (space.valid(i))
+            ++n_valid;
+    EXPECT_EQ(r.evaluated, n_valid);
+    EXPECT_EQ(r.frontier.evaluated, n_valid);
+    ASSERT_FALSE(r.frontier.points().empty());
+
+    // Every valid grid point is either on the frontier (equal
+    // objectives) or dominated by a frontier point; frontier points
+    // carry exactly the objectives a fresh evaluation reproduces.
+    for (size_t i = 0; i < space.size(); ++i) {
+        if (!space.valid(i))
+            continue;
+        const DsePoint p = ex.evaluateIndex(i);
+        bool on_frontier = false;
+        for (const DsePoint &q : r.frontier.points())
+            if (q.obj == p.obj)
+                on_frontier = true;
+        EXPECT_TRUE(on_frontier || !r.frontier.nonDominated(p.obj))
+            << "point " << i
+            << " neither on the frontier nor dominated";
+    }
+    for (const DsePoint &q : r.frontier.points())
+        EXPECT_EQ(ex.evaluateIndex(q.index).obj, q.obj);
+}
+
+TEST(Explorer, SameSeedSameFrontierAcrossInstances)
+{
+    const auto run = [](const DseResult &r) { return r.frontier; };
+
+    Explorer a(tinyBundle(), HwConfigSpace::smokeSpace(),
+               testConfig());
+    Explorer b(tinyBundle(), HwConfigSpace::smokeSpace(),
+               testConfig());
+
+    EXPECT_EQ(a.baseline(), b.baseline());
+    EXPECT_EQ(run(a.exhaustive()), run(b.exhaustive()));
+    EXPECT_EQ(run(a.coordinateDescent()), run(b.coordinateDescent()));
+    // The seeded guided search too — including a repeat on the same
+    // instance (the schedule memo must not change results).
+    const ParetoFrontier sa1 = run(a.anneal());
+    const ParetoFrontier sa2 = run(a.anneal());
+    const ParetoFrontier sb = run(b.anneal());
+    EXPECT_EQ(sa1, sa2);
+    EXPECT_EQ(sa1, sb);
+}
+
+TEST(Explorer, DifferentSeedsExploreDifferently)
+{
+    ExplorerConfig ec = testConfig();
+    Explorer a(tinyBundle(), HwConfigSpace::defaultSpace(), ec);
+    const DseResult r7 = a.anneal();
+    // Annealing is stochastic in the seed: a different seed prices
+    // a different point set (the frontier may or may not coincide).
+    ExplorerConfig ec2 = ec;
+    ec2.seed = 8;
+    Explorer b(tinyBundle(), HwConfigSpace::defaultSpace(), ec2);
+    const DseResult r8 = b.anneal();
+    EXPECT_NE(r7.frontier.seed, r8.frontier.seed);
+    EXPECT_GT(r7.evaluated, 0u);
+    EXPECT_GT(r8.evaluated, 0u);
+}
+
+TEST(Explorer, FindsConfigDominatingTheDefaultAccelerator)
+{
+    // The headline acceptance criterion: for DeiT-Tiny @ 90%
+    // sparsity the explorer finds a configuration *strictly* faster
+    // than the default accel::ViTCoDConfig at equal-or-lower area
+    // proxy — the space trades the oversized S buffer for MAC lines
+    // and bandwidth the workload can actually use.
+    Explorer ex(tinyBundle(), HwConfigSpace::defaultSpace(),
+                testConfig());
+    const Objectives base = ex.baseline();
+    const DseResult r = ex.exhaustive();
+
+    bool dominating = false;
+    for (const DsePoint &p : r.frontier.points())
+        if (p.obj.latencySeconds < base.latencySeconds &&
+            p.obj.areaMm2 <= base.areaMm2)
+            dominating = true;
+    EXPECT_TRUE(dominating)
+        << "no frontier point beats the default config";
+
+    // Guided search finds a strictly-dominating point too, at a
+    // fraction of the grid evaluations.
+    const DseResult sa = ex.anneal();
+    EXPECT_LT(sa.evaluated, r.evaluated / 2);
+    bool sa_dominating = false;
+    for (const DsePoint &p : sa.frontier.points())
+        if (p.obj.latencySeconds < base.latencySeconds &&
+            p.obj.areaMm2 <= base.areaMm2)
+            sa_dominating = true;
+    EXPECT_TRUE(sa_dominating);
+}
+
+TEST(Explorer, WeightedBundleAggregatesObjectives)
+{
+    std::vector<WorkloadSpec> both = {
+        {"DeiT-Tiny", 0.9, true, false, 1.0},
+        {"DeiT-Tiny", 0.9, true, false, 2.0}};
+    Explorer one(tinyBundle(), HwConfigSpace::smokeSpace(),
+                 testConfig());
+    Explorer three(both, HwConfigSpace::smokeSpace(), testConfig());
+    // Same task at weights 1 + 2 == 3x the single-task objectives;
+    // area does not depend on the bundle.
+    const Objectives o1 = one.baseline();
+    const Objectives o3 = three.baseline();
+    EXPECT_DOUBLE_EQ(o3.latencySeconds, 3.0 * o1.latencySeconds);
+    EXPECT_DOUBLE_EQ(o3.energyJoules, 3.0 * o1.energyJoules);
+    EXPECT_DOUBLE_EQ(o3.areaMm2, o1.areaMm2);
+}
+
+TEST(ExplorerGolden, FrontierMatchesCheckedInFixture)
+{
+    // Pinned: DeiT-Tiny @ 90% on the smoke grid, exhaustive. Any
+    // diff means the pricing model (Schedule IR, simulator, area
+    // proxy) changed and must be intentional.
+    Explorer ex(tinyBundle(), HwConfigSpace::smokeSpace(),
+                testConfig());
+    const DseResult r = ex.exhaustive();
+    const std::string path = dataDir() + kFrontierGolden;
+
+    if (g_update_goldens)
+        r.frontier.writeJsonFile(path);
+
+    // Round-trip exactness first, then the golden comparison.
+    std::stringstream ss;
+    r.frontier.writeJson(ss);
+    EXPECT_EQ(ParetoFrontier::readJson(ss), r.frontier);
+
+    const ParetoFrontier golden =
+        ParetoFrontier::readJsonFile(path);
+    EXPECT_EQ(golden, r.frontier)
+        << "frontier diverged from " << path
+        << " (regenerate with --update-goldens if intentional)";
+}
+
+} // namespace
+} // namespace vitcod::dse
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-goldens")
+            vitcod::dse::g_update_goldens = true;
+    return RUN_ALL_TESTS();
+}

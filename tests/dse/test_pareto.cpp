@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Pareto-frontier tests: dominance semantics, the non-dominated-set
+ * invariant under any insertion order, deterministic sorting, exact
+ * JSON round-trips (metadata, workloads, 17-digit doubles), CSV
+ * shape, and parser rejection of malformed documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "dse/pareto.h"
+#include "support/temp_path.h"
+
+namespace vitcod::dse {
+namespace {
+
+DsePoint
+point(size_t index, double lat, double energy, double area)
+{
+    DsePoint p;
+    p.index = index;
+    p.hw.macLines = 32 + index;
+    p.obj = {lat, energy, area};
+    return p;
+}
+
+TEST(Dominance, StrictOnAtLeastOneObjective)
+{
+    const Objectives a{1.0, 1.0, 1.0};
+    const Objectives better_lat{0.5, 1.0, 1.0};
+    const Objectives tradeoff{0.5, 2.0, 1.0};
+    EXPECT_TRUE(dominates(better_lat, a));
+    EXPECT_FALSE(dominates(a, better_lat));
+    EXPECT_FALSE(dominates(tradeoff, a));
+    EXPECT_FALSE(dominates(a, tradeoff));
+    // Equal vectors dominate in neither direction.
+    EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(ParetoFrontier, KeepsExactlyTheNonDominatedSet)
+{
+    ParetoFrontier f;
+    EXPECT_TRUE(f.insert(point(0, 2.0, 2.0, 2.0)));
+    // Dominated by #0 on every objective: rejected.
+    EXPECT_FALSE(f.insert(point(1, 3.0, 3.0, 3.0)));
+    // Trade-off against #0: kept.
+    EXPECT_TRUE(f.insert(point(2, 1.0, 3.0, 2.0)));
+    // Dominates #0: replaces it.
+    EXPECT_TRUE(f.insert(point(3, 1.5, 1.5, 1.5)));
+
+    ASSERT_EQ(f.points().size(), 2u);
+    // Sorted by latency ascending.
+    EXPECT_EQ(f.points()[0].index, 2u);
+    EXPECT_EQ(f.points()[1].index, 3u);
+    EXPECT_EQ(f.bestLatency().index, 2u);
+
+    // Mutual non-dominance invariant.
+    for (const DsePoint &a : f.points())
+        for (const DsePoint &b : f.points())
+            EXPECT_FALSE(dominates(a.obj, b.obj));
+
+    EXPECT_FALSE(f.nonDominated({9.0, 9.0, 9.0}));
+    EXPECT_TRUE(f.nonDominated({0.1, 9.0, 9.0}));
+}
+
+TEST(ParetoFrontier, InsertionOrderDoesNotMatter)
+{
+    const std::vector<DsePoint> pts = {
+        point(0, 2.0, 2.0, 2.0), point(1, 3.0, 3.0, 3.0),
+        point(2, 1.0, 3.0, 2.0), point(3, 1.5, 1.5, 1.5),
+        point(4, 1.0, 3.0, 2.0)}; // same objectives as #2: coexists
+
+    ParetoFrontier fwd, rev;
+    for (const DsePoint &p : pts)
+        fwd.insert(p);
+    for (auto it = pts.rbegin(); it != pts.rend(); ++it)
+        rev.insert(*it);
+    EXPECT_EQ(fwd.points(), rev.points());
+    // Equal-cost distinct configs both survive, deterministically
+    // ordered by index.
+    ASSERT_EQ(fwd.points().size(), 3u);
+    EXPECT_EQ(fwd.points()[0].index, 2u);
+    EXPECT_EQ(fwd.points()[1].index, 4u);
+}
+
+TEST(ParetoFrontier, DuplicatePointIsRejected)
+{
+    ParetoFrontier f;
+    EXPECT_TRUE(f.insert(point(7, 1.0, 1.0, 1.0)));
+    EXPECT_FALSE(f.insert(point(7, 1.0, 1.0, 1.0)));
+    EXPECT_EQ(f.points().size(), 1u);
+}
+
+TEST(ParetoJson, RoundTripsExactly)
+{
+    ParetoFrontier f;
+    f.algorithm = "anneal";
+    f.seed = 42;
+    f.evaluated = 17;
+    f.workloads = {{"DeiT-Tiny", 0.9, true, false, 1.0},
+                   {"LeViT-128", 0.8, false, true, 1.0 / 3.0}};
+    DsePoint a = point(3, 1.0 / 3.0, 2.625e-5, 2.87672e0);
+    a.hw.sparserLineFrac = 0.3;
+    a.hw.bandwidthGBps = 76.8;
+    DsePoint b = point(11, 0.1, 1e-7, 9.999999999999999e2);
+    f.insert(a);
+    f.insert(b);
+
+    std::stringstream ss;
+    f.writeJson(ss);
+    const ParetoFrontier back = ParetoFrontier::readJson(ss);
+    EXPECT_EQ(back, f);
+
+    // File form too (PID-unique path per TESTING.md).
+    const std::string path = test::uniqueTempPath("frontier.json");
+    f.writeJsonFile(path);
+    EXPECT_EQ(ParetoFrontier::readJsonFile(path), f);
+    std::remove(path.c_str());
+}
+
+TEST(ParetoJson, EmptyFrontierRoundTrips)
+{
+    ParetoFrontier f;
+    f.algorithm = "exhaustive";
+    std::stringstream ss;
+    f.writeJson(ss);
+    const ParetoFrontier back = ParetoFrontier::readJson(ss);
+    EXPECT_EQ(back, f);
+    EXPECT_TRUE(back.points().empty());
+}
+
+TEST(ParetoJson, RejectsGarbage)
+{
+    std::stringstream not_json("pareto? no.");
+    EXPECT_DEATH((void)ParetoFrontier::readJson(not_json),
+                 "parse error");
+
+    std::stringstream wrong_tag(
+        "{\"format\": \"something-else\", \"version\": 1}");
+    EXPECT_DEATH((void)ParetoFrontier::readJson(wrong_tag),
+                 "format");
+}
+
+TEST(ParetoCsv, OneHeaderOneRowPerPoint)
+{
+    ParetoFrontier f;
+    f.insert(point(0, 2.0, 2.0, 2.0));
+    f.insert(point(2, 1.0, 3.0, 2.0));
+    std::stringstream ss;
+    f.writeCsv(ss);
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(ss, line))
+        ++lines;
+    EXPECT_EQ(lines, 1u + f.points().size());
+    std::stringstream again;
+    f.writeCsv(again);
+    std::getline(again, line);
+    EXPECT_EQ(line.substr(0, 15), "index,mac_lines");
+}
+
+} // namespace
+} // namespace vitcod::dse

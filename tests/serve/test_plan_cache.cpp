@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "dse/pareto.h"
 #include "serve/plan_cache.h"
+#include "support/temp_path.h"
 
 namespace vitcod::serve {
 namespace {
@@ -138,6 +141,43 @@ TEST(PlanCache, WeightBytesGrowWithModelSize)
         modelWeightBytes(model::modelByName("DeiT-Small"), 2);
     EXPECT_GT(tiny, 0u);
     EXPECT_GT(small, tiny);
+}
+
+TEST(PlanCache, TunedConfigHookPricesPlansOnTunedHardware)
+{
+    // Write a one-point DSE frontier and let the hook apply its
+    // best-latency point onto the default hardware config.
+    dse::ParetoFrontier f;
+    f.algorithm = "exhaustive";
+    f.evaluated = 1;
+    dse::DsePoint p;
+    p.hw.macLines = 128;
+    p.hw.sBufferBytes = 32 * 1024;
+    p.hw.bandwidthGBps = 153.6;
+    p.obj = {1e-4, 1e-5, 2.5};
+    ASSERT_TRUE(f.insert(p));
+    const std::string path =
+        test::uniqueTempPath("tuned_frontier.json");
+    f.writeJsonFile(path);
+
+    const accel::ViTCoDConfig hw = tunedHwConfig(path);
+    EXPECT_EQ(hw.macArray.macLines, 128u);
+    EXPECT_EQ(hw.sBufferBytes, 32u * 1024u);
+    EXPECT_DOUBLE_EQ(hw.dram.bandwidthGBps, 153.6);
+    // Non-swept knobs keep their base values.
+    EXPECT_EQ(hw.qkvBufBytes, accel::ViTCoDConfig{}.qkvBufBytes);
+
+    // A cache on the tuned hardware prices the same task cheaper
+    // than the default (the tuned point has more lines + bandwidth).
+    PlanCache tuned(hw);
+    PlanCache stock;
+    const auto cp_tuned = tuned.get(tinyKey(0.9));
+    const auto cp_stock = stock.get(tinyKey(0.9));
+    EXPECT_EQ(cp_tuned->schedule.params.macLines, 128u);
+    EXPECT_LT(cp_tuned->simEstimate.seconds,
+              cp_stock->simEstimate.seconds);
+
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -10,14 +10,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <set>
 #include <vector>
 
 #include "accel/compiler.h"
+#include "dse/pareto.h"
 #include "serve/load_gen.h"
 #include "serve/plan_cache.h"
 #include "serve/server.h"
+#include "support/temp_path.h"
 
 namespace vitcod::serve {
 namespace {
@@ -211,6 +214,45 @@ TEST(ServingE2E, PriorityPolicyServesAllPriorities)
     for (const auto &r : col.responses)
         prios.insert(r.priority);
     EXPECT_EQ(prios, (std::set<int>{0, 1, 2}));
+}
+
+TEST(ServingE2E, TunedFrontierPathRetunesTheServerHardware)
+{
+    // A DSE result file handed to the server via the tuned-config
+    // hook must reach the plan cache: plans compile against the
+    // frontier's best-latency hardware, not the default.
+    dse::ParetoFrontier f;
+    dse::DsePoint p;
+    p.hw.macLines = 128;
+    p.hw.bandwidthGBps = 153.6;
+    p.obj = {1e-4, 1e-5, 3.0};
+    ASSERT_TRUE(f.insert(p));
+    const std::string path =
+        test::uniqueTempPath("server_tuned.json");
+    f.writeJsonFile(path);
+
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD"};
+    cfg.tunedFrontierPath = path;
+    InferenceServer server(cfg);
+    EXPECT_EQ(server.config().hw.macArray.macLines, 128u);
+
+    PlanKey key;
+    key.model = "DeiT-Tiny";
+    server.warmup({key});
+    server.submit(key);
+    server.drain();
+    const auto snap = server.snapshot();
+    EXPECT_EQ(snap.completed, 1u);
+    server.shutdown();
+
+    // The same task on a default server is simulated slower than on
+    // the tuned hardware the frontier selected.
+    PlanCache tuned(tunedHwConfig(path));
+    PlanCache stock;
+    EXPECT_LT(tuned.get(key)->simEstimate.seconds,
+              stock.get(key)->simEstimate.seconds);
+    std::remove(path.c_str());
 }
 
 TEST(ServingE2E, ShutdownDrainsPendingWork)
