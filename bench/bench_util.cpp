@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vitcod::bench {
 
@@ -63,6 +64,38 @@ parseUintValue(const char *flag, const char *text)
     return v;
 }
 
+/** Destination of the atexit trace export (set once by parseCli). */
+std::string &
+traceOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+void
+exportTraceAtExit()
+{
+    obs::TraceSession &session = obs::TraceSession::instance();
+    session.stop();
+    const obs::TraceExportStats ts =
+        session.writeJsonFile(traceOutPath());
+    std::fprintf(stderr,
+                 "trace: wrote %zu events (%zu dropped) to %s\n",
+                 ts.events, ts.dropped, traceOutPath().c_str());
+}
+
+void
+startTracing(std::string path)
+{
+    if (path.empty())
+        fatal("--trace expects a file path");
+    if (!traceOutPath().empty())
+        return; // parseCli called twice; first path wins
+    traceOutPath() = std::move(path);
+    obs::TraceSession::instance().start();
+    std::atexit(exportTraceAtExit);
+}
+
 } // namespace
 
 CliOptions
@@ -87,8 +120,16 @@ parseCli(int argc, char **argv)
             opts.threads = parseUintValue("--threads", argv[++i]);
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             opts.threads = parseUintValue("--threads", arg + 10);
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (i + 1 >= argc)
+                fatal("--trace expects a file path");
+            opts.traceOut = argv[++i];
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.traceOut = arg + 8;
         }
     }
+    if (!opts.traceOut.empty())
+        startTracing(opts.traceOut);
     return opts;
 }
 

@@ -59,11 +59,21 @@ struct CliOptions
 
     /** --threads N / --threads=N: worker threads (0 = bench picks). */
     size_t threads = 0;
+
+    /**
+     * --trace FILE / --trace=FILE: record an obs::TraceSession span
+     * trace of the whole bench run and write Chrome trace_event
+     * JSON to FILE at process exit (empty = tracing off).
+     */
+    std::string traceOut;
 };
 
 /**
- * Parse --seed / --json / --smoke / --threads from argv; fatal() on
- * a malformed value.
+ * Parse --seed / --json / --smoke / --threads / --trace from argv;
+ * fatal() on a malformed value. When --trace is given, the
+ * process-wide obs::TraceSession is started immediately and an
+ * atexit hook stops it and writes the JSON file, so every bench
+ * gets tracing without touching its main().
  */
 CliOptions parseCli(int argc, char **argv);
 

@@ -9,11 +9,22 @@
  * p50/p95/p99 latency, throughput, batch sizes, plan-cache hit rate
  * and per-backend utilization.
  *
+ * With `--trace=FILE` the last swept rate runs with the telemetry
+ * layer recording: one worker is the real-execution ModelExec
+ * backend, so the exported Chrome trace_event JSON (load it in
+ * Perfetto or chrome://tracing) shows request flow arrows from
+ * submit through batch dispatch into actual KernelEngine kernel
+ * spans. See docs/OBSERVABILITY.md.
+ *
  * Build & run:  ./build/examples/serve_traffic [requests-per-rate]
+ *                                              [--trace=FILE]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "serve/load_gen.h"
 #include "serve/server.h"
@@ -24,8 +35,16 @@ main(int argc, char **argv)
     using namespace vitcod;
 
     size_t requests = 1000;
-    if (argc > 1)
-        requests = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    std::string traceOut;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            traceOut = argv[i] + 8;
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            traceOut = argv[++i];
+        else
+            requests = static_cast<size_t>(
+                std::strtoull(argv[i], nullptr, 10));
+    }
 
     const serve::PlanKey deit{"DeiT-Small", 0.9, true, false};
     const serve::PlanKey levit{"LeViT-128", 0.8, true, false};
@@ -74,6 +93,33 @@ main(int argc, char **argv)
         totalEnergy += s.totalEnergyJoules;
         last = s;
         lastCache = server.planCacheStats();
+    }
+
+    if (!traceOut.empty()) {
+        // Traced pass: a ModelExec worker executes real KernelEngine
+        // forwards, so the trace carries a request flow all the way
+        // from submit into kernel spans. Real execution is orders of
+        // magnitude slower than the simulator backends, so this pass
+        // serves a small fixed load.
+        serve::ServerConfig tcfg = cfg;
+        tcfg.backends = {"ModelExec", "ViTCoD"};
+        tcfg.traceOutPath = traceOut;
+
+        serve::TrafficConfig traffic;
+        traffic.ratePerSec = 200.0;
+        traffic.requests = std::min<size_t>(requests, 24);
+        traffic.mix = {deit, levit};
+        traffic.mixWeights = {0.7, 0.3};
+        traffic.seed = 42;
+
+        std::printf("\ntraced pass: %zu requests on ModelExec+ViTCoD "
+                    "-> %s\n",
+                    traffic.requests, traceOut.c_str());
+        serve::InferenceServer server(tcfg);
+        server.warmup({deit, levit});
+        serve::runPoissonTraffic(server, traffic);
+        server.drain();
+        server.shutdown(); // stops the tracer and writes traceOut
     }
 
     std::printf("\ntotals: %llu requests served, %.1f J simulated "

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Validator for the telemetry layer's Chrome trace_event JSON.
+
+Dependency-free (stdlib json only); run by the examples-smoke CI job
+against the trace that `serve_traffic --trace=...` exports, and
+usable by hand on any trace the obs layer writes:
+
+    python3 scripts/check_trace.py out.json [--require-flow]
+
+Checks:
+
+  * top-level schema: an object with a `traceEvents` list;
+  * per-event schema by phase — every event needs `name`, `ph`,
+    `pid`, `tid`; timed phases need an integer `ts >= 0`; complete
+    slices (X) need `dur >= 0`; counters (C) need a numeric
+    `args.value`; instants (i) need a valid scope `s`; flow events
+    (s/t/f) need an `id`, and flow ends a `bp` binding point;
+  * begin/end (B/E) events, if a producer emits them, must balance
+    per thread track with E never preceding its B;
+  * timestamps are globally non-decreasing (the exporter sorts the
+    merged rings) and slices never extend past the trace end by more
+    than a slack factor;
+  * thread-track consistency: every (pid, tid) that carries events
+    has exactly one `thread_name` metadata record, and metadata
+    precedes the track's first event;
+  * with --require-flow (the serve_traffic acceptance check): at
+    least one flow id forms a continuous s -> t* -> f chain that
+    crosses thread tracks, and kernel-category (`engine`) slices are
+    present — i.e. a request demonstrably flowed from submit through
+    batch dispatch into real kernel execution.
+
+Exit status 0 on success, 1 with a per-failure listing otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+TIMED_PHASES = {"X", "B", "E", "i", "C", "s", "t", "f"}
+INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def fail(failures, msg):
+    failures.append(msg)
+
+
+def check_event(ev, idx, failures):
+    """Schema check for one event; returns False to skip it in the
+    aggregate checks."""
+    if not isinstance(ev, dict):
+        fail(failures, f"event {idx}: not an object")
+        return False
+    for key in ("name", "ph", "pid", "tid"):
+        if key not in ev:
+            fail(failures, f"event {idx}: missing '{key}'")
+            return False
+    ph = ev["ph"]
+    if ph == "M":
+        if ev["name"] in ("thread_name", "process_name"):
+            if "name" not in ev.get("args", {}):
+                fail(failures,
+                     f"event {idx}: {ev['name']} metadata without "
+                     "args.name")
+        return True
+    if ph not in TIMED_PHASES:
+        fail(failures, f"event {idx}: unknown phase '{ph}'")
+        return False
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(failures, f"event {idx} ({ev['name']}): bad ts {ts!r}")
+        return False
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(failures,
+                 f"event {idx} ({ev['name']}): X slice with bad "
+                 f"dur {dur!r}")
+    elif ph == "C":
+        value = ev.get("args", {}).get("value")
+        if not isinstance(value, (int, float)):
+            fail(failures,
+                 f"event {idx} ({ev['name']}): counter without "
+                 "numeric args.value")
+    elif ph == "i":
+        if ev.get("s") not in INSTANT_SCOPES:
+            fail(failures,
+                 f"event {idx} ({ev['name']}): instant with bad "
+                 f"scope {ev.get('s')!r}")
+    elif ph in ("s", "t", "f"):
+        if "id" not in ev:
+            fail(failures,
+                 f"event {idx} ({ev['name']}): flow event without id")
+        if ph == "f" and ev.get("bp") != "e":
+            fail(failures,
+                 f"event {idx} ({ev['name']}): flow end without "
+                 "bp='e' binding")
+    return True
+
+
+def check_flow(events, failures):
+    """--require-flow: a request must traverse submit -> dispatch ->
+    kernel execution, visibly."""
+    flows = {}
+    for ev in events:
+        if ev["ph"] in ("s", "t", "f"):
+            flows.setdefault((ev["name"], ev.get("id")), []).append(ev)
+
+    complete = []
+    for (name, fid), evs in flows.items():
+        phases = [e["ph"] for e in evs]
+        if "s" not in phases or "f" not in phases:
+            continue
+        if phases.index("s") != 0 or phases[-1] != "f":
+            fail(failures,
+                 f"flow {name}#{fid}: phases out of order: {phases}")
+            continue
+        complete.append((name, fid, evs))
+    if not complete:
+        fail(failures,
+             "no complete flow (s ... f) found; request lifecycles "
+             "are not linked")
+        return
+
+    if not any(
+            len({(e["pid"], e["tid"]) for e in evs}) >= 2
+            for _, _, evs in complete):
+        fail(failures,
+             "no flow crosses thread tracks; submit and execution "
+             "appear to share one thread")
+
+    if not any(ev["ph"] == "X" and ev.get("cat") == "engine"
+               for ev in events):
+        fail(failures,
+             "no engine-category kernel slices; the traced pass did "
+             "not reach real kernel execution")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument(
+        "--require-flow",
+        action="store_true",
+        help="additionally require a cross-thread request flow "
+        "reaching engine kernel slices",
+    )
+    args = ap.parse_args()
+
+    failures = []
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot load {args.trace}: {e}")
+        return 1
+
+    if not isinstance(trace, dict) or not isinstance(
+            trace.get("traceEvents"), list):
+        print("check_trace: top level must be an object with a "
+              "traceEvents list")
+        return 1
+
+    raw = trace["traceEvents"]
+    events = []
+    for idx, ev in enumerate(raw):
+        if check_event(ev, idx, failures) and ev.get("ph") != "M":
+            events.append(ev)
+
+    # Global timestamp order (the exporter merges rings sorted).
+    prev_ts = None
+    for ev in events:
+        if prev_ts is not None and ev["ts"] < prev_ts:
+            fail(failures,
+                 f"timestamps regress: {ev['ts']} after {prev_ts} "
+                 f"(event '{ev['name']}')")
+            break
+        prev_ts = ev["ts"]
+
+    # Slices must stay within the trace's time range (generous 2x
+    # slack for a final slice closing after the last instant).
+    if events:
+        end = max(e["ts"] + e.get("dur", 0) for e in events)
+        for ev in events:
+            if ev["ph"] == "X" and ev["ts"] + ev["dur"] > 2 * end:
+                fail(failures,
+                     f"slice '{ev['name']}' extends implausibly far "
+                     "past the trace end")
+
+    # B/E balance per thread track.
+    depth = {}
+    for ev in events:
+        track = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ev["ph"] == "E":
+            depth[track] = depth.get(track, 0) - 1
+            if depth[track] < 0:
+                fail(failures,
+                     f"track {track}: E without a matching B at "
+                     f"ts={ev['ts']}")
+    for track, d in depth.items():
+        if d > 0:
+            fail(failures, f"track {track}: {d} unclosed B event(s)")
+
+    # Thread-track metadata: one thread_name per active track,
+    # emitted before the track's first real event.
+    named = {}
+    for idx, ev in enumerate(raw):
+        if isinstance(ev, dict) and ev.get("ph") == "M" and \
+                ev.get("name") == "thread_name":
+            track = (ev.get("pid"), ev.get("tid"))
+            if track in named:
+                fail(failures,
+                     f"track {track}: duplicate thread_name metadata")
+            named[track] = idx
+    first_event = {}
+    for idx, ev in enumerate(raw):
+        if isinstance(ev, dict) and ev.get("ph") in TIMED_PHASES:
+            first_event.setdefault((ev["pid"], ev["tid"]), idx)
+    for track, idx in sorted(first_event.items()):
+        if track not in named:
+            fail(failures, f"track {track}: no thread_name metadata")
+        elif named[track] > idx:
+            fail(failures,
+                 f"track {track}: thread_name metadata after the "
+                 "track's first event")
+
+    if args.require_flow:
+        check_flow(events, failures)
+
+    if failures:
+        print(f"check_trace: {args.trace}: {len(failures)} failure(s)")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+
+    tracks = len(first_event)
+    flows = len({(e["name"], e.get("id"))
+                 for e in events if e["ph"] in ("s", "t", "f")})
+    print(f"check_trace: {args.trace}: ok "
+          f"({len(events)} events, {tracks} thread tracks, "
+          f"{flows} flows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,8 @@
  * @file
  * Status-message and error-reporting helpers in the spirit of gem5's
  * logging.hh: fatal() for user errors that make continuing impossible,
- * panic() for internal invariant violations, warn()/inform() for
- * non-fatal diagnostics.
+ * panic() for internal invariant violations, warn()/inform()/debug()
+ * for non-fatal diagnostics of decreasing severity.
  */
 
 #ifndef VITCOD_COMMON_LOGGING_H
@@ -83,6 +83,16 @@ inform(Args &&...args)
 {
     if (logLevel() >= LogLevel::Inform)
         detail::emit("info: ", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report developer-level detail, visible only at LogLevel::Debug. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug: ",
+                     detail::concat(std::forward<Args>(args)...));
 }
 
 /**

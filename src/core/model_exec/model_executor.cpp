@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "linalg/kernels.h"
+#include "obs/trace.h"
 
 namespace vitcod::core::model_exec {
 
@@ -17,6 +18,61 @@ secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/**
+ * One timed executor phase: a single clock measurement feeding both
+ * an ExecTrace accumulator (when the caller collects one) and a
+ * tracer span — ExecTrace is a view over exactly what the tracer
+ * records, never a second, divergent stopwatch.
+ */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(const char *name, double *accum, const char *k1,
+               double v1, const char *k2 = nullptr, double v2 = 0)
+        : name_(name), accum_(accum), k1_(k1), v1_(v1), k2_(k2),
+          v2_(v2), live_(obs::TraceSession::enabled())
+    {
+        if (live_)
+            startMicros_ =
+                obs::TraceSession::instance().nowMicros();
+        t0_ = Clock::now();
+    }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    ~PhaseTimer()
+    {
+        const double s = secondsSince(t0_);
+        if (accum_)
+            *accum_ += s;
+        if (!live_)
+            return;
+        obs::TraceEvent ev;
+        ev.name = name_;
+        ev.category = "model_exec";
+        ev.phase = obs::Phase::Complete;
+        ev.tsMicros = startMicros_;
+        ev.durMicros = static_cast<int64_t>(s * 1e6);
+        ev.argKey1 = k1_;
+        ev.argVal1 = v1_;
+        ev.argKey2 = k2_;
+        ev.argVal2 = v2_;
+        obs::TraceSession::instance().record(ev);
+    }
+
+  private:
+    const char *name_;
+    double *accum_;
+    const char *k1_;
+    double v1_;
+    const char *k2_;
+    double v2_;
+    bool live_;
+    int64_t startMicros_ = 0;
+    Clock::time_point t0_;
+};
 
 } // namespace
 
@@ -139,6 +195,9 @@ ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
     VITCOD_ASSERT(x.rows() == n && x.cols() == d,
                   "residual shape mismatch at layer ", layer);
 
+    VITCOD_TRACE_SPAN("layer", "model_exec", "layer", double(layer),
+                      "tokens", double(n));
+
     // --- attention: LN -> QKV -> per-head sparse attention -------
     // Slots consumed by *Into callees are acquired shape-free: the
     // callee reshapes (and zeroes) them itself, so pre-shaping here
@@ -146,92 +205,107 @@ ModelExecutor::runLayer(size_t layer, LayerTrace *lt)
     linalg::Matrix &norm = arena_.at(Slot::kNorm);
     layerNormInto(x, w.ln1Gamma, w.ln1Beta, norm);
 
-    auto t0 = Clock::now();
-    linalg::Matrix &q = arena_.at(Slot::kQ);
-    linalg::Matrix &k = arena_.at(Slot::kK);
-    linalg::Matrix &v = arena_.at(Slot::kV);
-    engine_->gemmInto(norm, w.wq, q);
-    engine_->gemmInto(norm, w.wk, k);
-    engine_->gemmInto(norm, w.wv, v);
-    if (lt)
-        lt->qkvSeconds += secondsSince(t0);
+    {
+        PhaseTimer phase("qkv", lt ? &lt->qkvSeconds : nullptr,
+                         "layer", double(layer));
+        linalg::Matrix &q = arena_.at(Slot::kQ);
+        linalg::Matrix &k = arena_.at(Slot::kK);
+        linalg::Matrix &v = arena_.at(Slot::kV);
+        engine_->gemmInto(norm, w.wq, q);
+        engine_->gemmInto(norm, w.wk, k);
+        engine_->gemmInto(norm, w.wv, v);
+    }
+    const linalg::Matrix &q = arena_.at(Slot::kQ);
+    const linalg::Matrix &k = arena_.at(Slot::kK);
+    const linalg::Matrix &v = arena_.at(Slot::kV);
 
-    t0 = Clock::now();
     // Overwrite-acquired: every element of these is written by the
     // permute loops below (perm is a bijection over rows, heads
     // cover all columns), so the zeroing pass is skipped.
     linalg::Matrix &concat = arena_.atOverwrite(Slot::kConcat, n, hd);
-    const core::schedule::LayerSchedule &lsched =
-        schedule_->layers[layer];
-    for (size_t head = 0; head < s.heads; ++head) {
-        const SparseAttentionPlan &hp = *headPlans_[layer][head];
-        const core::schedule::HeadSchedule &hsched =
-            lsched.heads[head];
-        // Slice this head's columns and permute rows into the
-        // plan's token order in one pass, exactly as the
-        // accelerator schedules it.
-        linalg::Matrix &hq = arena_.atOverwrite(Slot::kHeadQ, n, dk);
-        linalg::Matrix &hk = arena_.atOverwrite(Slot::kHeadK, n, dk);
-        linalg::Matrix &hv = arena_.atOverwrite(Slot::kHeadV, n, dk);
-        for (size_t i = 0; i < n; ++i) {
-            const size_t src = hp.perm[i];
-            for (size_t c = 0; c < dk; ++c) {
-                hq(i, c) = q(src, head * dk + c);
-                hk(i, c) = k(src, head * dk + c);
-                hv(i, c) = v(src, head * dk + c);
+    {
+        PhaseTimer phase("attn", lt ? &lt->attnSeconds : nullptr,
+                         "layer", double(layer), "heads",
+                         double(s.heads));
+        const core::schedule::LayerSchedule &lsched =
+            schedule_->layers[layer];
+        for (size_t head = 0; head < s.heads; ++head) {
+            const SparseAttentionPlan &hp = *headPlans_[layer][head];
+            const core::schedule::HeadSchedule &hsched =
+                lsched.heads[head];
+            // Slice this head's columns and permute rows into the
+            // plan's token order in one pass, exactly as the
+            // accelerator schedules it.
+            linalg::Matrix &hq =
+                arena_.atOverwrite(Slot::kHeadQ, n, dk);
+            linalg::Matrix &hk =
+                arena_.atOverwrite(Slot::kHeadK, n, dk);
+            linalg::Matrix &hv =
+                arena_.atOverwrite(Slot::kHeadV, n, dk);
+            for (size_t i = 0; i < n; ++i) {
+                const size_t src = hp.perm[i];
+                for (size_t c = 0; c < dk; ++c) {
+                    hq(i, c) = q(src, head * dk + c);
+                    hk(i, c) = k(src, head * dk + c);
+                    hv(i, c) = v(src, head * dk + c);
+                }
             }
-        }
-        const auto th0 = Clock::now();
-        linalg::Matrix &hout = arena_.at(Slot::kHeadOut);
-        // Execute through the schedule's prebuilt layout: the same
-        // CSC/CSR visit order the simulator priced, and no engine
-        // structure-cache traffic on the request path.
-        const linalg::engine::MaskLayoutView layout{
-            hp.mask.rows(),          hp.mask.cols(),
-            &hsched.layout.rowPtr,   &hsched.layout.colIdx,
-            &hsched.layout.colPtr,   &hsched.layout.rowIdx,
-            hsched.layout.useCsc};
-        engine_->sparseAttentionInto(hq, hk, hv, hp.mask, layout,
-                                     scale, hout);
-        const double head_seconds = secondsSince(th0);
-        // Un-permute: permuted row i is original token perm[i].
-        for (size_t i = 0; i < n; ++i)
-            for (size_t c = 0; c < dk; ++c)
-                concat(hp.perm[i], head * dk + c) = hout(i, c);
-        if (lt && cfg_.collectHeadTraces) {
-            HeadTrace &ht = lt->headTraces[head];
-            ht.head = head;
-            ht.maskNnz = hsched.maskNnz();
-            ht.numGlobalTokens = hp.numGlobalTokens;
-            ht.seconds += head_seconds;
+            HeadTrace *ht = lt && cfg_.collectHeadTraces
+                                ? &lt->headTraces[head]
+                                : nullptr;
+            if (ht) {
+                ht->head = head;
+                ht->maskNnz = hsched.maskNnz();
+                ht->numGlobalTokens = hp.numGlobalTokens;
+            }
+            linalg::Matrix &hout = arena_.at(Slot::kHeadOut);
+            // Execute through the schedule's prebuilt layout: the
+            // same CSC/CSR visit order the simulator priced, and no
+            // engine structure-cache traffic on the request path.
+            const linalg::engine::MaskLayoutView layout{
+                hp.mask.rows(),        hp.mask.cols(),
+                &hsched.layout.rowPtr, &hsched.layout.colIdx,
+                &hsched.layout.colPtr, &hsched.layout.rowIdx,
+                hsched.layout.useCsc};
+            {
+                PhaseTimer head_phase(
+                    "head", ht ? &ht->seconds : nullptr, "layer",
+                    double(layer), "head", double(head));
+                engine_->sparseAttentionInto(hq, hk, hv, hp.mask,
+                                             layout, scale, hout);
+            }
+            // Un-permute: permuted row i is original token perm[i].
+            for (size_t i = 0; i < n; ++i)
+                for (size_t c = 0; c < dk; ++c)
+                    concat(hp.perm[i], head * dk + c) = hout(i, c);
         }
     }
-    if (lt)
-        lt->attnSeconds += secondsSince(t0);
 
     // --- output projection + residual ----------------------------
-    t0 = Clock::now();
-    linalg::Matrix &proj = arena_.at(Slot::kProj);
-    engine_->gemmInto(concat, w.wo, proj);
-    for (size_t r = 0; r < n; ++r)
-        for (size_t c = 0; c < d; ++c)
-            x(r, c) += proj(r, c);
-    if (lt)
-        lt->projSeconds += secondsSince(t0);
+    {
+        PhaseTimer phase("proj", lt ? &lt->projSeconds : nullptr,
+                         "layer", double(layer));
+        linalg::Matrix &proj = arena_.at(Slot::kProj);
+        engine_->gemmInto(concat, w.wo, proj);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < d; ++c)
+                x(r, c) += proj(r, c);
+    }
 
     // --- MLP + residual ------------------------------------------
-    t0 = Clock::now();
-    layerNormInto(x, w.ln2Gamma, w.ln2Beta, norm);
-    linalg::Matrix &hidden = arena_.at(Slot::kHidden);
-    engine_->gemmInto(norm, w.fc1, hidden);
-    linalg::geluInPlace(hidden);
-    linalg::Matrix &mlp_out = arena_.at(Slot::kMlpOut);
-    engine_->gemmInto(hidden, w.fc2, mlp_out);
-    for (size_t r = 0; r < n; ++r)
-        for (size_t c = 0; c < d; ++c)
-            x(r, c) += mlp_out(r, c);
-    if (lt)
-        lt->mlpSeconds += secondsSince(t0);
+    {
+        PhaseTimer phase("mlp", lt ? &lt->mlpSeconds : nullptr,
+                         "layer", double(layer));
+        layerNormInto(x, w.ln2Gamma, w.ln2Beta, norm);
+        linalg::Matrix &hidden = arena_.at(Slot::kHidden);
+        engine_->gemmInto(norm, w.fc1, hidden);
+        linalg::geluInPlace(hidden);
+        linalg::Matrix &mlp_out = arena_.at(Slot::kMlpOut);
+        engine_->gemmInto(hidden, w.fc2, mlp_out);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < d; ++c)
+                x(r, c) += mlp_out(r, c);
+    }
 }
 
 void
@@ -298,11 +372,13 @@ ModelExecutor::forwardInto(const linalg::Matrix &patches,
                       patches.cols() == cfg_.inDim,
                   "patch input shape mismatch");
 
-    auto t0 = Clock::now();
-    engine_->gemmInto(patches, weights_.patchEmbed,
-                      arena_.residual());
-    if (trace)
-        trace->patchEmbedSeconds += secondsSince(t0);
+    {
+        PhaseTimer phase("patch_embed",
+                         trace ? &trace->patchEmbedSeconds : nullptr,
+                         "tokens", double(patches.rows()));
+        engine_->gemmInto(patches, weights_.patchEmbed,
+                          arena_.residual());
+    }
 
     size_t stage = 0;
     size_t stage_first_layer = 0;
@@ -315,10 +391,12 @@ ModelExecutor::forwardInto(const linalg::Matrix &patches,
         runLayer(layer, trace ? &trace->layers[layer] : nullptr);
     }
 
-    t0 = Clock::now();
-    classify();
-    if (trace)
-        trace->classifierSeconds += secondsSince(t0);
+    {
+        PhaseTimer phase("classifier",
+                         trace ? &trace->classifierSeconds : nullptr,
+                         "classes", double(cfg_.numClasses));
+        classify();
+    }
 }
 
 void
@@ -366,6 +444,7 @@ ModelExecutor::forward(const linalg::Matrix &patches,
 {
     initTrace(trace, 1);
     const linalg::engine::EngineStats before = engine_->stats();
+    VITCOD_TRACE_SPAN("forward", "model_exec", "batch", 1.0);
     const auto t0 = Clock::now();
     forwardInto(patches, trace);
     finalizeTrace(trace, 1, before, secondsSince(t0));
@@ -379,6 +458,8 @@ ModelExecutor::forwardBatch(const std::vector<linalg::Matrix> &inputs,
     VITCOD_ASSERT(!inputs.empty(), "empty batch");
     initTrace(trace, inputs.size());
     const linalg::engine::EngineStats before = engine_->stats();
+    VITCOD_TRACE_SPAN("forward", "model_exec", "batch",
+                      double(inputs.size()));
     const auto t0 = Clock::now();
 
     std::vector<linalg::Matrix> logits;

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "core/schedule/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vitcod::dse {
 
@@ -111,6 +113,12 @@ Explorer::scheduleFor(size_t w, const accel::ViTCoDConfig &cfg) const
 Objectives
 Explorer::evaluateConfig(const accel::ViTCoDConfig &cfg) const
 {
+    VITCOD_TRACE_SPAN("evaluate", "dse", "workloads",
+                      double(workloads_.size()));
+    obs::metrics()
+        .counter("vitcod_dse_evaluations_total",
+                 "Accelerator configurations priced by the explorer")
+        .inc();
     const accel::ViTCoDAccelerator acc(cfg);
     Objectives o;
     o.areaMm2 = areaProxyMm2(cfg);
@@ -186,6 +194,10 @@ Explorer::finish(const std::string &algorithm, uint64_t seed,
     r.evaluated = points.size();
     r.baseline = baseline_;
     r.wallSeconds = nowSeconds() - t0;
+    obs::metrics()
+        .gauge("vitcod_dse_frontier_points",
+               "Unique priced points in the last finished search")
+        .set(static_cast<double>(r.evaluated));
     return r;
 }
 
@@ -194,6 +206,7 @@ Explorer::exhaustive()
 {
     const double t0 = nowSeconds();
     const size_t n = space_.size();
+    VITCOD_TRACE_SPAN("exhaustive", "dse", "space", double(n));
     std::vector<DsePoint> slots(n);
     std::vector<char> priced(n, 0);
     parallelOver(n, [&](size_t i) {
@@ -214,6 +227,8 @@ DseResult
 Explorer::coordinateDescent()
 {
     const double t0 = nowSeconds();
+    VITCOD_TRACE_SPAN("coordinate_descent", "dse", "space",
+                      double(space_.size()));
 
     // Start from the grid point nearest the base configuration.
     std::vector<size_t> digits(HwConfigSpace::kAxes, 0);
@@ -264,6 +279,9 @@ Explorer::coordinateDescent()
     double currentScore = score(priced(current).obj);
 
     for (size_t sweep = 0; sweep < cfg_.descentSweeps; ++sweep) {
+        VITCOD_TRACE_SPAN("sweep", "dse", "sweep", double(sweep));
+        obs::counterEvent("dse_priced_points",
+                          double(seen.size()), "dse");
         bool improved = false;
         for (size_t axis = 0; axis < HwConfigSpace::kAxes; ++axis) {
             // Candidate indices along this axis, unseen ones priced
@@ -314,9 +332,12 @@ Explorer::anneal()
     const double t0 = nowSeconds();
     const size_t chains = std::max<size_t>(1, cfg_.annealChains);
     const size_t steps = std::max<size_t>(2, cfg_.annealSteps);
+    VITCOD_TRACE_SPAN("anneal", "dse", "chains", double(chains),
+                      "steps", double(steps));
 
     std::vector<std::vector<DsePoint>> perChain(chains);
     parallelOver(chains, [&](size_t c) {
+        VITCOD_TRACE_SPAN("chain", "dse", "chain", double(c));
         // Chain-disjoint deterministic streams: the seed and the
         // chain id mix through SplitMix64 inside Rng's expansion.
         Rng rng(cfg_.seed +

@@ -9,6 +9,7 @@
 #include "linalg/engine/kernels_opt.h"
 #include "linalg/kernels.h"
 #include "linalg/sparse_kernels.h"
+#include "obs/trace.h"
 
 namespace vitcod::linalg::engine {
 
@@ -195,6 +196,8 @@ KernelEngine::gemmInto(const Matrix &a, const Matrix &b,
                        Matrix &c) const
 {
     const size_t macs = a.rows() * a.cols() * b.cols();
+    VITCOD_TRACE_SPAN("gemm", "engine", "m", double(a.rows()), "macs",
+                      double(macs));
     if (!useOptimized(macs)) {
         counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
         linalg::gemmInto(a, b, c);
@@ -212,6 +215,8 @@ Matrix
 KernelEngine::gemmTransB(const Matrix &a, const Matrix &b) const
 {
     const size_t macs = a.rows() * a.cols() * b.rows();
+    VITCOD_TRACE_SPAN("gemm_tb", "engine", "m", double(a.rows()),
+                      "macs", double(macs));
     if (!useOptimized(macs)) {
         counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
         return linalg::gemmTransB(a, b);
@@ -235,6 +240,8 @@ KernelEngine::sddmmInto(const Matrix &q, const Matrix &k,
                   "sddmm mask shape mismatch");
     const size_t nnz = layout.colIdx->size();
     const size_t macs = nnz * q.cols();
+    VITCOD_TRACE_SPAN("sddmm", "engine", "nnz", double(nnz), "rows",
+                      double(layout.rows));
     values.resize(nnz);
 
     if (layout.useCsc) {
@@ -276,6 +283,8 @@ KernelEngine::sddmm(const Matrix &q, const Matrix &k,
 sparse::Csr
 KernelEngine::maskedSoftmaxRows(sparse::Csr s) const
 {
+    VITCOD_TRACE_SPAN("softmax", "engine", "nnz", double(s.nnz()),
+                      "rows", double(s.rows()));
     if (!useOptimized(s.nnz())) {
         counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
         return linalg::maskedSoftmaxRows(s);
@@ -293,6 +302,8 @@ Matrix
 KernelEngine::spmm(const sparse::Csr &s, const Matrix &v) const
 {
     const size_t macs = s.nnz() * v.cols();
+    VITCOD_TRACE_SPAN("spmm", "engine", "nnz", double(s.nnz()), "macs",
+                      double(macs));
     if (!useOptimized(macs)) {
         counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
         return linalg::spmm(s, v);
@@ -352,6 +363,9 @@ KernelEngine::sparseAttentionOpt(const Matrix &q, const Matrix &k,
                                  const MaskLayoutView &layout,
                                  float scale, Matrix &out) const
 {
+    VITCOD_TRACE_SPAN("sparse_attention", "engine", "nnz",
+                      double(layout.colIdx->size()), "rows",
+                      double(layout.rows));
     std::vector<float> values;
     sddmmInto(q, k, layout, scale, values);
 

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vitcod::linalg::engine {
 
@@ -31,7 +32,11 @@ ThreadPool::ThreadPool(size_t threads)
     }
     workers_.reserve(threads);
     for (size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerMain(); });
+        workers_.emplace_back([this, i] {
+            obs::TraceSession::instance().setThreadName(
+                "pool-" + std::to_string(i));
+            workerMain();
+        });
 }
 
 ThreadPool::~ThreadPool()

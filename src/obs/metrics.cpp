@@ -1,0 +1,343 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace vitcod::obs {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) ||
+               c == '_' || c == ':';
+    };
+    const auto rest = [&](char c) {
+        return first(c) ||
+               std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!first(name.front()))
+        return false;
+    for (char c : name.substr(1))
+        if (!rest(c))
+            return false;
+    return true;
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+/** Prometheus/JSON float: full round-trip precision, Inf-safe. */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (std::isinf(v)) {
+        os << (v > 0 ? "+Inf" : "-Inf");
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+size_t
+Histogram::bucketOf(double v)
+{
+    if (!(v >= kMinValue)) // also catches NaN and negatives
+        return 0;
+    // log2(v / kMinValue) scaled to sub-buckets; the grid is fixed
+    // so every histogram instance shares bucket boundaries.
+    const double pos =
+        std::log2(v / kMinValue) * static_cast<double>(
+                                       kBucketsPerOctave);
+    const auto idx = static_cast<size_t>(pos) + 1;
+    return std::min(idx, kBuckets - 1);
+}
+
+double
+Histogram::bucketUpperBound(size_t i)
+{
+    if (i >= kBuckets - 1)
+        return std::numeric_limits<double>::infinity();
+    // Bucket i covers (bound(i-1), bound(i)]; bucket 0 is the
+    // underflow (-inf, kMinValue).
+    return kMinValue *
+           std::exp2(static_cast<double>(i) /
+                     static_cast<double>(kBucketsPerOctave));
+}
+
+void
+Histogram::observe(double v)
+{
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // First observation initializes min/max; the count increment
+    // comes last so a reader that sees count > 0 sees a valid
+    // min/max from *some* observation.
+    if (count_.load(std::memory_order_relaxed) == 0) {
+        double expect = 0.0;
+        min_.compare_exchange_strong(expect, v,
+                                     std::memory_order_relaxed);
+        expect = 0.0;
+        max_.compare_exchange_strong(expect, v,
+                                     std::memory_order_relaxed);
+    }
+    double cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot s;
+    for (size_t i = 0; i < kBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double
+Histogram::Snapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min;
+    if (q >= 1.0)
+        return max;
+    const auto rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max);
+    }
+    return max;
+}
+
+Histogram::Snapshot
+Histogram::Snapshot::merged(const Snapshot &other) const
+{
+    Snapshot out = *this;
+    for (size_t i = 0; i < kBuckets; ++i)
+        out.buckets[i] += other.buckets[i];
+    out.count += other.count;
+    out.sum += other.sum;
+    if (other.count) {
+        out.min = count ? std::min(min, other.min) : other.min;
+        out.max = count ? std::max(max, other.max) : other.max;
+    }
+    return out;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::resolve(const std::string &name, Kind kind,
+                         const std::string &help)
+{
+    if (!validMetricName(name))
+        fatal("invalid metric name '", name,
+              "' (want [a-zA-Z_:][a-zA-Z0-9_:]*)");
+    std::lock_guard<std::mutex> g(lock_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = kind;
+        e.help = help;
+        switch (kind) {
+        case Kind::Counter:
+            e.counter = std::make_unique<Counter>();
+            break;
+        case Kind::Gauge:
+            e.gauge = std::make_unique<Gauge>();
+            break;
+        case Kind::Histogram:
+            e.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = entries_.emplace(name, std::move(e)).first;
+    } else if (it->second.kind != kind) {
+        fatal("metric '", name,
+              "' re-registered with a different type");
+    } else if (it->second.help.empty() && !help.empty()) {
+        it->second.help = help;
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    return *resolve(name, Kind::Counter, help).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help)
+{
+    return *resolve(name, Kind::Gauge, help).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    return *resolve(name, Kind::Histogram, help).histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    std::lock_guard<std::mutex> g(lock_);
+    for (const auto &[name, e] : entries_) {
+        switch (e.kind) {
+        case Kind::Counter:
+            s.counters.push_back({name, e.counter->value()});
+            break;
+        case Kind::Gauge:
+            s.gauges.push_back({name, e.gauge->value()});
+            break;
+        case Kind::Histogram:
+            s.histograms.push_back({name, e.histogram->snapshot()});
+            break;
+        }
+    }
+    return s;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    for (const auto &[name, e] : entries_) {
+        if (!e.help.empty())
+            os << "# HELP " << name << " " << e.help << "\n";
+        switch (e.kind) {
+        case Kind::Counter:
+            os << "# TYPE " << name << " counter\n";
+            os << name << " " << e.counter->value() << "\n";
+            break;
+        case Kind::Gauge:
+            os << "# TYPE " << name << " gauge\n";
+            os << name << " ";
+            writeNumber(os, e.gauge->value());
+            os << "\n";
+            break;
+        case Kind::Histogram: {
+            os << "# TYPE " << name << " histogram\n";
+            const Histogram::Snapshot h = e.histogram->snapshot();
+            uint64_t cum = 0;
+            for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+                cum += h.buckets[i];
+                // Elide empty interior buckets: the fixed grid is
+                // wide and Prometheus semantics only need the
+                // populated cumulative steps plus +Inf.
+                if (h.buckets[i] == 0 &&
+                    i != Histogram::kBuckets - 1)
+                    continue;
+                os << name << "_bucket{le=\"";
+                writeNumber(os, Histogram::bucketUpperBound(i));
+                os << "\"} " << cum << "\n";
+            }
+            os << name << "_sum ";
+            writeNumber(os, h.sum);
+            os << "\n";
+            os << name << "_count " << h.count << "\n";
+            break;
+        }
+        }
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    const MetricsSnapshot s = snapshot();
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &c : s.counters) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, c.name);
+        os << ": " << c.value;
+    }
+    os << (first ? "}" : "\n  }");
+    os << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &gv : s.gauges) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, gv.name);
+        os << ": ";
+        writeNumber(os, gv.value);
+    }
+    os << (first ? "}" : "\n  }");
+    os << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &hv : s.histograms) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, hv.name);
+        const auto &h = hv.hist;
+        os << ": {\"count\": " << h.count << ", \"sum\": ";
+        writeNumber(os, h.sum);
+        os << ", \"min\": ";
+        writeNumber(os, h.min);
+        os << ", \"max\": ";
+        writeNumber(os, h.max);
+        os << ", \"mean\": ";
+        writeNumber(os, h.mean());
+        os << ", \"p50\": ";
+        writeNumber(os, h.quantile(0.50));
+        os << ", \"p90\": ";
+        writeNumber(os, h.quantile(0.90));
+        os << ", \"p99\": ";
+        writeNumber(os, h.quantile(0.99));
+        os << "}";
+    }
+    os << (first ? "}" : "\n  }");
+    os << "\n}\n";
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked for the same reason as TraceSession: worker threads may
+    // bump counters during static destruction.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+} // namespace vitcod::obs

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Named-metrics registry: counters, gauges and log-bucketed
+ * histograms with Prometheus text exposition and a JSON snapshot —
+ * the aggregate companion to the span tracer in obs/trace.h (spans
+ * answer "where did request #4217 go", metrics answer "what is the
+ * p99 over the last million").
+ *
+ * Concurrency model: metric handles are registered once (mutex on
+ * the registry map) and then updated lock-free — counters and
+ * gauges are single relaxed atomics, histogram observations are one
+ * relaxed atomic increment on a fixed bucket plus relaxed
+ * accumulation of sum/min/max. Snapshots are read concurrently with
+ * updates and are approximate only in the usual monotonic-counter
+ * sense (a snapshot taken mid-update may miss in-flight
+ * observations, never corrupt state).
+ *
+ * Histograms are log-bucketed with fixed, registry-independent
+ * boundaries (kBucketsPerOctave sub-buckets per power of two), so
+ * two histograms of the same metric — e.g. per-worker shards, or
+ * snapshots from different processes — merge by bucket-wise
+ * addition; merge is associative and commutative, pinned by
+ * tests/obs/test_metrics.cpp.
+ *
+ * Naming follows Prometheus conventions: `[a-zA-Z_:][a-zA-Z0-9_:]*`,
+ * unit-suffixed (`_seconds`, `_total`); register-time fatal() on
+ * anything else keeps the exposition parseable.
+ */
+
+#ifndef VITCOD_OBS_METRICS_H
+#define VITCOD_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vitcod::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1)
+    {
+        value_.fetch_add(by, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log-bucketed histogram over positive values. Bucket boundaries
+ * are a fixed geometric grid: kBucketsPerOctave buckets per power
+ * of two, spanning [kMinValue, kMaxValue); values below the range
+ * land in the underflow bucket 0, values at or above the range in
+ * the top bucket. Relative quantile error is bounded by the bucket
+ * ratio 2^(1/kBucketsPerOctave) - 1 (~19%).
+ */
+class Histogram
+{
+  public:
+    /** Sub-buckets per power of two. */
+    static constexpr size_t kBucketsPerOctave = 4;
+    /** Lower edge of bucket 1 (seconds-scale metrics: 100 ns). */
+    static constexpr double kMinValue = 1e-7;
+    /** Octaves covered above kMinValue. */
+    static constexpr size_t kOctaves = 60;
+    /** Bucket count incl. underflow (0) and overflow (last). */
+    static constexpr size_t kBuckets =
+        kOctaves * kBucketsPerOctave + 2;
+
+    /** Fixed bucket index of @p v (pure function of v). */
+    static size_t bucketOf(double v);
+
+    /** Inclusive upper bound of bucket @p i (+inf for the last). */
+    static double bucketUpperBound(size_t i);
+
+    /** Record one observation (lock-free). */
+    void observe(double v);
+
+    /** Plain-value copy of this histogram's state. */
+    struct Snapshot
+    {
+        std::array<uint64_t, kBuckets> buckets{};
+        uint64_t count = 0;
+        double sum = 0;
+        double min = 0; //!< 0 when count == 0
+        double max = 0;
+
+        /**
+         * Quantile estimate from bucket counts: the upper bound of
+         * the bucket containing the q-th observation (exact min/max
+         * for q<=0 / q>=1). 0 when empty.
+         */
+        double quantile(double q) const;
+
+        double mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
+
+        /**
+         * Bucket-wise merge (associative, commutative): the
+         * distribution of the union of both observation streams.
+         */
+        Snapshot merged(const Snapshot &other) const;
+    };
+
+    Snapshot snapshot() const;
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0}; //!< valid once count_ > 0
+    std::atomic<double> max_{0.0};
+};
+
+/** Point-in-time values of every registered metric. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        uint64_t value = 0;
+    };
+    struct GaugeValue
+    {
+        std::string name;
+        double value = 0;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        Histogram::Snapshot hist;
+    };
+
+    /** Sorted by name (the registry map order). */
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+};
+
+/**
+ * Registry of named metrics. Handles returned by
+ * counter()/gauge()/histogram() are valid for the registry's
+ * lifetime; re-registering a name returns the same handle (so
+ * instrumentation sites can resolve lazily without coordination).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** @param help One-line description for the exposition. */
+    Counter &counter(const std::string &name,
+                     const std::string &help = "");
+    Gauge &gauge(const std::string &name,
+                 const std::string &help = "");
+    Histogram &histogram(const std::string &name,
+                         const std::string &help = "");
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Prometheus text exposition format 0.0.4: HELP/TYPE comments,
+     * counter/gauge samples, cumulative `_bucket{le=...}` series
+     * plus `_sum`/`_count` per histogram. Empty histogram buckets
+     * are elided (the grid is 242 buckets wide); `+Inf` is always
+     * present.
+     */
+    void writePrometheus(std::ostream &os) const;
+
+    /**
+     * JSON object keyed by metric name; histograms serialize their
+     * count/sum/min/max/mean and the p50/p90/p99 bucket estimates.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Process-wide default registry — what the serving runtime,
+     * engine and DSE instrumentation register into.
+     */
+    static MetricsRegistry &global();
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &resolve(const std::string &name, Kind kind,
+                   const std::string &help);
+
+    mutable std::mutex lock_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** Shorthand for MetricsRegistry::global(). */
+inline MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::global();
+}
+
+} // namespace vitcod::obs
+
+#endif // VITCOD_OBS_METRICS_H

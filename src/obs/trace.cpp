@@ -1,0 +1,434 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vitcod::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Stable, human-scale thread ids: 1, 2, 3... in first-use order. */
+constexpr uint64_t kPid = 1;
+
+} // namespace
+
+/**
+ * One thread's event ring. The owning thread is the only writer;
+ * the exporter reads only after recording is disabled and the
+ * active counter reached zero (see drainInto).
+ */
+struct TraceSession::Recorder
+{
+    explicit Recorder(uint64_t tid, size_t capacity)
+        : tid(tid), slots(capacity)
+    {
+    }
+
+    const uint64_t tid;
+    std::vector<TraceEvent> slots;
+
+    /** Events ever recorded; slot index = head % capacity. */
+    std::atomic<uint64_t> head{0};
+
+    /** Writers inside record(); exporter waits for 0. */
+    std::atomic<int> active{0};
+
+    /** Set via setThreadName; read at export (under registry lock). */
+    std::string threadName;
+};
+
+struct TraceSession::Impl
+{
+    std::mutex registry;            //!< guards recorders + interned
+    std::vector<std::unique_ptr<Recorder>> recorders;
+    std::set<std::string, std::less<>> interned;
+    TraceConfig cfg;
+    Clock::time_point epoch = Clock::now();
+};
+
+TraceSession::TraceSession() : impl_(new Impl) {}
+
+// Never runs (instance() holds a function-local leaked singleton);
+// defined so ~unique_ptr instantiates against a complete Recorder.
+TraceSession::~TraceSession() = default;
+
+TraceSession &
+TraceSession::instance()
+{
+    // Leaked singleton: worker threads (engine pool, serve pool) may
+    // record during static destruction; the session must outlive
+    // every thread.
+    static TraceSession *session = new TraceSession();
+    return *session;
+}
+
+int64_t
+TraceSession::nowMicros() const
+{
+    if (impl_->cfg.clockMicros)
+        return impl_->cfg.clockMicros();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - impl_->epoch)
+        .count();
+}
+
+TraceSession::Recorder &
+TraceSession::localRecorder()
+{
+    // One registration per (thread, session-lifetime); the pointer
+    // is cached thread_local so the hot path never locks. Recorders
+    // are owned by the session and survive thread exit, keeping a
+    // finished worker's events exportable.
+    thread_local Recorder *cached = nullptr;
+    thread_local const TraceSession *cachedFor = nullptr;
+    if (cached && cachedFor == this)
+        return *cached;
+
+    std::lock_guard<std::mutex> g(impl_->registry);
+    const uint64_t tid = impl_->recorders.size() + 1;
+    // Threads registering while tracing is off (e.g. pool workers
+    // naming their track at startup) get a placeholder ring; start()
+    // resizes every ring to the configured capacity, so any ring
+    // that can actually receive events is full-size.
+    const size_t cap =
+        running() ? std::max<size_t>(16, impl_->cfg.ringCapacity) : 16;
+    impl_->recorders.push_back(std::make_unique<Recorder>(tid, cap));
+    cached = impl_->recorders.back().get();
+    cachedFor = this;
+    return *cached;
+}
+
+void
+TraceSession::setThreadName(std::string_view name)
+{
+    Recorder &r = localRecorder();
+    std::lock_guard<std::mutex> g(impl_->registry);
+    r.threadName.assign(name);
+}
+
+const char *
+TraceSession::intern(std::string_view s)
+{
+    std::lock_guard<std::mutex> g(impl_->registry);
+    return impl_->interned.emplace(s).first->c_str();
+}
+
+void
+TraceSession::start(TraceConfig cfg)
+{
+    if (running())
+        return;
+    std::lock_guard<std::mutex> g(impl_->registry);
+    // Recording is disabled here, but a writer may have raced
+    // past a previous stop(); wait it out before touching rings.
+    for (const auto &r : impl_->recorders)
+        while (r->active.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    impl_->cfg = cfg;
+    impl_->epoch = Clock::now();
+    // Re-arm: drop events of any previous run and bring every ring
+    // (including pre-start placeholder rings) to full capacity.
+    for (auto &r : impl_->recorders) {
+        r->head.store(0, std::memory_order_relaxed);
+        r->slots.assign(std::max<size_t>(16, impl_->cfg.ringCapacity),
+                        TraceEvent{});
+    }
+    // Enabled flips inside the registry lock so a concurrently
+    // registering thread either sees running() and sizes its ring
+    // fully, or registers first and is resized by the loop above.
+    enabled_.store(true, std::memory_order_seq_cst);
+}
+
+void
+TraceSession::stop()
+{
+    enabled_.store(false, std::memory_order_seq_cst);
+}
+
+void
+TraceSession::record(const TraceEvent &ev)
+{
+    Recorder &r = localRecorder();
+    // RCU-style guard: the exporter disables recording, then waits
+    // for active == 0 before touching slots, so a writer that
+    // loaded enabled == true just before stop() still finishes its
+    // slot write safely.
+    r.active.fetch_add(1, std::memory_order_acquire);
+    if (enabled_.load(std::memory_order_relaxed)) {
+        const uint64_t h = r.head.load(std::memory_order_relaxed);
+        r.slots[h % r.slots.size()] = ev;
+        r.head.store(h + 1, std::memory_order_release);
+    }
+    r.active.fetch_sub(1, std::memory_order_release);
+}
+
+size_t
+TraceSession::bufferedEvents() const
+{
+    std::lock_guard<std::mutex> g(impl_->registry);
+    size_t n = 0;
+    for (const auto &r : impl_->recorders)
+        n += std::min<uint64_t>(
+            r->head.load(std::memory_order_acquire),
+            r->slots.size());
+    return n;
+}
+
+size_t
+TraceSession::droppedEvents() const
+{
+    std::lock_guard<std::mutex> g(impl_->registry);
+    size_t n = 0;
+    for (const auto &r : impl_->recorders) {
+        const uint64_t h = r->head.load(std::memory_order_acquire);
+        if (h > r->slots.size())
+            n += h - r->slots.size();
+    }
+    return n;
+}
+
+namespace {
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    // Integral values (ticks, ids, byte counts) print without a
+    // fractional part so goldens stay readable.
+    if (v == static_cast<double>(static_cast<int64_t>(v))) {
+        os << static_cast<int64_t>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+void
+writeEvent(std::ostream &os, const TraceEvent &ev, uint64_t tid)
+{
+    os << "{\"name\": ";
+    writeJsonString(os, ev.name ? ev.name : "");
+    os << ", \"cat\": ";
+    writeJsonString(os, ev.category && *ev.category ? ev.category
+                                                    : "default");
+    os << ", \"ph\": \"" << static_cast<char>(ev.phase) << "\"";
+    os << ", \"pid\": " << kPid << ", \"tid\": " << tid;
+    os << ", \"ts\": " << ev.tsMicros;
+    if (ev.phase == Phase::Complete)
+        os << ", \"dur\": " << ev.durMicros;
+    if (ev.phase == Phase::FlowStart || ev.phase == Phase::FlowStep ||
+        ev.phase == Phase::FlowEnd)
+        os << ", \"id\": " << ev.id;
+    if (ev.phase == Phase::FlowEnd)
+        os << ", \"bp\": \"e\"";
+    if (ev.phase == Phase::Instant)
+        os << ", \"s\": \"t\"";
+
+    const bool counter = ev.phase == Phase::Counter;
+    if (counter || ev.argKey1 || ev.hasTick) {
+        os << ", \"args\": {";
+        bool first = true;
+        const auto emit = [&](const char *key, double v) {
+            if (!first)
+                os << ", ";
+            first = false;
+            writeJsonString(os, key);
+            os << ": ";
+            writeJsonNumber(os, v);
+        };
+        if (counter)
+            emit("value", ev.argVal1);
+        else if (ev.argKey1)
+            emit(ev.argKey1, ev.argVal1);
+        if (!counter && ev.argKey2)
+            emit(ev.argKey2, ev.argVal2);
+        if (ev.hasTick)
+            emit("tick", static_cast<double>(ev.tick));
+        os << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
+TraceExportStats
+TraceSession::writeJson(std::ostream &os)
+{
+    if (running())
+        fatal("trace export requires a stopped session "
+              "(TraceSession::stop() first)");
+
+    std::lock_guard<std::mutex> g(impl_->registry);
+
+    // Wait out writers that raced past the disable flag. Threads
+    // never block inside record(), so this resolves in nanoseconds.
+    for (const auto &r : impl_->recorders)
+        while (r->active.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+
+    struct Slot
+    {
+        const TraceEvent *ev;
+        uint64_t tid;
+    };
+    std::vector<Slot> all;
+    TraceExportStats stats;
+    stats.threads = impl_->recorders.size();
+    for (const auto &r : impl_->recorders) {
+        const uint64_t head = r->head.load(std::memory_order_acquire);
+        const uint64_t cap = r->slots.size();
+        const uint64_t n = std::min(head, cap);
+        if (head > cap)
+            stats.dropped += head - cap;
+        for (uint64_t i = head - n; i < head; ++i)
+            all.push_back({&r->slots[i % cap], r->tid});
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Slot &a, const Slot &b) {
+                         return a.ev->tsMicros < b.ev->tsMicros;
+                     });
+    stats.events = all.size();
+
+    os << "{\"displayTimeUnit\": \"ms\",\n";
+    os << "\"traceEvents\": [\n";
+    bool first = true;
+    // Thread-name metadata first: Perfetto labels tracks with them.
+    // Unnamed recorders that produced events still get a default
+    // label so every active track is named.
+    for (const auto &r : impl_->recorders) {
+        std::string name = r->threadName;
+        if (name.empty()) {
+            if (r->head.load(std::memory_order_acquire) == 0)
+                continue;
+            name = "thread-" + std::to_string(r->tid);
+        }
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << kPid << ", \"tid\": " << r->tid
+           << ", \"args\": {\"name\": ";
+        writeJsonString(os, name);
+        os << "}}";
+    }
+    for (const Slot &s : all) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        writeEvent(os, *s.ev, s.tid);
+    }
+    os << "\n],\n";
+    os << "\"otherData\": {\"tracer\": \"vitcod-obs\", "
+          "\"clockDomain\": \"wall-micros\", \"dropped\": "
+       << stats.dropped << "}}\n";
+    return stats;
+}
+
+TraceExportStats
+TraceSession::writeJsonFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    const TraceExportStats stats = writeJson(os);
+    if (!os)
+        fatal("write to '", path, "' failed");
+    return stats;
+}
+
+namespace {
+
+void
+emitSimple(Phase ph, const char *name, const char *category,
+           uint64_t id, double value)
+{
+    TraceSession &s = TraceSession::instance();
+    TraceEvent ev;
+    ev.name = name;
+    ev.category = category;
+    ev.phase = ph;
+    ev.id = id;
+    ev.argVal1 = value;
+    ev.tsMicros = s.nowMicros();
+    s.record(ev);
+}
+
+} // namespace
+
+void
+instant(const char *name, const char *category)
+{
+    if (!TraceSession::enabled())
+        return;
+    emitSimple(Phase::Instant, name, category, 0, 0);
+}
+
+void
+counterEvent(const char *name, double value, const char *category)
+{
+    if (!TraceSession::enabled())
+        return;
+    emitSimple(Phase::Counter, name, category, 0, value);
+}
+
+void
+flowStart(const char *name, uint64_t id, const char *category)
+{
+    if (!TraceSession::enabled())
+        return;
+    emitSimple(Phase::FlowStart, name, category, id, 0);
+}
+
+void
+flowStep(const char *name, uint64_t id, const char *category)
+{
+    if (!TraceSession::enabled())
+        return;
+    emitSimple(Phase::FlowStep, name, category, id, 0);
+}
+
+void
+flowEnd(const char *name, uint64_t id, const char *category)
+{
+    if (!TraceSession::enabled())
+        return;
+    emitSimple(Phase::FlowEnd, name, category, id, 0);
+}
+
+} // namespace vitcod::obs

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vitcod::serve {
 
@@ -48,6 +50,9 @@ InferenceServer::InferenceServer(
         [this](const InferenceResponse &r) { onComplete(r); },
         [this] { return nowSeconds(); });
     pool_->start();
+
+    if (!cfg_.traceOutPath.empty())
+        obs::TraceSession::instance().start();
 }
 
 InferenceServer::~InferenceServer()
@@ -67,6 +72,7 @@ InferenceServer::submit(const PlanKey &key, int priority)
 {
     VITCOD_ASSERT(!scheduler_.stopped(),
                   "submit() after shutdown()");
+    VITCOD_TRACE_SPAN("submit", "serve");
     // Admission-time plan resolution: compiles on first sight of the
     // task, shares the cached plan on every request after.
     cache_.get(key);
@@ -78,8 +84,22 @@ InferenceServer::submit(const PlanKey &key, int priority)
 
     const uint64_t id = req.id;
     submitted_.fetch_add(1, std::memory_order_acq_rel);
+    // Flow arrow tail: the matching steps/head are emitted on the
+    // worker track that ends up executing this request.
+    obs::flowStart("request", id, "serve");
+    obs::metrics()
+        .counter("vitcod_serve_requests_submitted_total",
+                 "Requests admitted by InferenceServer::submit")
+        .inc();
     scheduler_.submit(std::move(req));
-    stats_.sampleQueueDepth(scheduler_.depth());
+    const size_t depth = scheduler_.depth();
+    stats_.sampleQueueDepth(depth);
+    obs::metrics()
+        .gauge("vitcod_serve_queue_depth",
+               "Scheduler queue depth observed at last submit")
+        .set(static_cast<double>(depth));
+    obs::counterEvent("queue_depth", static_cast<double>(depth),
+                      "serve");
     return id;
 }
 
@@ -111,6 +131,16 @@ InferenceServer::shutdown()
     scheduler_.stop();
     if (pool_)
         pool_->join();
+    if (!cfg_.traceOutPath.empty() && !traceExported_) {
+        traceExported_ = true;
+        obs::TraceSession &session = obs::TraceSession::instance();
+        session.stop();
+        const obs::TraceExportStats ts =
+            session.writeJsonFile(cfg_.traceOutPath);
+        inform("trace: wrote ", ts.events, " events (", ts.dropped,
+               " dropped, ", ts.threads, " tracks) to ",
+               cfg_.traceOutPath);
+    }
 }
 
 double

@@ -64,6 +64,15 @@ struct ServerConfig
      * and docs/DSE.md).
      */
     std::string tunedFrontierPath;
+
+    /**
+     * When non-empty, the server starts the process-wide
+     * obs::TraceSession at construction and writes the recorded
+     * Chrome trace_event JSON here at shutdown() — request
+     * lifecycle spans, flow arrows across worker tracks, kernel
+     * spans (see docs/OBSERVABILITY.md).
+     */
+    std::string traceOutPath;
 };
 
 /** A running inference service over simulated accelerators. */
@@ -132,6 +141,7 @@ class InferenceServer
     std::atomic<uint64_t> completed_{0};
     std::mutex doneLock_;
     std::condition_variable doneCv_;
+    bool traceExported_ = false; //!< shutdown() is idempotent
 };
 
 } // namespace vitcod::serve

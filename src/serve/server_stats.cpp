@@ -75,7 +75,11 @@ ServerStats::recordPlanBatch(const std::string &plan_key,
 {
     std::lock_guard<std::mutex> g(lock_);
     PlanCounters &p = plans_[plan_key];
-    p.predictedSeconds = predicted_seconds;
+    // Both sides accumulate request-weighted, so the snapshot's
+    // per-request means (and their ratio) stay comparable no matter
+    // how batches were sized or whether the prediction changed.
+    p.predictedSum +=
+        predicted_seconds * static_cast<double>(requests);
     p.measuredSum +=
         measured_seconds * static_cast<double>(requests);
     p.requests += requests;
@@ -148,13 +152,17 @@ ServerStats::snapshot(double elapsed_seconds) const
     for (const auto &[key, p] : plans_) {
         StatsSnapshot::PlanLatency pl;
         pl.key = key;
-        pl.predictedSeconds = p.predictedSeconds;
         pl.requests = p.requests;
-        if (p.requests > 0)
+        if (p.requests > 0) {
+            pl.predictedSeconds =
+                p.predictedSum / static_cast<double>(p.requests);
             pl.measuredMeanSeconds =
                 p.measuredSum / static_cast<double>(p.requests);
+        }
         s.plans.push_back(std::move(pl));
     }
+
+    s.metrics = obs::metrics().snapshot();
     return s;
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/stats.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "serve/request.h"
 #include "sim/event_queue.h"
 
@@ -91,7 +92,15 @@ struct StatsSnapshot
     struct PlanLatency
     {
         std::string key;
-        Seconds predictedSeconds = 0; //!< simulated, per request
+        /**
+         * Request-weighted mean of the per-request predictions the
+         * plan served under — same normalization as
+         * measuredMeanSeconds, so ratio() compares like with like
+         * even if the plan recompiles mid-run with a different
+         * estimate.
+         */
+        Seconds predictedSeconds = 0;
+        /** Request-weighted mean of measured per-request service. */
         Seconds measuredMeanSeconds = 0;
         uint64_t requests = 0;
 
@@ -106,6 +115,14 @@ struct StatsSnapshot
 
     /** Sorted by plan key. */
     std::vector<PlanLatency> plans;
+
+    /**
+     * Values of every obs::metrics() metric at snapshot time, so a
+     * periodic StatsSnapshot poll carries the telemetry registry
+     * (queue depth gauge, latency histograms, ...) alongside the
+     * exact-percentile aggregates above.
+     */
+    obs::MetricsSnapshot metrics;
 };
 
 /** Shared metrics sink for the whole server. */
@@ -157,8 +174,8 @@ class ServerStats
 
     struct PlanCounters
     {
-        Seconds predictedSeconds = 0;
-        Seconds measuredSum = 0;
+        Seconds predictedSum = 0; //!< sum of per-request predictions
+        Seconds measuredSum = 0;  //!< sum of per-request measurements
         uint64_t requests = 0;
     };
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vitcod::serve {
 
@@ -50,6 +52,20 @@ void
 WorkerPool::workerMain(size_t idx)
 {
     ServeBackend &backend = *backends_[idx];
+    obs::TraceSession::instance().setThreadName(
+        "serve-" + std::to_string(idx) + "-" + backend.name());
+
+    obs::MetricsRegistry &reg = obs::metrics();
+    obs::Counter &batchesTotal = reg.counter(
+        "vitcod_serve_batches_total", "Batches executed by workers");
+    obs::Counter &completedTotal =
+        reg.counter("vitcod_serve_requests_completed_total",
+                    "Requests completed by workers");
+    obs::Histogram &wallLatency =
+        reg.histogram("vitcod_serve_wall_latency_seconds",
+                      "Request wall latency, submit to completion");
+    obs::Histogram &batchSize = reg.histogram(
+        "vitcod_serve_batch_size", "Requests per executed batch");
 
     // Virtual device clock: ticks advance by each batch's simulated
     // duration, giving busy time in the backend's clock domain.
@@ -57,16 +73,29 @@ WorkerPool::workerMain(size_t idx)
 
     while (auto batch = scheduler_.waitBatch()) {
         const size_t n = batch->requests.size();
+
+        obs::SpanGuard batchSpan("batch", "serve", "size", double(n),
+                                 "worker", double(idx));
+        // Flow waypoints land on this worker's track, tying each
+        // request's submit arrow to the batch that executes it.
+        for (const InferenceRequest &req : batch->requests)
+            obs::flowStep("request", req.id, "serve");
+
         const auto cp = cache_.get(batch->key);
 
         const double t0 = clock_();
-        const ServeBackend::BatchResult r = backend.runBatch(*cp, n);
+        ServeBackend::BatchResult r;
+        {
+            VITCOD_TRACE_SPAN("execute", "serve", "size", double(n));
+            r = backend.runBatch(*cp, n);
+        }
         const double t1 = clock_();
 
         deviceClock.scheduleAfter(
             secondsToCycles(r.stats.seconds, backend.freqGhz()),
             [] {});
         deviceClock.runUntilEmpty();
+        batchSpan.tick(deviceClock.curTick());
 
         stats_.recordBatch(idx, n, r.perRequestSeconds * n,
                            r.switchSeconds, r.switched, t1 - t0,
@@ -77,6 +106,8 @@ WorkerPool::workerMain(size_t idx)
         stats_.recordPlanBatch(batch->key.str(),
                                cp->simEstimate.seconds,
                                r.perRequestSeconds, n);
+        batchesTotal.inc();
+        batchSize.observe(static_cast<double>(n));
 
         for (const InferenceRequest &req : batch->requests) {
             InferenceResponse resp;
@@ -92,6 +123,9 @@ WorkerPool::workerMain(size_t idx)
             resp.energyJoules =
                 r.stats.energyJoules() / static_cast<double>(n);
             stats_.recordResponse(resp);
+            obs::flowEnd("request", req.id, "serve");
+            completedTotal.inc();
+            wallLatency.observe(resp.wallLatencySeconds);
             if (onComplete_)
                 onComplete_(resp);
         }

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * TraceSession mechanics: disabled-path inertness, ring-buffer
+ * wraparound with dropped-event accounting, concurrent lock-free
+ * recording (run under TSan in CI), string interning, span
+ * argument capture and export preconditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vitcod::obs {
+namespace {
+
+/** Fresh session state for one test (the session is process-wide). */
+void
+restart(size_t ring_capacity = 1 << 12)
+{
+    TraceSession &s = TraceSession::instance();
+    s.stop();
+    TraceConfig cfg;
+    cfg.ringCapacity = ring_capacity;
+    s.start(cfg);
+}
+
+std::string
+exportJson()
+{
+    TraceSession &s = TraceSession::instance();
+    s.stop();
+    std::ostringstream oss;
+    s.writeJson(oss);
+    return oss.str();
+}
+
+TEST(Trace, DisabledGuardsRecordNothing)
+{
+    TraceSession &s = TraceSession::instance();
+    s.stop();
+    restart();
+    s.stop();
+
+    {
+        VITCOD_TRACE_SPAN("noop", "test");
+        instant("noop_instant", "test");
+        counterEvent("noop_counter", 1.0, "test");
+        flowStart("noop_flow", 7, "test");
+    }
+    EXPECT_EQ(s.bufferedEvents(), 0u);
+    EXPECT_FALSE(SpanGuard("x").live());
+}
+
+TEST(Trace, SpanRecordsCompleteEventWithArgs)
+{
+    restart();
+    {
+        VITCOD_TRACE_SPAN("work", "test", "nnz", 128.0);
+    }
+    TraceSession &s = TraceSession::instance();
+    EXPECT_EQ(s.bufferedEvents(), 1u);
+
+    const std::string json = exportJson();
+    EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"nnz\": 128"), std::string::npos);
+}
+
+TEST(Trace, SpanTickCarriesSimClockDomain)
+{
+    restart();
+    {
+        SpanGuard span("batch", "test");
+        span.tick(4242);
+    }
+    const std::string json = exportJson();
+    EXPECT_NE(json.find("\"tick\": 4242"), std::string::npos);
+}
+
+TEST(Trace, FlowEventsCarryIdAndBindingPoint)
+{
+    restart();
+    flowStart("request", 99, "test");
+    flowStep("request", 99, "test");
+    flowEnd("request", 99, "test");
+
+    const std::string json = exportJson();
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\": 99"), std::string::npos);
+    // Flow ends bind to the enclosing slice's end.
+    EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(Trace, RingWrapsAndCountsDropped)
+{
+    // The configured capacity floor is 16.
+    restart(/*ring_capacity=*/16);
+    for (int i = 0; i < 40; ++i)
+        instant("tick", "test");
+
+    TraceSession &s = TraceSession::instance();
+    EXPECT_EQ(s.bufferedEvents(), 16u);
+    EXPECT_EQ(s.droppedEvents(), 24u);
+
+    s.stop();
+    std::ostringstream oss;
+    const TraceExportStats stats = s.writeJson(oss);
+    EXPECT_EQ(stats.events, 16u);
+    EXPECT_EQ(stats.dropped, 24u);
+    EXPECT_NE(oss.str().find("\"dropped\": 24"), std::string::npos);
+}
+
+TEST(Trace, StartClearsPreviousRun)
+{
+    restart();
+    instant("old", "test");
+    ASSERT_GE(TraceSession::instance().bufferedEvents(), 1u);
+
+    restart();
+    EXPECT_EQ(TraceSession::instance().bufferedEvents(), 0u);
+    const std::string json = exportJson();
+    EXPECT_EQ(json.find("\"name\": \"old\""), std::string::npos);
+}
+
+TEST(Trace, InternedNamesAreStableAndDeduplicated)
+{
+    TraceSession &s = TraceSession::instance();
+    const std::string dynamic = "plan/DeiT-Small/0.9";
+    const char *a = s.intern(dynamic);
+    const char *b = s.intern(std::string(dynamic));
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, dynamic.c_str());
+}
+
+TEST(Trace, ConcurrentRecordersAreIndependentAndLossAccounted)
+{
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 10000;
+    restart(/*ring_capacity=*/1 << 8);
+
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            TraceSession::instance().setThreadName(
+                "rec-" + std::to_string(t));
+            for (size_t i = 0; i < kPerThread; ++i) {
+                VITCOD_TRACE_SPAN("spin", "test", "i", double(i));
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+
+    TraceSession &s = TraceSession::instance();
+    s.stop();
+    std::ostringstream oss;
+    const TraceExportStats stats = s.writeJson(oss);
+    // Every recorded event is either exported or counted dropped.
+    EXPECT_EQ(stats.events + stats.dropped, kThreads * kPerThread);
+    EXPECT_NE(oss.str().find("rec-0"), std::string::npos);
+}
+
+TEST(Trace, StopWhileRecordingLosesNothingUnexpected)
+{
+    restart(/*ring_capacity=*/1 << 12);
+    std::atomic<bool> go{true};
+    std::atomic<size_t> recorded{0};
+    std::thread writer([&] {
+        while (go.load(std::memory_order_relaxed)) {
+            instant("race", "test");
+            recorded.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    while (recorded.load(std::memory_order_relaxed) < 100)
+        std::this_thread::yield();
+    TraceSession::instance().stop(); // while the writer is hot
+    go.store(false, std::memory_order_relaxed);
+    writer.join();
+
+    std::ostringstream oss;
+    const TraceExportStats stats =
+        TraceSession::instance().writeJson(oss);
+    // The writer kept attempting after stop(); only pre-stop events
+    // may appear, and none may be double-counted.
+    EXPECT_LE(stats.events + stats.dropped, recorded.load());
+    EXPECT_GE(stats.events, 100u);
+}
+
+TEST(Trace, ThreadNameMetadataLabelsTracks)
+{
+    restart();
+    TraceSession::instance().setThreadName("main-test-thread");
+    instant("hello", "test");
+    const std::string json = exportJson();
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("main-test-thread"), std::string::npos);
+}
+
+} // namespace
+} // namespace vitcod::obs

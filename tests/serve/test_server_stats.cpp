@@ -1,10 +1,14 @@
 /**
  * @file
- * ServerStats: exact percentiles, per-backend counters and
- * utilization math.
+ * ServerStats: exact percentiles, per-backend counters, utilization
+ * math, plan-latency normalization, and concurrent recording (run
+ * under TSan in CI).
  */
 
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 #include "serve/server_stats.h"
 
@@ -129,6 +133,103 @@ TEST(ServerStats, PlanLatencyRatioHandlesZeroPrediction)
     StatsSnapshot::PlanLatency pl;
     pl.measuredMeanSeconds = 1.0;
     EXPECT_DOUBLE_EQ(pl.ratio(), 0.0);
+}
+
+TEST(ServerStats, PlanPredictionIsRequestWeightedMean)
+{
+    // Both sides of the ratio use the same normalization: a
+    // request-weighted mean across batches. A plan whose prediction
+    // changes between batches (e.g. after a re-compile) must not
+    // report only the last batch's prediction.
+    ServerStats st;
+    st.recordPlanBatch("A", /*predicted=*/0.010, /*measured=*/0.010,
+                       /*requests=*/1);
+    st.recordPlanBatch("A", /*predicted=*/0.040, /*measured=*/0.040,
+                       /*requests=*/3);
+
+    const auto s = st.snapshot(1.0);
+    ASSERT_EQ(s.plans.size(), 1u);
+    const auto &a = s.plans[0];
+    EXPECT_EQ(a.requests, 4u);
+    // (0.010*1 + 0.040*3) / 4, not 0.040.
+    EXPECT_NEAR(a.predictedSeconds, 0.0325, 1e-12);
+    EXPECT_NEAR(a.measuredMeanSeconds, 0.0325, 1e-12);
+    EXPECT_NEAR(a.ratio(), 1.0, 1e-12);
+}
+
+TEST(ServerStats, ZeroPredictionPlansStayFinite)
+{
+    // A plan priced at zero (degenerate schedule) must not produce
+    // NaN/inf anywhere in the snapshot.
+    ServerStats st;
+    st.recordPlanBatch("Z", 0.0, 0.005, 2);
+
+    const auto s = st.snapshot(1.0);
+    ASSERT_EQ(s.plans.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.plans[0].predictedSeconds, 0.0);
+    EXPECT_NEAR(s.plans[0].measuredMeanSeconds, 0.005, 1e-12);
+    EXPECT_DOUBLE_EQ(s.plans[0].ratio(), 0.0);
+}
+
+TEST(ServerStats, ZeroRequestPlanBatchIsIgnoredInMeans)
+{
+    // recordPlanBatch with requests=0 (an empty dispatch) adds no
+    // weight; the means stay those of the real batches.
+    ServerStats st;
+    st.recordPlanBatch("A", 0.010, 0.012, 2);
+    st.recordPlanBatch("A", 0.999, 0.999, 0);
+
+    const auto s = st.snapshot(1.0);
+    ASSERT_EQ(s.plans.size(), 1u);
+    EXPECT_EQ(s.plans[0].requests, 2u);
+    EXPECT_NEAR(s.plans[0].predictedSeconds, 0.010, 1e-12);
+    EXPECT_NEAR(s.plans[0].measuredMeanSeconds, 0.012, 1e-12);
+}
+
+TEST(ServerStats, EmptySnapshotHasNoPlansAndCarriesMetrics)
+{
+    ServerStats st;
+    const auto s = st.snapshot(1.0);
+    EXPECT_TRUE(s.plans.empty());
+    EXPECT_DOUBLE_EQ(s.meanQueueDepth, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxQueueDepth, 0.0);
+    // The snapshot embeds the process-wide metrics registry; the
+    // field is populated even when this ServerStats saw no traffic.
+    for (size_t i = 1; i < s.metrics.counters.size(); ++i)
+        EXPECT_LT(s.metrics.counters[i - 1].name,
+                  s.metrics.counters[i].name);
+}
+
+TEST(ServerStats, ConcurrentRecordersAreConsistent)
+{
+    ServerStats st;
+    st.registerBackend(0, "w0");
+    st.registerBackend(1, "w1");
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                st.recordResponse(respWith(1e-3, 1e-4, 1e-3));
+                st.recordPlanBatch("P", 0.002, 0.002, 1);
+                st.recordBatch(t % 2, 1, 1e-3, 0.0, false, 1e-3, 10,
+                               0.01);
+                st.sampleQueueDepth(i % 8);
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+
+    const auto s = st.snapshot(1.0);
+    EXPECT_EQ(s.completed, kThreads * kPerThread);
+    ASSERT_EQ(s.plans.size(), 1u);
+    EXPECT_EQ(s.plans[0].requests, kThreads * kPerThread);
+    EXPECT_NEAR(s.plans[0].ratio(), 1.0, 1e-9);
+    EXPECT_EQ(s.backends[0].batches + s.backends[1].batches,
+              kThreads * kPerThread);
+    EXPECT_NEAR(s.meanQueueDepth, 3.5, 1e-9);
 }
 
 } // namespace
