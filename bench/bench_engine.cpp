@@ -6,35 +6,53 @@
  *
  *  - the scalar golden pipeline
  *    spmm(maskedSoftmaxRows(sddmm(q,k,mask))) as the reference,
- *  - the KernelEngine single-threaded (tiled kernels, Auto dispatch:
- *    CSR row-stationary or CSC K-stationary SDDMM by sparsity),
- *  - the KernelEngine over a ThreadPool (--threads N, default 4),
+ *  - the KernelEngine single-threaded once per compiled ISA level
+ *    (scalar / NEON / AVX2 / AVX-512, each pinned via
+ *    EngineConfig::isa) — one JSON row per (kernel, ISA),
+ *  - the KernelEngine over a ThreadPool (--threads N, default 4)
+ *    at the auto-resolved ISA,
  *
- * plus the dense QKV-projection GEMM, and emits one JsonRow per
- * measurement with the reference/optimized times and the speedup.
+ * plus the dense QKV-projection GEMM. Each per-ISA row carries two
+ * ratios: "speedup" (scalar golden reference / this ISA) and
+ * "isa_speedup" (optimized-scalar tier / this ISA — the pure
+ * vectorization win). A summary row with isa="best" names the
+ * fastest level in "best_isa". Compiled levels the host cannot run
+ * emit a row with "skipped": 1 so the CI gate can skip-with-notice
+ * instead of failing on a missing row. `--isa=LEVEL` restricts the
+ * sweep to one level.
+ *
  * CI compares the speedup fields against
  * bench/baselines/engine_baseline.json — speedups are ratios of two
  * timings from the same run, so the gate is robust to runner speed.
  *
  * The headline row the acceptance gate watches: sparse_attn at
- * n=196 d=64 sparsity=0.90 threads=1 must hold speedup >= 3x.
+ * n=196 d=64 sparsity=0.90 threads=1 isa=avx2 must hold
+ * isa_speedup >= 3x over the optimized scalar tier.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "linalg/engine/engine.h"
+#include "linalg/engine/isa/isa.h"
+#include "linalg/engine/kernels_opt.h"
 #include "linalg/engine/thread_pool.h"
 #include "linalg/kernels.h"
 #include "linalg/sparse_kernels.h"
 #include "sparse/bitmask.h"
 
 using namespace vitcod;
+using linalg::engine::IsaLevel;
+using linalg::engine::KernelEngine;
+using linalg::engine::KernelTier;
+namespace eisa = linalg::engine::isa;
 
 namespace {
 
@@ -100,6 +118,26 @@ sink(const linalg::Matrix &m)
     return static_cast<double>(m(0, 0)) + m(m.rows() - 1, m.cols() - 1);
 }
 
+/** Per-ISA launch counter of @p st for @p level. */
+uint64_t
+isaLaunches(const linalg::engine::DispatchStats &st, IsaLevel level)
+{
+    switch (level) {
+    case IsaLevel::Scalar: return st.isaScalar;
+    case IsaLevel::Neon: return st.isaNeon;
+    case IsaLevel::Avx2: return st.isaAvx2;
+    case IsaLevel::Avx512: return st.isaAvx512;
+    }
+    return 0;
+}
+
+/** One single-threaded engine pinned to a host-supported level. */
+struct IsaEngine
+{
+    IsaLevel level;
+    const KernelEngine *engine; // owned by main (or scalar1)
+};
+
 } // namespace
 
 int
@@ -113,17 +151,119 @@ main(int argc, char **argv)
         bench::printHeader("kernel engine throughput",
                            "engine QA (no paper figure)");
 
+    // ISA sweep: every compiled level, or just --isa=LEVEL.
+    std::optional<IsaLevel> only;
+    if (!opts.isa.empty() && opts.isa != "auto") {
+        only = linalg::engine::parseIsaName(opts.isa);
+        if (!only)
+            fatal("--isa: unknown ISA level '", opts.isa, "'");
+        if (!eisa::isaCompiled(*only))
+            fatal("--isa ", opts.isa,
+                  ": level not compiled into this binary");
+    }
+    // Optimized-scalar tier: denominator of "isa_speedup" (always
+    // measured even under --isa so the ratio stays well-defined).
+    const KernelEngine scalar1({.tier = KernelTier::Optimized,
+                                .isa = IsaLevel::Scalar});
+
+    const eisa::CpuFeatures host = eisa::hostCpuFeatures();
+    std::vector<std::unique_ptr<KernelEngine>> owned;
+    std::vector<IsaEngine> engines;  // host-supported, pinned 1T
+    std::vector<IsaLevel> skipped;   // compiled but unsupported here
+    for (IsaLevel level : eisa::compiledIsaLevels()) {
+        if (only && *only != level)
+            continue;
+        if (!eisa::cpuSupports(host, level)) {
+            skipped.push_back(level);
+        } else if (level == IsaLevel::Scalar) {
+            engines.push_back({level, &scalar1});
+        } else {
+            owned.push_back(std::make_unique<KernelEngine>(
+                linalg::engine::EngineConfig{
+                    .tier = KernelTier::Optimized, .isa = level}));
+            engines.push_back({level, owned.back().get()});
+        }
+    }
+
     linalg::engine::ThreadPool pool(mt_threads);
-    const linalg::engine::KernelEngine ref_eng(
-        {.mode = linalg::engine::DispatchMode::Reference});
-    const linalg::engine::KernelEngine opt1(
-        {.mode = linalg::engine::DispatchMode::Optimized});
-    const linalg::engine::KernelEngine optN(
-        {.mode = linalg::engine::DispatchMode::Optimized}, &pool);
+    const KernelEngine optN({.tier = KernelTier::Optimized}, &pool);
 
     const size_t n = 196; // DeiT-Base attention shape
     const size_t d = 64;
     double guard = 0.0;
+
+    /**
+     * Emit the full row set for one kernel shape: a row per ISA
+     * level, skip rows, the isa="best" summary row and the
+     * multithreaded auto-ISA row. @p run must invoke the kernel
+     * under test on the engine it is given.
+     */
+    const auto emitGroup = [&](const char *kernel, size_t gn,
+                               size_t gd, double sp, uint64_t nnz,
+                               bool has_sp, double flops,
+                               double ref_ms, const auto &run) {
+        const auto base = [&](const char *isa_name, int threads) {
+            bench::JsonRow row;
+            row.set("bench", "engine")
+                .set("kernel", kernel)
+                .set("n", static_cast<uint64_t>(gn))
+                .set("d", static_cast<uint64_t>(gd));
+            if (has_sp)
+                row.set("sparsity", sp)
+                    .set("nnz", nnz);
+            row.set("threads", threads).set("isa", isa_name);
+            return row;
+        };
+
+        const double scalar_ms =
+            bestMs(reps, [&] { guard += run(scalar1); });
+        double best_ms = 1e300;
+        IsaLevel best = IsaLevel::Scalar;
+        for (const IsaEngine &ie : engines) {
+            const double ms = ie.level == IsaLevel::Scalar
+                                  ? scalar_ms
+                                  : bestMs(reps, [&] {
+                                        guard += run(*ie.engine);
+                                    });
+            if (ms < best_ms) {
+                best_ms = ms;
+                best = ie.level;
+            }
+            base(linalg::engine::isaName(ie.level), 1)
+                .set("ref_ms", ref_ms)
+                .set("opt_ms", ms)
+                .set("speedup", ref_ms / ms)
+                .set("isa_speedup", scalar_ms / ms)
+                .set("opt_gflops", flops / (ms * 1e6))
+                .print();
+        }
+        for (IsaLevel level : skipped)
+            base(linalg::engine::isaName(level), 1)
+                .set("skipped", 1)
+                .set("reason", std::string("host lacks ") +
+                                   linalg::engine::isaName(level))
+                .print();
+        base("best", 1)
+            .set("best_isa", linalg::engine::isaName(best))
+            .set("ref_ms", ref_ms)
+            .set("opt_ms", best_ms)
+            .set("speedup", ref_ms / best_ms)
+            .set("isa_speedup", scalar_ms / best_ms)
+            .set("opt_gflops", flops / (best_ms * 1e6))
+            .print();
+
+        const double mt_ms =
+            bestMs(reps, [&] { guard += run(optN); });
+        base("auto", static_cast<int>(mt_threads))
+            .set("isa_resolved",
+                 linalg::engine::isaName(optN.isaLevel()))
+            .set("ref_ms", ref_ms)
+            .set("opt_ms", mt_ms)
+            .set("speedup", ref_ms / mt_ms)
+            .set("scaling_vs_1t", best_ms / mt_ms)
+            .set("opt_gflops", flops / (mt_ms * 1e6))
+            .print();
+    };
 
     std::vector<double> sparsities = {0.5, 0.9, 0.95, 0.98};
     if (opts.smoke)
@@ -145,40 +285,27 @@ main(int argc, char **argv)
                     linalg::sddmm(q, k, mask, scale)),
                 v));
         });
-        const double opt_ms = bestMs(reps, [&] {
-            guard += sink(opt1.sparseAttention(q, k, v, mask, scale));
-        });
-        const double mt_ms = bestMs(reps, [&] {
-            guard += sink(optN.sparseAttention(q, k, v, mask, scale));
-        });
-
-        bench::JsonRow()
-            .set("bench", "engine")
-            .set("kernel", "sparse_attn")
-            .set("n", static_cast<uint64_t>(n))
-            .set("d", static_cast<uint64_t>(d))
-            .set("sparsity", sp)
-            .set("nnz", static_cast<uint64_t>(mask.nnz()))
-            .set("threads", 1)
-            .set("ref_ms", ref_ms)
-            .set("opt_ms", opt_ms)
-            .set("speedup", ref_ms / opt_ms)
-            .set("opt_gflops", flops / (opt_ms * 1e6))
-            .print();
-        bench::JsonRow()
-            .set("bench", "engine")
-            .set("kernel", "sparse_attn")
-            .set("n", static_cast<uint64_t>(n))
-            .set("d", static_cast<uint64_t>(d))
-            .set("sparsity", sp)
-            .set("nnz", static_cast<uint64_t>(mask.nnz()))
-            .set("threads", static_cast<uint64_t>(mt_threads))
-            .set("ref_ms", ref_ms)
-            .set("opt_ms", mt_ms)
-            .set("speedup", ref_ms / mt_ms)
-            .set("scaling_vs_1t", opt_ms / mt_ms)
-            .set("opt_gflops", flops / (mt_ms * 1e6))
-            .print();
+        // Prebuilt layout + preallocated output, exactly like the
+        // ModelExecutor request path: the rows measure the kernels,
+        // not the allocator or the engine's structure cache.
+        std::vector<uint32_t> row_ptr, col_idx, col_ptr, row_idx;
+        linalg::engine::maskToCsrStructure(mask, row_ptr, col_idx);
+        const bool use_csc =
+            static_cast<double>(mask.nnz()) <
+            (1.0 - linalg::engine::EngineConfig{}.cscSparsityThreshold) *
+                static_cast<double>(n * n);
+        if (use_csc)
+            linalg::engine::csrToCscStructure(n, n, row_ptr, col_idx,
+                                              col_ptr, row_idx);
+        const linalg::engine::MaskLayoutView layout{
+            n, n, &row_ptr, &col_idx, &col_ptr, &row_idx, use_csc};
+        linalg::Matrix attn_out;
+        emitGroup("sparse_attn", n, d, sp, mask.nnz(), true, flops,
+                  ref_ms, [&](const KernelEngine &eng) {
+                      eng.sparseAttentionInto(q, k, v, mask, layout,
+                                              scale, attn_out);
+                      return sink(attn_out);
+                  });
     }
 
     // Dense GEMM: the QKV projection shape (n x 384 times 384 x 384).
@@ -191,43 +318,29 @@ main(int argc, char **argv)
 
         const double ref_ms =
             bestMs(reps, [&] { guard += sink(linalg::gemm(x, w)); });
-        const double opt_ms =
-            bestMs(reps, [&] { guard += sink(opt1.gemm(x, w)); });
-        const double mt_ms =
-            bestMs(reps, [&] { guard += sink(optN.gemm(x, w)); });
-
-        bench::JsonRow()
-            .set("bench", "engine")
-            .set("kernel", "gemm")
-            .set("n", static_cast<uint64_t>(n))
-            .set("d", static_cast<uint64_t>(dm))
-            .set("threads", 1)
-            .set("ref_ms", ref_ms)
-            .set("opt_ms", opt_ms)
-            .set("speedup", ref_ms / opt_ms)
-            .set("opt_gflops", flops / (opt_ms * 1e6))
-            .print();
-        bench::JsonRow()
-            .set("bench", "engine")
-            .set("kernel", "gemm")
-            .set("n", static_cast<uint64_t>(n))
-            .set("d", static_cast<uint64_t>(dm))
-            .set("threads", static_cast<uint64_t>(mt_threads))
-            .set("ref_ms", ref_ms)
-            .set("opt_ms", mt_ms)
-            .set("speedup", ref_ms / mt_ms)
-            .set("scaling_vs_1t", opt_ms / mt_ms)
-            .set("opt_gflops", flops / (mt_ms * 1e6))
-            .print();
+        linalg::Matrix gemm_out;
+        emitGroup("gemm", n, dm, 0.0, 0, false, flops, ref_ms,
+                  [&](const KernelEngine &eng) {
+                      eng.gemmInto(x, w, gemm_out);
+                      return sink(gemm_out);
+                  });
     }
 
     if (!opts.json)
         std::printf("# guard %.3g (ignore; defeats dead-code elim)\n",
                     guard);
 
-    // Engine-side sanity: the optimized paths must actually have run.
-    const auto st = opt1.stats();
-    if (st.sddmmCsr + st.sddmmCsc == 0 || st.spmmOptimized == 0)
-        fatal("bench_engine: optimized path never dispatched");
+    // Engine-side sanity: every pinned engine must have dispatched
+    // its optimized kernels on exactly the ISA it was pinned to.
+    for (const IsaEngine &ie : engines) {
+        const auto st = ie.engine->stats();
+        if (st.sddmmCsr + st.sddmmCsc == 0 || st.spmmOptimized == 0)
+            fatal("bench_engine: optimized path never dispatched on ",
+                  linalg::engine::isaName(ie.level));
+        if (isaLaunches(st, ie.level) == 0)
+            fatal("bench_engine: engine pinned to ",
+                  linalg::engine::isaName(ie.level),
+                  " never launched kernels at that level");
+    }
     return 0;
 }

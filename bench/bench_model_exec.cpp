@@ -88,11 +88,11 @@ main(int argc, char **argv)
 
     linalg::engine::ThreadPool pool(mt_threads);
     const linalg::engine::KernelEngine ref_eng(
-        {.mode = linalg::engine::DispatchMode::Reference});
+        {.tier = linalg::engine::KernelTier::Reference});
     const linalg::engine::KernelEngine opt1(
-        {.mode = linalg::engine::DispatchMode::Optimized});
+        {.tier = linalg::engine::KernelTier::Optimized});
     const linalg::engine::KernelEngine optN(
-        {.mode = linalg::engine::DispatchMode::Optimized}, &pool);
+        {.tier = linalg::engine::KernelTier::Optimized}, &pool);
 
     double guard = 0.0;
     for (const std::string &name : models) {

@@ -142,7 +142,7 @@ main(int argc, char **argv)
     const auto val = linalg::Matrix::randomNormal(n, d, rng);
     const auto mask = randomMask(n, sp, rng);
     const linalg::engine::KernelEngine eng(
-        {.mode = linalg::engine::DispatchMode::Optimized});
+        {.tier = linalg::engine::KernelTier::Optimized});
 
     double guard = 0.0;
     const size_t kreps = opts.smoke ? 5 : 30;

@@ -120,6 +120,12 @@ parseCli(int argc, char **argv)
             opts.threads = parseUintValue("--threads", argv[++i]);
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             opts.threads = parseUintValue("--threads", arg + 10);
+        } else if (std::strcmp(arg, "--isa") == 0) {
+            if (i + 1 >= argc)
+                fatal("--isa expects a value");
+            opts.isa = argv[++i];
+        } else if (std::strncmp(arg, "--isa=", 6) == 0) {
+            opts.isa = arg + 6;
         } else if (std::strcmp(arg, "--trace") == 0) {
             if (i + 1 >= argc)
                 fatal("--trace expects a file path");

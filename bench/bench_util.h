@@ -66,10 +66,18 @@ struct CliOptions
      * JSON to FILE at process exit (empty = tracing off).
      */
     std::string traceOut;
+
+    /**
+     * --isa NAME / --isa=NAME: restrict kernel benches to one ISA
+     * level ("scalar", "neon", "avx2", "avx512"; empty = all
+     * compiled levels). Validated by the bench that uses it.
+     */
+    std::string isa;
 };
 
 /**
- * Parse --seed / --json / --smoke / --threads / --trace from argv;
+ * Parse --seed / --json / --smoke / --threads / --trace / --isa
+ * from argv;
  * fatal() on a malformed value. When --trace is given, the
  * process-wide obs::TraceSession is started immediately and an
  * atexit hook stops it and writes the JSON file, so every bench

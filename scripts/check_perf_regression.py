@@ -9,29 +9,39 @@ against the checked-in baseline, row by row:
         --current engine_results.jsonl
 
 A baseline row matches a current row when every identity key
-(bench, kernel, n, d, sparsity, threads) agrees. For each matched
-row the gate requires
+(bench, kernel, n, d, sparsity, threads, isa) agrees. For each
+matched row the gate requires
 
-    current.speedup >= baseline.speedup * (1 - tolerance)
+    current[metric] >= baseline[metric] * (1 - tolerance)
 
-plus, when the baseline row carries `min_speedup`, the absolute
-floor `current.speedup >= min_speedup` (the acceptance criterion,
-e.g. >= 3x single-thread for sparse attention at 90% sparsity).
+where `metric` is the baseline row's "metric" field (default
+"speedup"; per-ISA rows also carry "isa_speedup" — the ratio of the
+optimized-scalar tier to the vectorized tier). When the baseline
+row carries `min_speedup`, the absolute floor
+`current[metric] >= min_speedup` applies as well (the acceptance
+criterion, e.g. AVX2 >= 3x over optimized scalar for sparse
+attention at 90% sparsity, threads=1).
+
+ISA coverage depends on the runner: bench_engine emits a row with
+"skipped": 1 for every level compiled into the binary that the host
+CPU cannot execute. A baseline row matching such a skip row is
+reported as SKIP (with a notice) instead of failing the gate — a
+CI runner without AVX-512 must not fail the AVX-512 rows. A
+baseline row with no matching current row at all still fails —
+silent coverage loss must not pass.
 
 Speedups are ratios of two timings from the same run, so the gate
-is robust to absolute runner speed. A baseline row with no matching
-current row fails the gate — silent coverage loss must not pass.
-
-To update the baseline after an intentional perf change, run
-bench_engine --json on a quiet machine and copy the speedup values
-(rounded *down* a little for headroom) into engine_baseline.json.
+is robust to absolute runner speed. To update the baseline after an
+intentional perf change, run bench_engine --json on a quiet machine
+and copy the speedup values (rounded *down* a little for headroom)
+into engine_baseline.json.
 """
 
 import argparse
 import json
 import sys
 
-IDENTITY_KEYS = ("bench", "kernel", "n", "d", "sparsity", "threads")
+IDENTITY_KEYS = ("bench", "kernel", "n", "d", "sparsity", "threads", "isa")
 
 
 def row_identity(row):
@@ -49,7 +59,7 @@ def load_current(path):
                 row = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if "speedup" in row:
+            if "speedup" in row or row.get("skipped"):
                 rows[row_identity(row)] = row
     return rows
 
@@ -76,6 +86,7 @@ def main():
     current = load_current(args.current)
 
     failures = []
+    skips = []
     print(
         f"{'row':<58} {'base':>6} {'floor':>6} {'now':>7}  verdict"
     )
@@ -89,11 +100,17 @@ def main():
             print(f"{label:<58} {'-':>6} {'-':>6} {'MISSING':>7}  FAIL")
             failures.append(f"{label}: no matching bench row")
             continue
-        base = float(brow["speedup"])
+        if crow.get("skipped"):
+            reason = crow.get("reason", "unsupported on this runner")
+            print(f"{label:<58} {'-':>6} {'-':>6} {'-':>7}  SKIP ({reason})")
+            skips.append(f"{label}: {reason}")
+            continue
+        metric = brow.get("metric", "speedup")
+        base = float(brow[metric])
         floor = base * (1.0 - tolerance)
         if "min_speedup" in brow:
             floor = max(floor, float(brow["min_speedup"]))
-        now = float(crow["speedup"])
+        now = float(crow[metric])
         ok = now >= floor
         print(
             f"{label:<58} {base:>6.2f} {floor:>6.2f} {now:>7.2f}  "
@@ -101,9 +118,16 @@ def main():
         )
         if not ok:
             failures.append(
-                f"{label}: speedup {now:.2f} < floor {floor:.2f}"
+                f"{label}: {metric} {now:.2f} < floor {floor:.2f}"
             )
 
+    if skips:
+        print(
+            f"\nnotice: {len(skips)} row(s) skipped "
+            "(ISA not supported by this runner):"
+        )
+        for s in skips:
+            print(f"  {s}")
     if failures:
         print(
             f"\nPERF REGRESSION ({len(failures)} row(s) below "
@@ -113,7 +137,7 @@ def main():
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print("\nall rows within tolerance")
+    print("\nall gated rows within tolerance")
     return 0
 
 

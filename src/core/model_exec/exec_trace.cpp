@@ -35,7 +35,7 @@ ExecTrace::write(std::ostream &os) const
     os << "patch_embed_seconds " << patchEmbedSeconds << '\n';
     os << "classifier_seconds " << classifierSeconds << '\n';
     os << "total_seconds " << totalSeconds << '\n';
-    for (const auto &[name, member] : linalg::engine::engineStatsFields())
+    for (const auto &[name, member] : linalg::engine::dispatchStatsFields())
         os << "dispatch " << name << ' ' << dispatch.*member << '\n';
     os << "layers " << layers.size() << '\n';
     for (const LayerTrace &l : layers) {
@@ -107,7 +107,7 @@ ExecTrace::read(std::istream &is)
     t.classifierSeconds =
         readValue<double>(is, "classifier_seconds");
     t.totalSeconds = readValue<double>(is, "total_seconds");
-    for (const auto &[name, member] : linalg::engine::engineStatsFields()) {
+    for (const auto &[name, member] : linalg::engine::dispatchStatsFields()) {
         expectWord(is, "dispatch");
         t.dispatch.*member = readValue<uint64_t>(is, name);
     }
@@ -182,7 +182,7 @@ structurallyEqual(const ExecTrace &a, const ExecTrace &b,
         !check(why, "total_macs", a.totalMacs, b.totalMacs) ||
         !check(why, "layer count", a.layers.size(), b.layers.size()))
         return false;
-    for (const auto &[name, member] : linalg::engine::engineStatsFields())
+    for (const auto &[name, member] : linalg::engine::dispatchStatsFields())
         if (!check(why, std::string("dispatch ") + name,
                    a.dispatch.*member, b.dispatch.*member))
             return false;

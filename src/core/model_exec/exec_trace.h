@@ -69,7 +69,7 @@ struct ExecTrace
     MacOps totalMacs = 0;
 
     /** Engine dispatch-counter delta over the traced call. */
-    linalg::engine::EngineStats dispatch;
+    linalg::engine::DispatchStats dispatch;
 
     std::vector<LayerTrace> layers;
 

@@ -425,7 +425,7 @@ ModelExecutor::initTrace(ExecTrace *trace, size_t batch) const
 void
 ModelExecutor::finalizeTrace(
     ExecTrace *trace, size_t batch,
-    const linalg::engine::EngineStats &before, double seconds) const
+    const linalg::engine::DispatchStats &before, double seconds) const
 {
     if (!trace)
         return;
@@ -443,7 +443,7 @@ ModelExecutor::forward(const linalg::Matrix &patches,
                        ExecTrace *trace)
 {
     initTrace(trace, 1);
-    const linalg::engine::EngineStats before = engine_->stats();
+    const linalg::engine::DispatchStats before = engine_->stats();
     VITCOD_TRACE_SPAN("forward", "model_exec", "batch", 1.0);
     const auto t0 = Clock::now();
     forwardInto(patches, trace);
@@ -457,7 +457,7 @@ ModelExecutor::forwardBatch(const std::vector<linalg::Matrix> &inputs,
 {
     VITCOD_ASSERT(!inputs.empty(), "empty batch");
     initTrace(trace, inputs.size());
-    const linalg::engine::EngineStats before = engine_->stats();
+    const linalg::engine::DispatchStats before = engine_->stats();
     VITCOD_TRACE_SPAN("forward", "model_exec", "batch",
                       double(inputs.size()));
     const auto t0 = Clock::now();

@@ -138,7 +138,7 @@ class ModelExecutor
 
     /** Fill dispatch delta, MAC counts and total time. */
     void finalizeTrace(ExecTrace *trace, size_t batch,
-                       const linalg::engine::EngineStats &before,
+                       const linalg::engine::DispatchStats &before,
                        double seconds) const;
 
     const core::ModelPlan *plan_;

@@ -47,7 +47,7 @@ class ReferenceBlock
      * @param eng Kernel executor for the GEMMs and the sparse
      *        attention pipeline. Defaults to the shared Auto-dispatch
      *        engine; pass an engine pinned to
-     *        DispatchMode::Reference to force the scalar oracle.
+     *        KernelTier::Reference to force the scalar oracle.
      */
     ReferenceBlock(model::StageConfig stage, BlockWeights weights,
                    const linalg::engine::KernelEngine *eng =

@@ -1,12 +1,13 @@
 #include "linalg/engine/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 
-#include "linalg/engine/kernels_opt.h"
+#include "linalg/engine/kernels_opt.h" //!< mask structure helpers
 #include "linalg/kernels.h"
 #include "linalg/sparse_kernels.h"
 #include "obs/trace.h"
@@ -29,7 +30,16 @@ enum Counter : size_t
     kParallel,
     kStructHit,
     kStructMiss,
+    // Per-ISA launch counters; kIsaFirst + IsaLevel value.
+    kIsaFirst,
 };
+
+/** Name of the KernelVariant a reference dispatch executes. */
+const char *
+referenceVariantName()
+{
+    return variantName({KernelTier::Reference, IsaLevel::Scalar});
+}
 
 /** 64-bit content hash of a mask: 8 storage bytes per mix step. */
 uint64_t
@@ -93,11 +103,60 @@ KernelEngine::KernelEngine(EngineConfig cfg, ThreadPool *pool)
     : cfg_(cfg), pool_(pool),
       cache_(std::make_unique<StructureCache>())
 {
+    const IsaLevel resolved = isa::resolveIsa(
+        cfg_.isa, isa::hostCpuFeatures(), std::getenv("VITCOD_ISA"));
+    kernels_.store(isa::isaKernelTable(resolved),
+                   std::memory_order_relaxed);
     for (auto &c : counters_)
         c.store(0, std::memory_order_relaxed);
 }
 
 KernelEngine::~KernelEngine() = default;
+
+KernelVariant
+KernelEngine::variant() const
+{
+    if (cfg_.tier == KernelTier::Reference)
+        return {KernelTier::Reference, IsaLevel::Scalar};
+    return {KernelTier::Optimized, isaLevel()};
+}
+
+IsaLevel
+KernelEngine::isaLevel() const
+{
+    return kernels_.load(std::memory_order_relaxed)->level;
+}
+
+IsaLevel
+KernelEngine::forceIsa(IsaLevel level)
+{
+    const IsaLevel applied =
+        isa::resolveIsa(level, isa::hostCpuFeatures(), nullptr);
+    kernels_.store(isa::isaKernelTable(applied),
+                   std::memory_order_relaxed);
+    return applied;
+}
+
+const isa::IsaKernelTable &
+KernelEngine::kernels() const
+{
+    return *kernels_.load(std::memory_order_relaxed);
+}
+
+void
+KernelEngine::noteIsaLaunch(IsaLevel level) const
+{
+    counters_[kIsaFirst + static_cast<size_t>(level)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+const isa::IsaKernelTable &
+KernelEngine::kernelsForLaunch() const
+{
+    const isa::IsaKernelTable &kt = kernels();
+    noteIsaLaunch(kt.level);
+    return kt;
+}
 
 std::shared_ptr<const KernelEngine::MaskStructure>
 KernelEngine::structureFor(const sparse::BitMask &mask) const
@@ -154,12 +213,9 @@ KernelEngine::threads() const
 bool
 KernelEngine::useOptimized(size_t macs) const
 {
-    switch (cfg_.mode) {
-    case DispatchMode::Reference: return false;
-    case DispatchMode::Optimized: return true;
-    case DispatchMode::Auto: return macs >= cfg_.minOptimizedMacs;
-    }
-    return true;
+    if (cfg_.tier)
+        return *cfg_.tier == KernelTier::Optimized;
+    return macs >= cfg_.minOptimizedMacs;
 }
 
 bool
@@ -183,51 +239,55 @@ KernelEngine::forPanels(
     }
 }
 
-Matrix
-KernelEngine::gemm(const Matrix &a, const Matrix &b) const
-{
-    Matrix c;
-    gemmInto(a, b, c);
-    return c;
-}
-
 void
 KernelEngine::gemmInto(const Matrix &a, const Matrix &b,
                        Matrix &c) const
 {
     const size_t macs = a.rows() * a.cols() * b.cols();
-    VITCOD_TRACE_SPAN("gemm", "engine", "m", double(a.rows()), "macs",
-                      double(macs));
+    obs::SpanGuard span("gemm", "engine", "m", double(a.rows()),
+                        "macs", double(macs));
     if (!useOptimized(macs)) {
         counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
+        span.argStr("variant", referenceVariantName());
         linalg::gemmInto(a, b, c);
         return;
     }
     VITCOD_ASSERT(a.cols() == b.rows(), "gemm shape mismatch");
     counters_[kGemmOpt].fetch_add(1, std::memory_order_relaxed);
+    const isa::IsaKernelTable &kt = kernelsForLaunch();
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
     c.resize(a.rows(), b.cols());
     forPanels(a.rows(), macs, [&](size_t r0, size_t r1) {
-        gemmPanel(a, b, c, r0, r1, cfg_.gemmKBlock, cfg_.gemmJBlock);
+        kt.gemmPanel(a, b, c, r0, r1, cfg_.gemmKBlock,
+                     cfg_.gemmJBlock);
     });
 }
 
-Matrix
-KernelEngine::gemmTransB(const Matrix &a, const Matrix &b) const
+void
+KernelEngine::gemmTransBInto(const Matrix &a, const Matrix &b,
+                             Matrix &c) const
 {
     const size_t macs = a.rows() * a.cols() * b.rows();
-    VITCOD_TRACE_SPAN("gemm_tb", "engine", "m", double(a.rows()),
-                      "macs", double(macs));
+    obs::SpanGuard span("gemm_tb", "engine", "m", double(a.rows()),
+                        "macs", double(macs));
     if (!useOptimized(macs)) {
         counters_[kGemmRef].fetch_add(1, std::memory_order_relaxed);
-        return linalg::gemmTransB(a, b);
+        span.argStr("variant", referenceVariantName());
+        // Copy-assign (not move): reuses @p c's capacity.
+        const Matrix ref = linalg::gemmTransB(a, b);
+        c = ref;
+        return;
     }
     VITCOD_ASSERT(a.cols() == b.cols(), "gemmTransB shape mismatch");
     counters_[kGemmOpt].fetch_add(1, std::memory_order_relaxed);
-    Matrix c(a.rows(), b.rows());
+    const isa::IsaKernelTable &kt = kernelsForLaunch();
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
+    c.resize(a.rows(), b.rows());
     forPanels(a.rows(), macs, [&](size_t r0, size_t r1) {
-        gemmTransBPanel(a, b, c, r0, r1);
+        kt.gemmTransBPanel(a, b, c, r0, r1);
     });
-    return c;
 }
 
 void
@@ -240,26 +300,36 @@ KernelEngine::sddmmInto(const Matrix &q, const Matrix &k,
                   "sddmm mask shape mismatch");
     const size_t nnz = layout.colIdx->size();
     const size_t macs = nnz * q.cols();
-    VITCOD_TRACE_SPAN("sddmm", "engine", "nnz", double(nnz), "rows",
-                      double(layout.rows));
+    obs::SpanGuard span("sddmm", "engine", "nnz", double(nnz), "rows",
+                        double(layout.rows));
     values.resize(nnz);
 
+    const isa::IsaKernelTable &kt = kernelsForLaunch();
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
     if (layout.useCsc) {
         // Sparser region: K-stationary CSC walk, then an O(nnz)
         // scatter back into the CSR slots.
         counters_[kSddmmCsc].fetch_add(1, std::memory_order_relaxed);
-        std::vector<float> csc_values(nnz);
+        // Per-thread scratch: the serve loop calls this per token,
+        // so the CSC staging buffer must not malloc per call. The
+        // lambda must use the hoisted pointer — a thread_local
+        // named inside it would resolve to the pool worker's own
+        // (empty) instance.
+        static thread_local std::vector<float> csc_values;
+        csc_values.resize(nnz);
+        float *const csc_data = csc_values.data();
         forPanels(layout.cols, macs, [&](size_t c0, size_t c1) {
-            sddmmCscPanel(q, k, *layout.colPtr, *layout.rowIdx,
-                          csc_values.data(), c0, c1, scale);
+            kt.sddmmCscPanel(q, k, *layout.colPtr, *layout.rowIdx,
+                             csc_data, c0, c1, scale);
         });
         cscValuesToCsr(layout.rows, *layout.colPtr, *layout.rowIdx,
                        csc_values, *layout.rowPtr, values);
     } else {
         counters_[kSddmmCsr].fetch_add(1, std::memory_order_relaxed);
         forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
-            sddmmCsrPanel(q, k, *layout.rowPtr, *layout.colIdx,
-                          values.data(), r0, r1, scale);
+            kt.sddmmCsrPanel(q, k, *layout.rowPtr, *layout.colIdx,
+                             values.data(), r0, r1, scale);
         });
     }
 }
@@ -283,17 +353,21 @@ KernelEngine::sddmm(const Matrix &q, const Matrix &k,
 sparse::Csr
 KernelEngine::maskedSoftmaxRows(sparse::Csr s) const
 {
-    VITCOD_TRACE_SPAN("softmax", "engine", "nnz", double(s.nnz()),
-                      "rows", double(s.rows()));
+    obs::SpanGuard span("softmax", "engine", "nnz", double(s.nnz()),
+                        "rows", double(s.rows()));
     if (!useOptimized(s.nnz())) {
         counters_[kSoftmaxRef].fetch_add(1, std::memory_order_relaxed);
+        span.argStr("variant", referenceVariantName());
         return linalg::maskedSoftmaxRows(s);
     }
     counters_[kSoftmaxOpt].fetch_add(1, std::memory_order_relaxed);
+    const isa::IsaKernelTable &kt = kernelsForLaunch();
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
     const auto &row_ptr = s.rowPtr();
     float *values = s.mutableValues().data();
     forPanels(s.rows(), s.nnz(), [&](size_t r0, size_t r1) {
-        softmaxCsrPanel(row_ptr, values, r0, r1);
+        kt.softmaxCsrPanel(row_ptr, values, r0, r1);
     });
     return s;
 }
@@ -302,30 +376,23 @@ Matrix
 KernelEngine::spmm(const sparse::Csr &s, const Matrix &v) const
 {
     const size_t macs = s.nnz() * v.cols();
-    VITCOD_TRACE_SPAN("spmm", "engine", "nnz", double(s.nnz()), "macs",
-                      double(macs));
+    obs::SpanGuard span("spmm", "engine", "nnz", double(s.nnz()),
+                        "macs", double(macs));
     if (!useOptimized(macs)) {
         counters_[kSpmmRef].fetch_add(1, std::memory_order_relaxed);
+        span.argStr("variant", referenceVariantName());
         return linalg::spmm(s, v);
     }
     VITCOD_ASSERT(s.cols() == v.rows(), "spmm shape mismatch");
     counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
+    const isa::IsaKernelTable &kt = kernelsForLaunch();
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
     Matrix out(s.rows(), v.cols());
     forPanels(s.rows(), macs, [&](size_t r0, size_t r1) {
-        spmmPanel(s.rowPtr(), s.colIdx(), s.values().data(), v, out, r0,
-                  r1);
+        kt.spmmPanel(s.rowPtr(), s.colIdx(), s.values().data(), v, out,
+                     r0, r1);
     });
-    return out;
-}
-
-Matrix
-KernelEngine::sparseAttention(const Matrix &q, const Matrix &k,
-                              const Matrix &v,
-                              const sparse::BitMask &mask,
-                              float scale) const
-{
-    Matrix out;
-    sparseAttentionInto(q, k, v, mask, scale, out);
     return out;
 }
 
@@ -363,23 +430,34 @@ KernelEngine::sparseAttentionOpt(const Matrix &q, const Matrix &k,
                                  const MaskLayoutView &layout,
                                  float scale, Matrix &out) const
 {
-    VITCOD_TRACE_SPAN("sparse_attention", "engine", "nnz",
-                      double(layout.colIdx->size()), "rows",
-                      double(layout.rows));
-    std::vector<float> values;
+    const isa::IsaKernelTable &kt = kernels();
+    obs::SpanGuard span("sparse_attention", "engine", "nnz",
+                        double(layout.colIdx->size()), "rows",
+                        double(layout.rows));
+    span.argStr("variant",
+                variantName({KernelTier::Optimized, kt.level}));
+    // Per-thread scratch (see sddmmInto): keeps the fused hot path
+    // allocation-free after the first call on each thread. The
+    // panel lambdas must use the hoisted pointer — a thread_local
+    // named inside them would resolve to the pool worker's own
+    // (empty) instance.
+    static thread_local std::vector<float> values;
     sddmmInto(q, k, layout, scale, values);
+    float *const vals = values.data();
 
     const size_t macs = layout.colIdx->size() * q.cols();
     counters_[kSoftmaxOpt].fetch_add(1, std::memory_order_relaxed);
+    noteIsaLaunch(kt.level);
     forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
-        softmaxCsrPanel(*layout.rowPtr, values.data(), r0, r1);
+        kt.softmaxCsrPanel(*layout.rowPtr, vals, r0, r1);
     });
 
     counters_[kSpmmOpt].fetch_add(1, std::memory_order_relaxed);
+    noteIsaLaunch(kt.level);
     out.resize(layout.rows, v.cols());
     forPanels(layout.rows, macs, [&](size_t r0, size_t r1) {
-        spmmPanel(*layout.rowPtr, *layout.colIdx, values.data(), v,
-                  out, r0, r1);
+        kt.spmmPanel(*layout.rowPtr, *layout.colIdx, vals, v, out, r0,
+                     r1);
     });
 }
 
@@ -410,54 +488,51 @@ KernelEngine::sparseAttentionInto(const Matrix &q, const Matrix &k,
     sparseAttentionOpt(q, k, v, layout, scale, out);
 }
 
-std::span<const EngineStatsField>
-engineStatsFields()
+std::span<const DispatchStatsField>
+dispatchStatsFields()
 {
-    static constexpr EngineStatsField kFields[] = {
-        {"gemm_ref", &EngineStats::gemmReference},
-        {"gemm_opt", &EngineStats::gemmOptimized},
-        {"sddmm_ref", &EngineStats::sddmmReference},
-        {"sddmm_csr", &EngineStats::sddmmCsr},
-        {"sddmm_csc", &EngineStats::sddmmCsc},
-        {"softmax_ref", &EngineStats::softmaxReference},
-        {"softmax_opt", &EngineStats::softmaxOptimized},
-        {"spmm_ref", &EngineStats::spmmReference},
-        {"spmm_opt", &EngineStats::spmmOptimized},
-        {"parallel", &EngineStats::parallelLaunches},
-        {"struct_hit", &EngineStats::structureHits},
-        {"struct_miss", &EngineStats::structureMisses},
+    static constexpr DispatchStatsField kFields[] = {
+        {"gemm_ref", &DispatchStats::gemmReference},
+        {"gemm_opt", &DispatchStats::gemmOptimized},
+        {"sddmm_ref", &DispatchStats::sddmmReference},
+        {"sddmm_csr", &DispatchStats::sddmmCsr},
+        {"sddmm_csc", &DispatchStats::sddmmCsc},
+        {"softmax_ref", &DispatchStats::softmaxReference},
+        {"softmax_opt", &DispatchStats::softmaxOptimized},
+        {"spmm_ref", &DispatchStats::spmmReference},
+        {"spmm_opt", &DispatchStats::spmmOptimized},
+        {"parallel", &DispatchStats::parallelLaunches},
+        {"struct_hit", &DispatchStats::structureHits},
+        {"struct_miss", &DispatchStats::structureMisses},
+        {"isa_scalar", &DispatchStats::isaScalar},
+        {"isa_neon", &DispatchStats::isaNeon},
+        {"isa_avx2", &DispatchStats::isaAvx2},
+        {"isa_avx512", &DispatchStats::isaAvx512},
     };
-    static_assert(sizeof(EngineStats) ==
+    static_assert(sizeof(DispatchStats) ==
                       std::size(kFields) * sizeof(uint64_t),
-                  "new EngineStats counter: add it to this table");
+                  "new DispatchStats counter: add it to this table");
     return kFields;
 }
 
-EngineStats
-operator-(const EngineStats &a, const EngineStats &b)
+DispatchStats
+operator-(const DispatchStats &a, const DispatchStats &b)
 {
-    EngineStats d;
-    for (const EngineStatsField &f : engineStatsFields())
+    DispatchStats d;
+    for (const DispatchStatsField &f : dispatchStatsFields())
         d.*f.member = a.*f.member - b.*f.member;
     return d;
 }
 
-EngineStats
+DispatchStats
 KernelEngine::stats() const
 {
-    EngineStats st;
-    st.gemmReference = counters_[kGemmRef].load();
-    st.gemmOptimized = counters_[kGemmOpt].load();
-    st.sddmmReference = counters_[kSddmmRef].load();
-    st.sddmmCsr = counters_[kSddmmCsr].load();
-    st.sddmmCsc = counters_[kSddmmCsc].load();
-    st.softmaxReference = counters_[kSoftmaxRef].load();
-    st.softmaxOptimized = counters_[kSoftmaxOpt].load();
-    st.spmmReference = counters_[kSpmmRef].load();
-    st.spmmOptimized = counters_[kSpmmOpt].load();
-    st.parallelLaunches = counters_[kParallel].load();
-    st.structureHits = counters_[kStructHit].load();
-    st.structureMisses = counters_[kStructMiss].load();
+    // dispatchStatsFields() declaration order matches the Counter
+    // enum (the static_assert there keeps both honest on growth).
+    DispatchStats st;
+    size_t i = 0;
+    for (const DispatchStatsField &f : dispatchStatsFields())
+        st.*f.member = counters_[i++].load(std::memory_order_relaxed);
     return st;
 }
 

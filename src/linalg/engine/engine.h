@@ -1,22 +1,27 @@
 /**
  * @file
  * KernelEngine: the dispatch layer between callers (reference block,
- * serving backends, benches) and kernel implementations. Per call it
- * chooses
+ * serving backends, benches) and kernel implementations. Dispatch is
+ * two-level (see variant.h):
  *
- *  - the scalar golden kernels (src/linalg/{kernels,sparse_kernels})
- *    for tiny shapes or when pinned to DispatchMode::Reference — the
- *    oracle stays the oracle;
- *  - cache-blocked optimized panels, row-stationary CSR SDDMM for
- *    moderate sparsity and the K-stationary CSC walk above
+ *  - **Tier** — per call it chooses the scalar golden kernels
+ *    (src/linalg/{kernels,sparse_kernels}) for tiny shapes or when
+ *    pinned to KernelTier::Reference (the oracle stays the oracle),
+ *    or the cache-blocked optimized panels: row-stationary CSR SDDMM
+ *    for moderate sparsity, the K-stationary CSC walk above
  *    cscSparsityThreshold (mirroring the accelerator's denser /
- *    sparser split);
- *  - a ThreadPool parallel-for over row panels when the work is big
- *    enough to amortize the fork.
+ *    sparser split), and a ThreadPool parallel-for over row panels
+ *    when the work amortizes the fork.
+ *  - **ISA** — the optimized panels themselves are dispatched through
+ *    a per-ISA kernel table (isa/isa.h) resolved once at engine
+ *    construction: EngineConfig::isa, else `VITCOD_ISA`, else the
+ *    highest level CPUID proves the host supports. forceIsa()
+ *    re-targets a live engine.
  *
- * Dispatch decisions are counted (EngineStats) so tests and benches
- * can assert which path actually ran. Engines are safe to share
- * across threads: all methods are const apart from atomic counters.
+ * Dispatch decisions are counted (DispatchStats, including which ISA
+ * ran) so tests and benches can assert which path actually executed.
+ * Engines are safe to share across threads: all methods are const
+ * apart from atomic counters and forceIsa()'s atomic table swap.
  */
 
 #ifndef VITCOD_LINALG_ENGINE_ENGINE_H
@@ -25,26 +30,35 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 
+#include "linalg/engine/isa/isa.h"
 #include "linalg/engine/thread_pool.h"
+#include "linalg/engine/variant.h"
 #include "linalg/matrix.h"
 #include "sparse/formats.h"
 
 namespace vitcod::linalg::engine {
 
-/** Which implementations the engine may pick. */
-enum class DispatchMode
-{
-    Auto,      //!< choose per shape / sparsity / configured threads
-    Reference, //!< always the scalar golden kernels (the oracle)
-    Optimized, //!< always the tiled path, even for tiny shapes
-};
-
 /** Tuning knobs; defaults fit the 196x196 DeiT attention shapes. */
 struct EngineConfig
 {
-    DispatchMode mode = DispatchMode::Auto;
+    /**
+     * Algorithm tier pin. Unset = Auto: per call, shapes below
+     * minOptimizedMacs run the scalar reference, everything else the
+     * optimized panels.
+     */
+    std::optional<KernelTier> tier;
+
+    /**
+     * ISA pin for the optimized panels. Unset defers to the
+     * `VITCOD_ISA` environment variable, then CPUID auto-detection.
+     * A pinned level the host cannot run clamps down (see
+     * isa::resolveIsa); KernelEngine::variant() reports what
+     * actually resolved.
+     */
+    std::optional<IsaLevel> isa;
 
     /** Rows per parallel panel. */
     size_t rowPanel = 16;
@@ -53,7 +67,7 @@ struct EngineConfig
     size_t gemmKBlock = 64;
     size_t gemmJBlock = 256;
 
-    /** Auto mode: below this many MACs, the scalar reference runs. */
+    /** Auto tier: below this many MACs, the scalar reference runs. */
     size_t minOptimizedMacs = 2048;
 
     /** Auto mode: below this many MACs a single thread runs. */
@@ -79,7 +93,7 @@ struct EngineConfig
 };
 
 /** Cumulative dispatch counters (one engine instance). */
-struct EngineStats
+struct DispatchStats
 {
     uint64_t gemmReference = 0;
     uint64_t gemmOptimized = 0;
@@ -94,28 +108,37 @@ struct EngineStats
     uint64_t structureHits = 0;    //!< mask structure served from cache
     uint64_t structureMisses = 0;  //!< mask structure built fresh
 
-    bool operator==(const EngineStats &) const = default;
+    /** @name Optimized kernel launches by executing ISA
+     *  (declaration order matches IsaLevel's enumerator order)
+     *  @{ */
+    uint64_t isaScalar = 0;
+    uint64_t isaNeon = 0;
+    uint64_t isaAvx2 = 0;
+    uint64_t isaAvx512 = 0;
+    /** @} */
+
+    bool operator==(const DispatchStats &) const = default;
 };
 
-/** One EngineStats counter: serialization name + member pointer. */
-struct EngineStatsField
+/** One DispatchStats counter: serialization name + member pointer. */
+struct DispatchStatsField
 {
     const char *name;
-    uint64_t EngineStats::*member;
+    uint64_t DispatchStats::*member;
 };
 
 /**
- * Every EngineStats counter, in declaration order. Arithmetic,
+ * Every DispatchStats counter, in declaration order. Arithmetic,
  * serializers and comparators iterate this single table so a newly
  * added counter cannot be silently dropped by one of them.
  */
-std::span<const EngineStatsField> engineStatsFields();
+std::span<const DispatchStatsField> dispatchStatsFields();
 
 /**
  * Counter-wise difference (a - b): the dispatch activity between two
  * stats() snapshots of the same engine. @pre a >= b counter-wise.
  */
-EngineStats operator-(const EngineStats &a, const EngineStats &b);
+DispatchStats operator-(const DispatchStats &a, const DispatchStats &b);
 
 /**
  * Borrowed view of a prebuilt compressed mask layout — what the
@@ -137,7 +160,7 @@ struct MaskLayoutView
     bool useCsc = false; //!< K-stationary CSC walk for the SDDMM
 };
 
-/** Shape/sparsity-dispatching kernel executor. */
+/** Shape/sparsity/ISA-dispatching kernel executor. */
 class KernelEngine
 {
   public:
@@ -155,11 +178,28 @@ class KernelEngine
 
     const EngineConfig &config() const { return cfg_; }
 
+    /**
+     * The variant optimized-eligible dispatches execute with. A
+     * Reference-pinned engine reports {Reference, Scalar} (the
+     * oracle is host-independent by construction); otherwise the
+     * tier is Optimized — what every hot shape runs — and the ISA is
+     * the resolved level.
+     */
+    KernelVariant variant() const;
+
+    /** The resolved ISA level of the optimized panels. */
+    IsaLevel isaLevel() const;
+
+    /**
+     * Re-target the optimized panels to @p level, clamped down to
+     * the best compiled-and-supported level at or below it. Returns
+     * the level actually applied. Thread-safe (atomic table swap);
+     * in-flight calls finish on the table they loaded.
+     */
+    IsaLevel forceIsa(IsaLevel level);
+
     /** Worker threads available to parallel-for (1 = serial). */
     size_t threads() const;
-
-    /** C = A * B. */
-    Matrix gemm(const Matrix &a, const Matrix &b) const;
 
     /**
      * C = A * B into a caller-owned buffer: @p c is reshaped (its
@@ -168,8 +208,9 @@ class KernelEngine
      */
     void gemmInto(const Matrix &a, const Matrix &b, Matrix &c) const;
 
-    /** C = A * B^T (the dense score kernel). */
-    Matrix gemmTransB(const Matrix &a, const Matrix &b) const;
+    /** C = A * B^T into a caller-owned buffer (dense score kernel). */
+    void gemmTransBInto(const Matrix &a, const Matrix &b,
+                        Matrix &c) const;
 
     /** SDDMM: scores at mask nonzeros, CSR out. */
     sparse::Csr sddmm(const Matrix &q, const Matrix &k,
@@ -183,18 +224,12 @@ class KernelEngine
     Matrix spmm(const sparse::Csr &s, const Matrix &v) const;
 
     /**
-     * Fused sparse attention: spmm(softmax(sddmm(q,k,mask))) without
-     * materializing intermediate Csr objects — structure is built
-     * once and values flow through in place.
-     */
-    Matrix sparseAttention(const Matrix &q, const Matrix &k,
-                           const Matrix &v, const sparse::BitMask &mask,
-                           float scale = 1.0f) const;
-
-    /**
-     * Fused sparse attention into a caller-owned output buffer.
-     * The optimized path allocates only the nnz value vector; a
-     * reference dispatch still materializes its Csr intermediates.
+     * Fused sparse attention into a caller-owned output buffer:
+     * spmm(softmax(sddmm(q,k,mask))) without materializing
+     * intermediate Csr objects — structure is built once (and
+     * cached) and values flow through in place. The optimized path
+     * allocates only the nnz value vector; a reference dispatch
+     * still materializes its Csr intermediates.
      */
     void sparseAttentionInto(const Matrix &q, const Matrix &k,
                              const Matrix &v,
@@ -206,7 +241,7 @@ class KernelEngine
      * IR's visit order): the structure cache is bypassed — no
      * lookup, no scan, no structure counters. @p mask must be the
      * mask @p layout was compiled from; it is consulted only by the
-     * reference dispatch (tiny shapes / DispatchMode::Reference),
+     * reference dispatch (tiny shapes / KernelTier::Reference),
      * which keeps dispatch decisions identical to the mask-only
      * overload.
      */
@@ -216,16 +251,47 @@ class KernelEngine
                              const MaskLayoutView &layout, float scale,
                              Matrix &out) const;
 
+    /** @name Allocating conveniences over the *Into primaries
+     *  @{ */
+
+    /** C = A * B. */
+    Matrix gemm(const Matrix &a, const Matrix &b) const
+    {
+        Matrix c;
+        gemmInto(a, b, c);
+        return c;
+    }
+
+    /** C = A * B^T. */
+    Matrix gemmTransB(const Matrix &a, const Matrix &b) const
+    {
+        Matrix c;
+        gemmTransBInto(a, b, c);
+        return c;
+    }
+
+    /** Fused sparse attention returning a fresh output matrix. */
+    Matrix sparseAttention(const Matrix &q, const Matrix &k,
+                           const Matrix &v, const sparse::BitMask &mask,
+                           float scale = 1.0f) const
+    {
+        Matrix out;
+        sparseAttentionInto(q, k, v, mask, scale, out);
+        return out;
+    }
+
+    /** @} */
+
     /** Snapshot of the dispatch counters. */
-    EngineStats stats() const;
+    DispatchStats stats() const;
 
     /** Zero the dispatch counters. */
     void resetStats() const;
 
     /**
-     * Process-wide default engine: Auto dispatch over
-     * ThreadPool::shared(). What reference_block and the serving
-     * backends use unless handed a specific engine.
+     * Process-wide default engine: Auto tier, env/CPUID-resolved
+     * ISA, over ThreadPool::shared(). What reference_block and the
+     * serving backends use unless handed a specific engine.
      */
     static const KernelEngine &shared();
 
@@ -234,6 +300,15 @@ class KernelEngine
     bool useParallel(size_t rows, size_t macs) const;
     void forPanels(size_t rows, size_t macs,
                    const std::function<void(size_t, size_t)> &body) const;
+
+    /** The resolved per-ISA kernel table. */
+    const isa::IsaKernelTable &kernels() const;
+
+    /** Count one optimized kernel launch at @p level. */
+    void noteIsaLaunch(IsaLevel level) const;
+
+    /** kernels() + noteIsaLaunch() in one step. */
+    const isa::IsaKernelTable &kernelsForLaunch() const;
 
     struct MaskStructure;
     struct StructureCache;
@@ -257,8 +332,11 @@ class KernelEngine
     ThreadPool *pool_;
     std::unique_ptr<StructureCache> cache_;
 
+    /** Resolved per-ISA panel table; forceIsa() swaps it. */
+    std::atomic<const isa::IsaKernelTable *> kernels_;
+
     // Indexed by the private Counter enum in engine.cpp.
-    mutable std::atomic<uint64_t> counters_[12];
+    mutable std::atomic<uint64_t> counters_[16];
 };
 
 } // namespace vitcod::linalg::engine

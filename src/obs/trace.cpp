@@ -261,7 +261,7 @@ writeEvent(std::ostream &os, const TraceEvent &ev, uint64_t tid)
         os << ", \"s\": \"t\"";
 
     const bool counter = ev.phase == Phase::Counter;
-    if (counter || ev.argKey1 || ev.hasTick) {
+    if (counter || ev.argKey1 || ev.argStrKey || ev.hasTick) {
         os << ", \"args\": {";
         bool first = true;
         const auto emit = [&](const char *key, double v) {
@@ -278,6 +278,14 @@ writeEvent(std::ostream &os, const TraceEvent &ev, uint64_t tid)
             emit(ev.argKey1, ev.argVal1);
         if (!counter && ev.argKey2)
             emit(ev.argKey2, ev.argVal2);
+        if (!counter && ev.argStrKey) {
+            if (!first)
+                os << ", ";
+            first = false;
+            writeJsonString(os, ev.argStrKey);
+            os << ": ";
+            writeJsonString(os, ev.argStrVal ? ev.argStrVal : "");
+        }
         if (ev.hasTick)
             emit("tick", static_cast<double>(ev.tick));
         os << "}";

@@ -92,6 +92,12 @@ struct TraceEvent
     double argVal2 = 0;
     /** @} */
 
+    /** @name Optional named string argument (literal or interned)
+     *  @{ */
+    const char *argStrKey = nullptr;
+    const char *argStrVal = nullptr;
+    /** @} */
+
     /** Simulated-clock stamp; meaningful when hasTick. */
     sim::Tick tick = 0;
     bool hasTick = false;
@@ -271,6 +277,20 @@ class SpanGuard
                 ev_.argKey2 = key;
                 ev_.argVal2 = v;
             }
+        }
+        return *this;
+    }
+
+    /**
+     * Attach a named string argument (one slot; first call sticks).
+     * Both pointers must be literals or interned strings — the
+     * recorder's slots are POD and borrow them.
+     */
+    SpanGuard &argStr(const char *key, const char *value)
+    {
+        if (live_ && !ev_.argStrKey) {
+            ev_.argStrKey = key;
+            ev_.argStrVal = value;
         }
         return *this;
     }

@@ -29,7 +29,7 @@ namespace vitcod::core::model_exec {
 namespace {
 
 using linalg::Matrix;
-using linalg::engine::DispatchMode;
+using linalg::engine::KernelTier;
 using linalg::engine::KernelEngine;
 using linalg::engine::ThreadPool;
 
@@ -147,7 +147,7 @@ oracleForward(const core::ModelPlan &plan, const ModelWeights &w,
               const Matrix &patches, size_t num_classes)
 {
     static const KernelEngine ref_eng{
-        {.mode = DispatchMode::Reference}};
+        {.tier = KernelTier::Reference}};
     const model::VitModelConfig &m = plan.model;
 
     Matrix x = linalg::gemm(patches, w.patchEmbed);
@@ -208,7 +208,7 @@ TEST_P(ModelExecDifferential, MatchesScalarOracle)
         ModelWeights::random(m, 0, num_classes, rng);
 
     ThreadPool pool(4);
-    const KernelEngine opt({.mode = DispatchMode::Optimized,
+    const KernelEngine opt({.tier = KernelTier::Optimized,
                             .rowPanel = 8,
                             .minParallelMacs = 1},
                            &pool);
@@ -274,7 +274,7 @@ TEST(ModelExecutor, BitwiseDeterministicAcrossParallelRuns)
         Matrix::randomNormal(64, m.stages[0].embedDim, rng);
 
     ThreadPool pool(4);
-    const KernelEngine opt({.mode = DispatchMode::Optimized,
+    const KernelEngine opt({.tier = KernelTier::Optimized,
                             .rowPanel = 8,
                             .minParallelMacs = 1},
                            &pool);
@@ -299,7 +299,7 @@ TEST(ModelExecutor, MaskScanHappensOnlyAtScheduleBuild)
     Rng rng(13);
     const ModelWeights w = ModelWeights::random(m, 0, 4, rng);
 
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt({.tier = KernelTier::Optimized});
     ModelExecutor exec(&plan, ModelWeights(w),
                        ExecutorConfig{.numClasses = 4}, &opt);
 
@@ -343,7 +343,7 @@ TEST(ModelExecutor, MultiStagePyramidMatchesOracle)
 
     ThreadPool pool(2);
     const KernelEngine opt(
-        {.mode = DispatchMode::Optimized, .minParallelMacs = 1},
+        {.tier = KernelTier::Optimized, .minParallelMacs = 1},
         &pool);
     ModelExecutor exec(&plan, ModelWeights(w),
                        ExecutorConfig{.numClasses = num_classes},
@@ -361,7 +361,7 @@ TEST(ModelExecutor, ForwardAndBatchAgreeBitwise)
     const auto plan = buildModelPlan(m, makePipelineConfig(0.9, false));
     Rng rng(31);
     const ModelWeights w = ModelWeights::random(m, 0, 4, rng);
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt({.tier = KernelTier::Optimized});
     ModelExecutor exec(&plan, ModelWeights(w),
                        ExecutorConfig{.numClasses = 4}, &opt);
 
@@ -380,7 +380,7 @@ TEST(ModelExecutor, ForwardAndBatchAgreeBitwise)
 // thread (shared ThreadPool included) is alive at fork time.
 TEST(ModelExecutorDeath, MissingHeadPlanPanics)
 {
-    const KernelEngine eng({.mode = DispatchMode::Reference});
+    const KernelEngine eng({.tier = KernelTier::Reference});
     const auto m = testModel(2, 3, 32);
     auto plan = buildModelPlan(m, makePipelineConfig(0.9, false));
     plan.heads.pop_back();
@@ -393,7 +393,7 @@ TEST(ModelExecutorDeath, MissingHeadPlanPanics)
 
 TEST(ModelExecutorDeath, WrongInputShapePanics)
 {
-    const KernelEngine eng({.mode = DispatchMode::Reference});
+    const KernelEngine eng({.tier = KernelTier::Reference});
     const auto m = testModel(2, 3, 32);
     const auto plan = buildModelPlan(m, makePipelineConfig(0.9, false));
     Rng rng(41);

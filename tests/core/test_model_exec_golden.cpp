@@ -60,7 +60,11 @@ struct Fixture
     Fixture()
         : model(makeModel()),
           plan(buildModelPlan(model, makePipelineConfig(0.9, false))),
-          engine({.mode = linalg::engine::DispatchMode::Optimized,
+          // ISA pinned to Scalar: the golden trace embeds per-ISA
+          // dispatch counters, and the fixture must produce the
+          // same ones on every host the suite runs on.
+          engine({.tier = linalg::engine::KernelTier::Optimized,
+                  .isa = linalg::engine::IsaLevel::Scalar,
                   .rowPanel = 8,
                   .minParallelMacs = 1},
                  &pool)
@@ -157,7 +161,7 @@ TEST(ModelExecGolden, TraceWithoutHeadRecordsRoundTrips)
         buildModelPlan(model, makePipelineConfig(0.9, false));
     Rng rng(5);
     const linalg::engine::KernelEngine eng(
-        {.mode = linalg::engine::DispatchMode::Optimized});
+        {.tier = linalg::engine::KernelTier::Optimized});
     ModelExecutor exec(
         &plan, ModelWeights::random(model, 0, 8, rng),
         ExecutorConfig{.numClasses = 8, .collectHeadTraces = false},

@@ -3,9 +3,15 @@
  * Differential tests of the kernel execution engine: every optimized
  * path (tiled GEMM, CSR and CSC SDDMM, fused masked softmax, SpMM,
  * fused sparse attention, parallel panels) must reproduce the scalar
- * golden kernels bit-for-bit or within a small ulp budget, across
- * random masks spanning sparsity 0.50-0.98, and produce bitwise
- * identical results across repeated parallel runs.
+ * golden kernels within a small ulp budget, across random masks
+ * spanning sparsity 0.50-0.98, and produce bitwise identical results
+ * across repeated parallel runs.
+ *
+ * The whole differential suite is value-parameterized over every ISA
+ * level compiled into this binary (isa::compiledIsaLevels()); levels
+ * the host CPU cannot execute are skipped with a notice. The scalar
+ * level additionally pins bitwise guarantees the SIMD levels cannot
+ * make (FMA contracts the multiply-add rounding).
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +22,7 @@
 
 #include "common/rng.h"
 #include "linalg/engine/engine.h"
+#include "linalg/engine/isa/isa.h"
 #include "linalg/engine/thread_pool.h"
 #include "linalg/kernels.h"
 #include "linalg/sparse_kernels.h"
@@ -24,9 +31,11 @@
 namespace vitcod::linalg {
 namespace {
 
-using engine::DispatchMode;
+using engine::DispatchStats;
 using engine::EngineConfig;
+using engine::IsaLevel;
 using engine::KernelEngine;
+using engine::KernelTier;
 using engine::ThreadPool;
 
 /** ulp distance between two finite floats (huge when signs differ). */
@@ -45,10 +54,12 @@ ulpDiff(float a, float b)
 }
 
 /**
- * Optimized kernels accumulate in 4 float lanes where the oracle
- * accumulates in one double, so "equal" means: identical bits, or
- * within a ulp budget, or within a tiny absolute band (values that
- * cancel toward zero lose relative precision without being wrong).
+ * Optimized kernels accumulate in independent float lanes (and the
+ * SIMD levels contract with FMA and use a polynomial expf) where the
+ * oracle accumulates in one double, so "equal" means: identical
+ * bits, or within a ulp budget, or within a tiny absolute band
+ * (values that cancel toward zero lose relative precision without
+ * being wrong).
  */
 void
 expectUlpClose(float a, float b, const char *what, uint64_t max_ulps = 4096)
@@ -102,9 +113,54 @@ randomMask(size_t n, double sparsity, Rng &rng)
 
 constexpr double kSparsities[] = {0.50, 0.70, 0.85, 0.90, 0.95, 0.98};
 
-TEST(KernelEngine, SddmmMatchesOracleAcrossSparsities)
+/** The per-ISA launch counter of @p st for @p level. */
+uint64_t
+isaLaunches(const DispatchStats &st, IsaLevel level)
 {
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    switch (level) {
+    case IsaLevel::Scalar: return st.isaScalar;
+    case IsaLevel::Neon: return st.isaNeon;
+    case IsaLevel::Avx2: return st.isaAvx2;
+    case IsaLevel::Avx512: return st.isaAvx512;
+    }
+    return 0;
+}
+
+/**
+ * Differential suite over one compiled ISA level. Skips (with a
+ * notice in the test output) when the host CPU cannot execute the
+ * level — e.g. the AVX-512 instantiation on an AVX2-only runner.
+ */
+class KernelEngineIsa : public ::testing::TestWithParam<IsaLevel>
+{
+  protected:
+    void SetUp() override
+    {
+        if (!engine::isa::cpuSupports(engine::isa::hostCpuFeatures(),
+                                      GetParam()))
+            GTEST_SKIP() << "host CPU cannot execute "
+                         << engine::isaName(GetParam());
+    }
+
+    /** Optimized-tier config pinned to the parameterized ISA. */
+    EngineConfig
+    optCfg() const
+    {
+        return {.tier = KernelTier::Optimized, .isa = GetParam()};
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    CompiledIsas, KernelEngineIsa,
+    ::testing::ValuesIn(engine::isa::compiledIsaLevels().begin(),
+                        engine::isa::compiledIsaLevels().end()),
+    [](const ::testing::TestParamInfo<IsaLevel> &info) {
+        return std::string(engine::isaName(info.param));
+    });
+
+TEST_P(KernelEngineIsa, SddmmMatchesOracleAcrossSparsities)
+{
+    const KernelEngine opt(optCfg());
     Rng rng(7);
     const auto q = Matrix::randomNormal(196, 64, rng);
     const auto k = Matrix::randomNormal(196, 64, rng);
@@ -116,14 +172,15 @@ TEST(KernelEngine, SddmmMatchesOracleAcrossSparsities)
     }
 }
 
-TEST(KernelEngine, CscAndCsrSddmmPathsAgreeBitwise)
+TEST_P(KernelEngineIsa, CscAndCsrSddmmPathsAgreeBitwise)
 {
-    // Same dot4 inner loop, different traversal order: results must
-    // be bitwise identical, not merely close.
-    const KernelEngine always_csc({.mode = DispatchMode::Optimized,
-                                   .cscSparsityThreshold = 0.0});
-    const KernelEngine never_csc({.mode = DispatchMode::Optimized,
-                                  .cscSparsityThreshold = 2.0});
+    // Same dot inner loop, different traversal order: results must
+    // be bitwise identical per ISA, not merely close.
+    EngineConfig cfg = optCfg();
+    cfg.cscSparsityThreshold = 0.0;
+    const KernelEngine always_csc(cfg);
+    cfg.cscSparsityThreshold = 2.0;
+    const KernelEngine never_csc(cfg);
     Rng rng(11);
     const auto q = Matrix::randomNormal(128, 48, rng);
     const auto k = Matrix::randomNormal(128, 48, rng);
@@ -139,9 +196,9 @@ TEST(KernelEngine, CscAndCsrSddmmPathsAgreeBitwise)
     EXPECT_EQ(always_csc.stats().sddmmCsr, 0u);
 }
 
-TEST(KernelEngine, MaskedSoftmaxMatchesOracle)
+TEST_P(KernelEngineIsa, MaskedSoftmaxMatchesOracle)
 {
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(13);
     const auto q = Matrix::randomNormal(196, 64, rng);
     const auto k = Matrix::randomNormal(196, 64, rng);
@@ -164,9 +221,9 @@ TEST(KernelEngine, MaskedSoftmaxMatchesOracle)
     }
 }
 
-TEST(KernelEngine, SpmmMatchesOracle)
+TEST_P(KernelEngineIsa, SpmmMatchesOracle)
 {
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(17);
     const auto q = Matrix::randomNormal(196, 64, rng);
     const auto k = Matrix::randomNormal(196, 64, rng);
@@ -178,9 +235,9 @@ TEST(KernelEngine, SpmmMatchesOracle)
     }
 }
 
-TEST(KernelEngine, FusedSparseAttentionMatchesComposedOracle)
+TEST_P(KernelEngineIsa, FusedSparseAttentionMatchesComposedOracle)
 {
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(19);
     const auto q = Matrix::randomNormal(196, 64, rng);
     const auto k = Matrix::randomNormal(196, 64, rng);
@@ -194,20 +251,27 @@ TEST(KernelEngine, FusedSparseAttentionMatchesComposedOracle)
     }
 }
 
-TEST(KernelEngine, GemmMatchesOracleBitwise)
+TEST_P(KernelEngineIsa, GemmMatchesOracle)
 {
-    // Identical accumulation order (ascending k per output element):
-    // the blocked path must be bit-for-bit the reference.
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(23);
     const auto a = Matrix::randomNormal(197, 384, rng);
     const auto b = Matrix::randomNormal(384, 384, rng);
-    EXPECT_TRUE(opt.gemm(a, b) == gemm(a, b));
+    const auto ref = gemm(a, b);
+    const auto got = opt.gemm(a, b);
+    if (GetParam() == IsaLevel::Scalar) {
+        // Identical accumulation order (ascending k per output
+        // element) without FMA contraction: the scalar blocked path
+        // must be bit-for-bit the reference.
+        EXPECT_TRUE(got == ref);
+    } else {
+        expectMatrixClose(got, ref, "gemm");
+    }
 }
 
-TEST(KernelEngine, GemmTransBMatchesOracle)
+TEST_P(KernelEngineIsa, GemmTransBMatchesOracle)
 {
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(29);
     const auto a = Matrix::randomNormal(197, 64, rng);
     const auto b = Matrix::randomNormal(197, 64, rng);
@@ -215,14 +279,35 @@ TEST(KernelEngine, GemmTransBMatchesOracle)
                       "gemmTransB");
 }
 
-TEST(KernelEngine, ParallelRunsAreBitwiseDeterministic)
+TEST_P(KernelEngineIsa, RaggedWidthsMatchOracle)
+{
+    // Odd feature dims exercise every SIMD tail path (masked loads
+    // on AVX-512, scalar remainders elsewhere): 1 below/above the
+    // 8- and 16-lane widths plus a sub-vector dim.
+    const KernelEngine opt(optCfg());
+    Rng rng(33);
+    for (size_t d : {3u, 7u, 9u, 15u, 17u, 31u}) {
+        const auto q = Matrix::randomNormal(64, d, rng);
+        const auto k = Matrix::randomNormal(64, d, rng);
+        const auto v = Matrix::randomNormal(64, d, rng);
+        const auto mask = randomMask(64, 0.8, rng);
+        const auto ref = spmm(
+            maskedSoftmaxRows(sddmm(q, k, mask, 0.5f)), v);
+        expectMatrixClose(opt.sparseAttention(q, k, v, mask, 0.5f),
+                          ref, "ragged sparseAttention");
+        expectMatrixClose(opt.gemmTransB(q, k), gemmTransB(q, k),
+                          "ragged gemmTransB");
+    }
+}
+
+TEST_P(KernelEngineIsa, ParallelRunsAreBitwiseDeterministic)
 {
     ThreadPool pool(4);
-    const KernelEngine par({.mode = DispatchMode::Optimized,
-                            .rowPanel = 8,
-                            .minParallelMacs = 1},
-                           &pool);
-    const KernelEngine ser({.mode = DispatchMode::Optimized});
+    EngineConfig cfg = optCfg();
+    cfg.rowPanel = 8;
+    cfg.minParallelMacs = 1;
+    const KernelEngine par(cfg, &pool);
+    const KernelEngine ser(optCfg());
     Rng rng(31);
     const auto q = Matrix::randomNormal(196, 64, rng);
     const auto k = Matrix::randomNormal(196, 64, rng);
@@ -237,43 +322,32 @@ TEST(KernelEngine, ParallelRunsAreBitwiseDeterministic)
     EXPECT_GT(par.stats().parallelLaunches, 0u);
 }
 
-TEST(KernelEngine, AutoModeDispatchesBySize)
+TEST_P(KernelEngineIsa, VariantAndLaunchCountersReportThisIsa)
 {
-    const KernelEngine eng{EngineConfig{}};
+    const KernelEngine opt(optCfg());
+    EXPECT_EQ(opt.variant(),
+              (engine::KernelVariant{KernelTier::Optimized,
+                                     GetParam()}));
     Rng rng(37);
-    // Tiny: reference path.
-    const auto a_small = Matrix::randomNormal(4, 4, rng);
-    const auto b_small = Matrix::randomNormal(4, 4, rng);
-    (void)eng.gemm(a_small, b_small);
-    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
-    EXPECT_EQ(eng.stats().gemmReference, 1u);
-    // Big: optimized path.
-    const auto a_big = Matrix::randomNormal(196, 384, rng);
-    const auto b_big = Matrix::randomNormal(384, 384, rng);
-    (void)eng.gemm(a_big, b_big);
-    EXPECT_EQ(eng.stats().gemmOptimized, 1u);
+    const auto q = Matrix::randomNormal(128, 64, rng);
+    const auto k = Matrix::randomNormal(128, 64, rng);
+    const auto v = Matrix::randomNormal(128, 64, rng);
+    const auto mask = randomMask(128, 0.9, rng);
+    (void)opt.sparseAttention(q, k, v, mask, 0.125f);
 
-    eng.resetStats();
-    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
+    const DispatchStats st = opt.stats();
+    // Fused attention = one SDDMM + one softmax + one SpMM launch,
+    // all on the pinned ISA.
+    EXPECT_EQ(isaLaunches(st, GetParam()), 3u);
+    for (IsaLevel other : engine::isa::compiledIsaLevels())
+        if (other != GetParam())
+            EXPECT_EQ(isaLaunches(st, other), 0u)
+                << engine::isaName(other);
 }
 
-TEST(KernelEngine, ReferenceModePinsTheOracle)
+TEST_P(KernelEngineIsa, EmptyAndFullMasksAreHandled)
 {
-    const KernelEngine ref({.mode = DispatchMode::Reference});
-    Rng rng(41);
-    const auto q = Matrix::randomNormal(64, 32, rng);
-    const auto k = Matrix::randomNormal(64, 32, rng);
-    const auto mask = randomMask(64, 0.9, rng);
-    const auto a = ref.sddmm(q, k, mask, 1.0f);
-    const auto b = sddmm(q, k, mask, 1.0f);
-    EXPECT_EQ(a.values(), b.values());
-    EXPECT_EQ(ref.stats().sddmmReference, 1u);
-    EXPECT_EQ(ref.stats().sddmmCsr + ref.stats().sddmmCsc, 0u);
-}
-
-TEST(KernelEngine, EmptyAndFullMasksAreHandled)
-{
-    const KernelEngine opt({.mode = DispatchMode::Optimized});
+    const KernelEngine opt(optCfg());
     Rng rng(43);
     const auto q = Matrix::randomNormal(16, 8, rng);
     const auto k = Matrix::randomNormal(16, 8, rng);
@@ -290,6 +364,81 @@ TEST(KernelEngine, EmptyAndFullMasksAreHandled)
     const auto ref = spmm(maskedSoftmaxRows(sddmm(q, k, full, 1.0f)), v);
     expectMatrixClose(opt.sparseAttention(q, k, v, full, 1.0f), ref,
                       "full mask");
+}
+
+TEST(KernelEngine, AutoTierDispatchesBySize)
+{
+    // ISA pinned to Scalar so the counter assertions below are
+    // host-independent; the Auto-picks-highest-ISA behavior is
+    // covered by test_isa_dispatch.cpp.
+    const KernelEngine eng({.isa = IsaLevel::Scalar});
+    Rng rng(37);
+    // Tiny: reference path.
+    const auto a_small = Matrix::randomNormal(4, 4, rng);
+    const auto b_small = Matrix::randomNormal(4, 4, rng);
+    (void)eng.gemm(a_small, b_small);
+    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
+    EXPECT_EQ(eng.stats().gemmReference, 1u);
+    EXPECT_EQ(eng.stats().isaScalar, 0u); // reference launch: no ISA
+    // Big: optimized path.
+    const auto a_big = Matrix::randomNormal(196, 384, rng);
+    const auto b_big = Matrix::randomNormal(384, 384, rng);
+    (void)eng.gemm(a_big, b_big);
+    EXPECT_EQ(eng.stats().gemmOptimized, 1u);
+    EXPECT_EQ(eng.stats().isaScalar, 1u);
+
+    eng.resetStats();
+    EXPECT_EQ(eng.stats().gemmOptimized, 0u);
+}
+
+TEST(KernelEngine, ReferenceTierPinsTheOracle)
+{
+    const KernelEngine ref({.tier = KernelTier::Reference});
+    EXPECT_EQ(ref.variant(),
+              (engine::KernelVariant{KernelTier::Reference,
+                                     IsaLevel::Scalar}));
+    Rng rng(41);
+    const auto q = Matrix::randomNormal(64, 32, rng);
+    const auto k = Matrix::randomNormal(64, 32, rng);
+    const auto mask = randomMask(64, 0.9, rng);
+    const auto a = ref.sddmm(q, k, mask, 1.0f);
+    const auto b = sddmm(q, k, mask, 1.0f);
+    EXPECT_EQ(a.values(), b.values());
+    EXPECT_EQ(ref.stats().sddmmReference, 1u);
+    EXPECT_EQ(ref.stats().sddmmCsr + ref.stats().sddmmCsc, 0u);
+}
+
+TEST(KernelEngine, ForceIsaRetargetsALiveEngine)
+{
+    KernelEngine eng({.tier = KernelTier::Optimized});
+    const IsaLevel applied = eng.forceIsa(IsaLevel::Scalar);
+    EXPECT_EQ(applied, IsaLevel::Scalar);
+    EXPECT_EQ(eng.isaLevel(), IsaLevel::Scalar);
+
+    Rng rng(47);
+    const auto a = Matrix::randomNormal(64, 64, rng);
+    const auto b = Matrix::randomNormal(64, 64, rng);
+    (void)eng.gemm(a, b);
+    EXPECT_EQ(eng.stats().isaScalar, 1u);
+
+    // Forcing the host's best level is always satisfiable exactly.
+    const IsaLevel best = engine::isa::resolveIsa(
+        std::nullopt, engine::isa::hostCpuFeatures(), nullptr);
+    EXPECT_EQ(eng.forceIsa(best), best);
+    EXPECT_EQ(eng.variant().isa, best);
+}
+
+TEST(KernelEngine, DispatchStatsDifferenceIsCounterWise)
+{
+    DispatchStats a, b;
+    a.gemmOptimized = 5;
+    a.isaAvx2 = 7;
+    b.gemmOptimized = 2;
+    b.isaAvx2 = 3;
+    const DispatchStats d = a - b;
+    EXPECT_EQ(d.gemmOptimized, 3u);
+    EXPECT_EQ(d.isaAvx2, 4u);
+    EXPECT_EQ(d.sddmmCsr, 0u);
 }
 
 } // namespace
