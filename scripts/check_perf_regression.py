@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the kernel engine (CI: perf-smoke job).
+"""Perf-regression gate for JSON bench output (CI: perf-smoke job).
 
-Compares `bench_engine --json` output (one JSON object per line)
-against the checked-in baseline, row by row:
+Compares a bench's --json output (one JSON object per line) against
+the checked-in baseline, row by row:
 
     python3 scripts/check_perf_regression.py \
         --baseline bench/baselines/engine_baseline.json \
@@ -10,17 +10,26 @@ against the checked-in baseline, row by row:
 
 A baseline row matches a current row when every identity key
 (bench, kernel, n, d, sparsity, threads, isa) agrees. For each
-matched row the gate requires
+matched row the gate checks the baseline row's "metric" field
+(default "speedup") in the current row. The default mode is
+relative, higher-is-better:
 
     current[metric] >= baseline[metric] * (1 - tolerance)
 
-where `metric` is the baseline row's "metric" field (default
-"speedup"; per-ISA rows also carry "isa_speedup" — the ratio of the
-optimized-scalar tier to the vectorized tier). When the baseline
-row carries `min_speedup`, the absolute floor
-`current[metric] >= min_speedup` applies as well (the acceptance
-criterion, e.g. AVX2 >= 3x over optimized scalar for sparse
-attention at 90% sparsity, threads=1).
+Baseline row options:
+
+  "direction": "lower"  — lower is better; the relative bound flips
+        to current <= base * (1 + tolerance) (e.g. p99 latency).
+  "min_value" / "max_value" — absolute floor/ceiling applied on top
+        of the relative bound ("min_speedup" is a legacy alias of
+        min_value; e.g. AVX2 >= 3x over optimized scalar for sparse
+        attention at 90% sparsity, threads=1).
+  "gate": "absolute"    — skip the relative check entirely; only
+        min_value/max_value apply. Use for metrics whose absolute
+        level is the contract and whose run-to-run spread exceeds
+        any sensible relative tolerance (e.g. the serving soak's
+        shed_rate, which must merely stay in its working band on
+        runners of very different speeds).
 
 ISA coverage depends on the runner: bench_engine emits a row with
 "skipped": 1 for every level compiled into the binary that the host
@@ -59,7 +68,7 @@ def load_current(path):
                 row = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if "speedup" in row or row.get("skipped"):
+            if "bench" in row or row.get("skipped"):
                 rows[row_identity(row)] = row
     return rows
 
@@ -106,19 +115,42 @@ def main():
             skips.append(f"{label}: {reason}")
             continue
         metric = brow.get("metric", "speedup")
-        base = float(brow[metric])
-        floor = base * (1.0 - tolerance)
-        if "min_speedup" in brow:
-            floor = max(floor, float(brow["min_speedup"]))
+        if metric not in crow:
+            print(f"{label:<58} {'-':>6} {'-':>6} {'MISSING':>7}  FAIL")
+            failures.append(f"{label}: current row lacks '{metric}'")
+            continue
+        lower_better = brow.get("direction") == "lower"
+        relative = brow.get("gate") != "absolute"
+        base = float(brow[metric]) if metric in brow else None
+
+        floor = -float("inf")
+        ceiling = float("inf")
+        if relative and base is not None:
+            if lower_better:
+                ceiling = base * (1.0 + tolerance)
+            else:
+                floor = base * (1.0 - tolerance)
+        for k in ("min_speedup", "min_value"):
+            if k in brow:
+                floor = max(floor, float(brow[k]))
+        if "max_value" in brow:
+            ceiling = min(ceiling, float(brow["max_value"]))
+
         now = float(crow[metric])
-        ok = now >= floor
+        ok = floor <= now <= ceiling
+        bound = ceiling if lower_better or ceiling < float("inf") \
+            else floor
         print(
-            f"{label:<58} {base:>6.2f} {floor:>6.2f} {now:>7.2f}  "
-            f"{'ok' if ok else 'FAIL'}"
+            f"{label:<58} "
+            f"{base if base is not None else float('nan'):>6.2f} "
+            f"{bound:>6.2f} {now:>7.2f}  {'ok' if ok else 'FAIL'}"
         )
         if not ok:
+            side = "<" if now < floor else ">"
+            limit = floor if now < floor else ceiling
             failures.append(
-                f"{label}: {metric} {now:.2f} < floor {floor:.2f}"
+                f"{label}: {metric} {now:.3f} {side} bound "
+                f"{limit:.3f}"
             )
 
     if skips:

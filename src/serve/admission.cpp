@@ -1,0 +1,88 @@
+#include "serve/admission.h"
+
+#include "common/logging.h"
+
+namespace vitcod::serve {
+
+const char *
+admissionDecisionName(AdmissionDecision d)
+{
+    switch (d) {
+    case AdmissionDecision::Admit: return "admit";
+    case AdmissionDecision::Deprioritize: return "deprioritize";
+    case AdmissionDecision::Shed: return "shed";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig cfg,
+                                         size_t workers)
+    : cfg_(std::move(cfg)),
+      workers_(static_cast<double>(workers ? workers : 1))
+{
+    VITCOD_ASSERT(cfg_.shedMultiplier >= 1.0,
+                  "shedMultiplier must be >= 1");
+}
+
+AdmissionDecision
+AdmissionController::decide(const std::string &plan_key,
+                            double service_seconds)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    const double slo = [&] {
+        auto it = cfg_.planSloSeconds.find(plan_key);
+        return it != cfg_.planSloSeconds.end()
+                   ? it->second
+                   : cfg_.defaultSloSeconds;
+    }();
+
+    AdmissionDecision d = AdmissionDecision::Admit;
+    if (cfg_.enabled && slo > 0) {
+        const double predictedExit =
+            backlog_ / workers_ + service_seconds;
+        if (predictedExit > slo * cfg_.shedMultiplier)
+            d = AdmissionDecision::Shed;
+        else if (predictedExit > slo)
+            d = AdmissionDecision::Deprioritize;
+    }
+    if (d != AdmissionDecision::Shed) {
+        backlog_ += service_seconds;
+        ++inflight_;
+    }
+    return d;
+}
+
+void
+AdmissionController::release(double service_seconds)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    backlog_ -= service_seconds;
+    if (backlog_ < 0) // float drift over millions of releases
+        backlog_ = 0;
+    if (inflight_ > 0)
+        --inflight_;
+}
+
+double
+AdmissionController::backlogSeconds() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return backlog_;
+}
+
+uint64_t
+AdmissionController::inflight() const
+{
+    std::lock_guard<std::mutex> g(lock_);
+    return inflight_;
+}
+
+double
+AdmissionController::sloFor(const std::string &plan_key) const
+{
+    auto it = cfg_.planSloSeconds.find(plan_key);
+    return it != cfg_.planSloSeconds.end() ? it->second
+                                           : cfg_.defaultSloSeconds;
+}
+
+} // namespace vitcod::serve

@@ -24,8 +24,10 @@ schedulerPolicyByName(const std::string &name)
         return SchedulerPolicy::SizeBucketed;
     if (name == "priority")
         return SchedulerPolicy::Priority;
+    if (name == "continuous")
+        return SchedulerPolicy::Continuous;
     fatal("unknown scheduler policy '", name,
-          "' (expected fifo|bucketed|priority)");
+          "' (expected fifo|bucketed|priority|continuous)");
 }
 
 const char *
@@ -35,6 +37,7 @@ schedulerPolicyName(SchedulerPolicy p)
     case SchedulerPolicy::Fifo: return "fifo";
     case SchedulerPolicy::SizeBucketed: return "bucketed";
     case SchedulerPolicy::Priority: return "priority";
+    case SchedulerPolicy::Continuous: return "continuous";
     }
     return "?";
 }
@@ -61,6 +64,24 @@ BatchScheduler::submit(InferenceRequest req)
         queue_.push_back(std::move(req));
     }
     cv_.notify_one();
+}
+
+std::vector<InferenceRequest>
+BatchScheduler::takeMatching(const PlanKey &key, size_t limit)
+{
+    std::vector<InferenceRequest> taken;
+    size_t w = 0;
+    for (size_t r = 0; r < queue_.size(); ++r) {
+        if (taken.size() < limit && queue_[r].key == key) {
+            taken.push_back(std::move(queue_[r]));
+        } else {
+            if (w != r)
+                queue_[w] = std::move(queue_[r]);
+            ++w;
+        }
+    }
+    queue_.resize(w);
+    return taken;
 }
 
 std::optional<Batch>
@@ -115,15 +136,7 @@ BatchScheduler::formBucketed(double now, bool flush)
     Batch b;
     b.key = *pick;
     b.formedSeconds = now;
-    for (auto it = queue_.begin();
-         it != queue_.end() && b.requests.size() < cfg_.maxBatch;) {
-        if (it->key == b.key) {
-            b.requests.push_back(std::move(*it));
-            it = queue_.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    b.requests = takeMatching(b.key, cfg_.maxBatch);
     return b;
 }
 
@@ -156,23 +169,63 @@ BatchScheduler::formPriority(double now)
     if (members.size() > cfg_.maxBatch)
         members.resize(cfg_.maxBatch);
 
-    for (size_t idx : members)
-        b.requests.push_back(queue_[idx]);
-
-    std::sort(members.begin(), members.end(),
-              std::greater<size_t>());
-    for (size_t idx : members)
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Move the selected requests out in priority order, then compact
+    // the survivors in one pass: O(n) moves, zero request copies.
+    std::vector<char> selected(queue_.size(), 0);
+    b.requests.reserve(members.size());
+    for (size_t idx : members) {
+        b.requests.push_back(std::move(queue_[idx]));
+        selected[idx] = 1;
+    }
+    size_t w = 0;
+    for (size_t r = 0; r < queue_.size(); ++r) {
+        if (selected[r])
+            continue;
+        if (w != r)
+            queue_[w] = std::move(queue_[r]);
+        ++w;
+    }
+    queue_.resize(w);
     return b;
 }
 
 std::optional<Batch>
-BatchScheduler::formBatch(double now, bool flush)
+BatchScheduler::formContinuous(double now, const PlanKey *affinity)
+{
+    if (queue_.empty())
+        return std::nullopt;
+
+    // Refill with the worker's resident plan when possible (no
+    // weight reload), unless the head of the queue is starving —
+    // then arrival order wins — or the plan has no queued requests.
+    const PlanKey *plan = &queue_.front().key;
+    if (affinity &&
+        now - queue_.front().submitSeconds <= cfg_.maxWaitSeconds) {
+        for (const auto &r : queue_) {
+            if (r.key == *affinity) {
+                plan = affinity;
+                break;
+            }
+        }
+    }
+
+    Batch b;
+    b.key = *plan;
+    b.formedSeconds = now;
+    b.requests = takeMatching(b.key, cfg_.maxBatch);
+    return b;
+}
+
+std::optional<Batch>
+BatchScheduler::formBatch(double now, bool flush,
+                          const PlanKey *affinity)
 {
     switch (cfg_.policy) {
     case SchedulerPolicy::Fifo: return formFifo(now);
     case SchedulerPolicy::SizeBucketed: return formBucketed(now, flush);
     case SchedulerPolicy::Priority: return formPriority(now);
+    case SchedulerPolicy::Continuous:
+        return formContinuous(now, affinity);
     }
     return std::nullopt;
 }
@@ -196,18 +249,18 @@ BatchScheduler::nextDeadline() const
 }
 
 std::optional<Batch>
-BatchScheduler::nextBatch()
+BatchScheduler::nextBatch(const PlanKey *affinity)
 {
     std::lock_guard<std::mutex> g(lock_);
-    return formBatch(cfg_.clock(), stopped_);
+    return formBatch(cfg_.clock(), stopped_, affinity);
 }
 
 std::optional<Batch>
-BatchScheduler::waitBatch()
+BatchScheduler::waitBatch(const PlanKey *affinity)
 {
     std::unique_lock<std::mutex> g(lock_);
     for (;;) {
-        auto b = formBatch(cfg_.clock(), stopped_);
+        auto b = formBatch(cfg_.clock(), stopped_, affinity);
         if (b) {
             if (!queue_.empty())
                 cv_.notify_one();

@@ -12,7 +12,16 @@
  *    when their oldest request has waited maxWaitSeconds (bounded
  *    staleness — the classic batching throughput/latency knob);
  *  - Priority: highest priority first (ties by arrival), batched
- *    with same-plan same-or-lower-priority requests.
+ *    with same-plan same-or-lower-priority requests;
+ *  - Continuous: in-flight batching — a freed worker immediately
+ *    pulls whatever is queued (never waits on a bucket boundary),
+ *    preferring its *current* plan so the scheduler tops up an
+ *    executing plan's next batch with requests that arrived while
+ *    the previous one ran (no weight reload), and falling back to
+ *    the oldest queued request's plan. A starvation guard bounds
+ *    the affinity bias: once the head of the queue has waited
+ *    longer than maxWaitSeconds, arrival order wins over plan
+ *    affinity.
  *
  * Time is injected through a clock callable so unit tests drive
  * batch formation deterministically; the server passes its epoch
@@ -36,9 +45,12 @@
 namespace vitcod::serve {
 
 /** Batch formation policy. */
-enum class SchedulerPolicy { Fifo, SizeBucketed, Priority };
+enum class SchedulerPolicy { Fifo, SizeBucketed, Priority, Continuous };
 
-/** Parse "fifo" / "bucketed" / "priority"; fatal() otherwise. */
+/**
+ * Parse "fifo" / "bucketed" / "priority" / "continuous"; fatal()
+ * otherwise.
+ */
 SchedulerPolicy schedulerPolicyByName(const std::string &name);
 
 /** Printable policy name. */
@@ -78,17 +90,18 @@ class BatchScheduler
     /**
      * Form the next batch per policy, or nullopt when nothing is
      * dispatchable right now. Non-blocking; deterministic given the
-     * injected clock.
+     * injected clock. @p affinity is the calling worker's resident
+     * plan (nullptr = none); only the Continuous policy uses it.
      */
-    std::optional<Batch> nextBatch();
+    std::optional<Batch> nextBatch(const PlanKey *affinity = nullptr);
 
     /**
      * Block until a batch can be formed, a bucket deadline expires,
      * or stop() drains the queue. Returns nullopt only when stopped
      * *and* empty — pending requests are flushed out as batches
-     * first, ignoring deadlines.
+     * first, ignoring deadlines. @p affinity as in nextBatch().
      */
-    std::optional<Batch> waitBatch();
+    std::optional<Batch> waitBatch(const PlanKey *affinity = nullptr);
 
     /** Stop admission of waiters; pending work is still drained. */
     void stop();
@@ -102,11 +115,22 @@ class BatchScheduler
 
   private:
     /** Policy dispatch; @p flush ignores bucket deadlines. */
-    std::optional<Batch> formBatch(double now, bool flush);
+    std::optional<Batch> formBatch(double now, bool flush,
+                                   const PlanKey *affinity);
 
     std::optional<Batch> formFifo(double now);
     std::optional<Batch> formBucketed(double now, bool flush);
     std::optional<Batch> formPriority(double now);
+    std::optional<Batch> formContinuous(double now,
+                                        const PlanKey *affinity);
+
+    /**
+     * Move up to @p limit requests of @p key out of the queue (in
+     * arrival order) and compact the remainder in the same single
+     * pass — O(n) moves, zero request copies.
+     */
+    std::vector<InferenceRequest> takeMatching(const PlanKey &key,
+                                               size_t limit);
 
     /**
      * Earliest bucket deadline, or +inf. Only meaningful for

@@ -42,6 +42,19 @@ struct InferenceRequest
     PlanKey key;
     int priority = 0;        //!< higher runs earlier (Priority policy)
     double submitSeconds = 0; //!< server-epoch wall time of admission
+
+    /**
+     * The plan's schedule-derived per-request simulated latency
+     * (CompiledPlan::simEstimate) the request was admitted under.
+     * The admission controller charges this to its backlog at
+     * admit time and releases exactly the same value at
+     * completion, so the backlog never drifts even if the plan
+     * recompiles mid-flight with a different estimate.
+     */
+    double predictedServiceSeconds = 0;
+
+    /** True when admission demoted the request into its grace band. */
+    bool deprioritized = false;
 };
 
 /** Completion record for one request. */
@@ -62,6 +75,10 @@ struct InferenceResponse
     Seconds simBatchSeconds = 0;
     /** Simulated energy of this request's share of the batch. */
     double energyJoules = 0;
+    /** Echo of InferenceRequest::predictedServiceSeconds. */
+    double predictedServiceSeconds = 0;
+    /** Echo of InferenceRequest::deprioritized. */
+    bool deprioritized = false;
 };
 
 } // namespace vitcod::serve

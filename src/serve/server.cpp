@@ -36,6 +36,7 @@ InferenceServer::InferenceServer(
       cache_(cfg_.hw, cfg_.planCacheCapacity),
       scheduler_(withClock(cfg_.scheduler,
                            [this] { return nowSeconds(); })),
+      admission_(cfg_.admission, cfg_.backends.size()),
       userCallback_(std::move(on_response))
 {
     VITCOD_ASSERT(!cfg_.backends.empty(),
@@ -48,7 +49,7 @@ InferenceServer::InferenceServer(
     pool_ = std::make_unique<WorkerPool>(
         std::move(backends), scheduler_, cache_, stats_,
         [this](const InferenceResponse &r) { onComplete(r); },
-        [this] { return nowSeconds(); });
+        [this] { return nowSeconds(); }, cfg_.realtimeFactor);
     pool_->start();
 
     if (!cfg_.traceOutPath.empty())
@@ -74,13 +75,37 @@ InferenceServer::submit(const PlanKey &key, int priority)
                   "submit() after shutdown()");
     VITCOD_TRACE_SPAN("submit", "serve");
     // Admission-time plan resolution: compiles on first sight of the
-    // task, shares the cached plan on every request after.
-    cache_.get(key);
+    // task, shares the cached plan on every request after. The
+    // plan's schedule-priced simEstimate is also the admission
+    // controller's service-time predictor.
+    const auto cp = cache_.get(key);
+    const double service = cp->simEstimate.seconds;
+
+    const AdmissionDecision decision =
+        admission_.decide(key.str(), service);
+    stats_.recordAdmission(decision);
+    if (decision == AdmissionDecision::Shed) {
+        obs::metrics()
+            .counter("vitcod_serve_requests_shed_total",
+                     "Requests rejected by SLO admission control")
+            .inc();
+        return 0;
+    }
+    if (decision == AdmissionDecision::Deprioritize) {
+        priority -= cfg_.admission.deprioritizeDelta;
+        obs::metrics()
+            .counter("vitcod_serve_requests_deprioritized_total",
+                     "Requests admitted in the SLO grace band")
+            .inc();
+    }
 
     InferenceRequest req;
     req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     req.key = key;
     req.priority = priority;
+    req.predictedServiceSeconds = service;
+    req.deprioritized =
+        decision == AdmissionDecision::Deprioritize;
 
     const uint64_t id = req.id;
     submitted_.fetch_add(1, std::memory_order_acq_rel);
@@ -106,6 +131,10 @@ InferenceServer::submit(const PlanKey &key, int priority)
 void
 InferenceServer::onComplete(const InferenceResponse &resp)
 {
+    // Retire the request's predicted service time from the
+    // admission backlog before anything else: the next submit's
+    // queue-exit prediction must see the freed capacity.
+    admission_.release(resp.predictedServiceSeconds);
     if (userCallback_)
         userCallback_(resp);
     {

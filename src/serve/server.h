@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/admission.h"
 #include "serve/backend.h"
 #include "serve/batch_scheduler.h"
 #include "serve/plan_cache.h"
@@ -49,6 +50,24 @@ struct ServerConfig
 
     /** Batch formation policy and knobs (clock is overridden). */
     SchedulerConfig scheduler;
+
+    /**
+     * SLO-aware admission control (disabled by default): predicts
+     * each request's queue-exit latency from the plan's simEstimate
+     * and the current backlog, and admits / deprioritizes / sheds
+     * against the per-plan SLO. Shed requests are counted in
+     * ServerStats and the obs metrics registry; submit() returns 0
+     * for them. See docs/SERVING.md.
+     */
+    AdmissionConfig admission;
+
+    /**
+     * When > 0, workers pace each batch to simSeconds * factor of
+     * wall time, giving the pool a finite wall-clock capacity (the
+     * soak harness uses this to create real overload). 0 = run the
+     * simulators flat out.
+     */
+    double realtimeFactor = 0.0;
 
     /** Plan cache capacity; 0 = unbounded. */
     size_t planCacheCapacity = 0;
@@ -96,8 +115,10 @@ class InferenceServer
     void warmup(const std::vector<PlanKey> &keys);
 
     /**
-     * Admit one request. Thread-safe. Returns the request id.
-     * Blocks only when @p key was never seen (plan build+compile).
+     * Offer one request. Thread-safe. Returns the request id, or 0
+     * when admission control shed the request (nothing was queued;
+     * ids start at 1). Blocks only when @p key was never seen
+     * (plan build+compile).
      */
     uint64_t submit(const PlanKey &key, int priority = 0);
 
@@ -118,6 +139,8 @@ class InferenceServer
 
     PlanCache::Stats planCacheStats() const { return cache_.stats(); }
 
+    const AdmissionController &admission() const { return admission_; }
+
     size_t queueDepth() const { return scheduler_.depth(); }
 
     size_t workers() const { return pool_->size(); }
@@ -132,6 +155,7 @@ class InferenceServer
 
     PlanCache cache_;
     BatchScheduler scheduler_;
+    AdmissionController admission_;
     ServerStats stats_;
     std::function<void(const InferenceResponse &)> userCallback_;
     std::unique_ptr<WorkerPool> pool_;

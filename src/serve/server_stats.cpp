@@ -92,10 +92,24 @@ ServerStats::sampleQueueDepth(size_t depth)
     queueDepth_.add(static_cast<double>(depth));
 }
 
+void
+ServerStats::recordAdmission(AdmissionDecision d)
+{
+    std::lock_guard<std::mutex> g(lock_);
+    switch (d) {
+    case AdmissionDecision::Admit: ++admitted_; break;
+    case AdmissionDecision::Deprioritize:
+        ++admitted_;
+        ++deprioritized_;
+        break;
+    case AdmissionDecision::Shed: ++shed_; break;
+    }
+}
+
 StatsSnapshot
 ServerStats::snapshot(double elapsed_seconds) const
 {
-    std::lock_guard<std::mutex> g(lock_);
+    std::unique_lock<std::mutex> g(lock_);
 
     StatsSnapshot s;
     s.completed = wallLatency_.size();
@@ -104,6 +118,14 @@ ServerStats::snapshot(double elapsed_seconds) const
         elapsed_seconds > 0
             ? static_cast<double>(s.completed) / elapsed_seconds
             : 0.0;
+
+    s.admitted = admitted_;
+    s.deprioritized = deprioritized_;
+    s.shed = shed_;
+    s.shedRate = (admitted_ + shed_) > 0
+                     ? static_cast<double>(shed_) /
+                           static_cast<double>(admitted_ + shed_)
+                     : 0.0;
 
     s.wallP50 = percentile(wallLatency_, 0.50);
     s.wallP95 = percentile(wallLatency_, 0.95);
@@ -161,7 +183,18 @@ ServerStats::snapshot(double elapsed_seconds) const
         }
         s.plans.push_back(std::move(pl));
     }
+    // The accumulation map is unordered (O(1) per-batch updates);
+    // sort here so snapshot/JSON output order is deterministic.
+    std::sort(s.plans.begin(), s.plans.end(),
+              [](const StatsSnapshot::PlanLatency &a,
+                 const StatsSnapshot::PlanLatency &b) {
+                  return a.key < b.key;
+              });
 
+    // Released before touching the metrics registry: it takes its
+    // own lock, and nesting it under lock_ would couple two
+    // modules' lock orders (obs callbacks may reach serve code).
+    g.unlock();
     s.metrics = obs::metrics().snapshot();
     return s;
 }

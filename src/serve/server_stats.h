@@ -19,14 +19,15 @@
 #define VITCOD_SERVE_SERVER_STATS_H
 
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "serve/admission.h"
 #include "serve/request.h"
 #include "sim/event_queue.h"
 
@@ -56,6 +57,15 @@ struct StatsSnapshot
     uint64_t completed = 0;
     double elapsedSeconds = 0;
     double throughputRps = 0;
+
+    /** @name Admission-control outcomes (all zero when disabled)
+     *  @{ */
+    uint64_t admitted = 0;      //!< incl. deprioritized
+    uint64_t deprioritized = 0; //!< admitted in the grace band
+    uint64_t shed = 0;          //!< rejected at the door
+    /** shed / (admitted + shed); 0 when no decisions were taken. */
+    double shedRate = 0;
+    /** @} */
 
     /** @name Wall-clock request latency (submit -> completion)
      *  @{ */
@@ -113,7 +123,11 @@ struct StatsSnapshot
         }
     };
 
-    /** Sorted by plan key. */
+    /**
+     * Sorted by plan key at snapshot time (the accumulation map is
+     * unordered for O(1) hot-path updates), so JSON/stats output
+     * order is deterministic run over run.
+     */
     std::vector<PlanLatency> plans;
 
     /**
@@ -155,7 +169,16 @@ class ServerStats
     /** Record an observation of the scheduler queue depth. */
     void sampleQueueDepth(size_t depth);
 
-    /** Aggregate view after @p elapsed_seconds of serving. */
+    /** Record one admission decision (admit/deprioritize/shed). */
+    void recordAdmission(AdmissionDecision d);
+
+    /**
+     * Aggregate view after @p elapsed_seconds of serving. The
+     * obs::metrics() registry snapshot is taken *after* the stats
+     * lock is released — the registry has its own locking, and
+     * nesting foreign locks under lock_ risks cross-module lock
+     * inversion.
+     */
     StatsSnapshot snapshot(double elapsed_seconds) const;
 
   private:
@@ -181,7 +204,10 @@ class ServerStats
 
     mutable std::mutex lock_;
     std::vector<BackendCounters> backends_;
-    std::map<std::string, PlanCounters> plans_;
+    std::unordered_map<std::string, PlanCounters> plans_;
+    uint64_t admitted_ = 0;
+    uint64_t deprioritized_ = 0;
+    uint64_t shed_ = 0;
     std::vector<double> wallLatency_;
     std::vector<double> queueWait_;
     std::vector<double> simService_;

@@ -1,5 +1,7 @@
 #include "serve/worker_pool.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,10 +15,11 @@ WorkerPool::WorkerPool(
     std::vector<std::unique_ptr<ServeBackend>> backends,
     BatchScheduler &scheduler, PlanCache &cache, ServerStats &stats,
     std::function<void(const InferenceResponse &)> on_complete,
-    std::function<double()> clock)
+    std::function<double()> clock, double realtime_factor)
     : backends_(std::move(backends)), scheduler_(scheduler),
       cache_(cache), stats_(stats),
-      onComplete_(std::move(on_complete)), clock_(std::move(clock))
+      onComplete_(std::move(on_complete)), clock_(std::move(clock)),
+      realtimeFactor_(realtime_factor)
 {
     VITCOD_ASSERT(!backends_.empty(), "worker pool needs >= 1 backend");
     for (size_t i = 0; i < backends_.size(); ++i)
@@ -71,7 +74,15 @@ WorkerPool::workerMain(size_t idx)
     // duration, giving busy time in the backend's clock domain.
     sim::EventQueue deviceClock;
 
-    while (auto batch = scheduler_.waitBatch()) {
+    // Continuous-batching affinity: the plan this worker executed
+    // last. The scheduler prefers topping up this plan's next batch
+    // (requests that arrived while the previous batch ran) so the
+    // worker refills in flight without a weight reload.
+    PlanKey residentPlan;
+    bool hasResident = false;
+
+    while (auto batch = scheduler_.waitBatch(
+               hasResident ? &residentPlan : nullptr)) {
         const size_t n = batch->requests.size();
 
         obs::SpanGuard batchSpan("batch", "serve", "size", double(n),
@@ -89,7 +100,19 @@ WorkerPool::workerMain(size_t idx)
             VITCOD_TRACE_SPAN("execute", "serve", "size", double(n));
             r = backend.runBatch(*cp, n);
         }
+        // Real-time pacing: occupy the worker for the batch's
+        // simulated duration (scaled), so wall-clock capacity is
+        // finite and overload behaves like a physical device.
+        if (realtimeFactor_ > 0) {
+            const double target = r.stats.seconds * realtimeFactor_;
+            const double elapsed = clock_() - t0;
+            if (target > elapsed)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(target - elapsed));
+        }
         const double t1 = clock_();
+        residentPlan = batch->key;
+        hasResident = true;
 
         deviceClock.scheduleAfter(
             secondsToCycles(r.stats.seconds, backend.freqGhz()),
@@ -122,6 +145,9 @@ WorkerPool::workerMain(size_t idx)
             resp.simBatchSeconds = r.stats.seconds;
             resp.energyJoules =
                 r.stats.energyJoules() / static_cast<double>(n);
+            resp.predictedServiceSeconds =
+                req.predictedServiceSeconds;
+            resp.deprioritized = req.deprioritized;
             stats_.recordResponse(resp);
             obs::flowEnd("request", req.id, "serve");
             completedTotal.inc();

@@ -3,7 +3,11 @@
  * The concurrent heart of the serving runtime: N worker threads,
  * each owning one ServeBackend (heterogeneous mixes allowed — e.g.
  * ViTCoD accelerators alongside a CPU platform model), drain the
- * BatchScheduler until it is stopped *and* empty. Each worker keeps
+ * BatchScheduler until it is stopped *and* empty. Workers refill
+ * continuously: as soon as one finishes a batch it asks the
+ * scheduler for the next, passing the plan it just executed as its
+ * affinity hint so the Continuous policy can top up the resident
+ * plan's next batch without a weight reload. Each worker keeps
  * a private sim::EventQueue as its virtual device clock: every
  * executed batch schedules its simulated duration there, so the
  * tick counter accumulates per-backend simulated busy time in the
@@ -40,13 +44,20 @@ class WorkerPool
      * @param on_complete Called from worker threads once per request
      *        (after stats are recorded); may be empty.
      * @param clock Shared server epoch clock (seconds).
+     * @param realtime_factor When > 0, each worker sleeps until a
+     *        batch has occupied it for simSeconds * factor of wall
+     *        time, pacing the simulated device in (scaled) real
+     *        time — this is what makes overload physical for the
+     *        soak harness instead of every simulated batch
+     *        completing instantly. 0 (default) = run flat out.
      */
     WorkerPool(std::vector<std::unique_ptr<ServeBackend>> backends,
                BatchScheduler &scheduler, PlanCache &cache,
                ServerStats &stats,
                std::function<void(const InferenceResponse &)>
                    on_complete,
-               std::function<double()> clock);
+               std::function<double()> clock,
+               double realtime_factor = 0.0);
 
     /** Joins all workers; requires the scheduler to be stopped. */
     ~WorkerPool();
@@ -71,6 +82,7 @@ class WorkerPool
     ServerStats &stats_;
     std::function<void(const InferenceResponse &)> onComplete_;
     std::function<double()> clock_;
+    double realtimeFactor_ = 0.0;
 
     /** One pool thread per backend; null until start(). */
     std::unique_ptr<linalg::engine::ThreadPool> pool_;

@@ -236,7 +236,217 @@ TEST(BatchScheduler, PolicyNamesRoundTrip)
               SchedulerPolicy::SizeBucketed);
     EXPECT_EQ(schedulerPolicyByName("priority"),
               SchedulerPolicy::Priority);
+    EXPECT_EQ(schedulerPolicyByName("continuous"),
+              SchedulerPolicy::Continuous);
     EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::Fifo), "fifo");
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::Continuous),
+                 "continuous");
+}
+
+TEST(BatchSchedulerContinuous, DispatchesEagerlyWithoutDeadline)
+{
+    // Unlike bucketed, a lone request never waits for a bucket to
+    // fill or expire: a free worker takes it immediately.
+    Harness h(SchedulerPolicy::Continuous, /*max_batch=*/8,
+              /*max_wait=*/100.0);
+    h.sched.submit(reqOf(1, "A"));
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->requests.size(), 1u);
+}
+
+TEST(BatchSchedulerContinuous, GathersPlanAcrossInterleavedArrivals)
+{
+    // Fifo would stop at the first B; continuous collects every
+    // queued A (arrival order preserved), then every B.
+    Harness h(SchedulerPolicy::Continuous);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "B"));
+    h.sched.submit(reqOf(3, "A"));
+    h.sched.submit(reqOf(4, "B"));
+    h.sched.submit(reqOf(5, "A"));
+
+    auto b1 = h.sched.nextBatch();
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "A");
+    ASSERT_EQ(b1->requests.size(), 3u);
+    EXPECT_EQ(b1->requests[0].id, 1u);
+    EXPECT_EQ(b1->requests[1].id, 3u);
+    EXPECT_EQ(b1->requests[2].id, 5u);
+
+    auto b2 = h.sched.nextBatch();
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "B");
+    EXPECT_EQ(b2->requests.size(), 2u);
+}
+
+TEST(BatchSchedulerContinuous, PrefersTheWorkersResidentPlan)
+{
+    // A worker that just ran B tops up with queued B requests (no
+    // weight reload) even though an A arrived first.
+    Harness h(SchedulerPolicy::Continuous);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "B"));
+
+    const PlanKey resident = keyOf("B");
+    auto b1 = h.sched.nextBatch(&resident);
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "B");
+
+    auto b2 = h.sched.nextBatch(&resident);
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "A");
+}
+
+TEST(BatchSchedulerContinuous, StarvationGuardOverridesAffinity)
+{
+    // Once the head of the queue has waited past maxWaitSeconds,
+    // arrival order beats plan affinity: B workers cannot starve A.
+    Harness h(SchedulerPolicy::Continuous, /*max_batch=*/8,
+              /*max_wait=*/1.0);
+    h.sched.submit(reqOf(1, "A"));
+    h.sched.submit(reqOf(2, "B"));
+
+    const PlanKey resident = keyOf("B");
+    *h.now = 1.5; // head (A) has waited 1.5 > maxWait
+    auto b = h.sched.nextBatch(&resident);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->key.model, "A");
+}
+
+TEST(BatchSchedulerContinuous, AffinityIgnoredWhenPlanNotQueued)
+{
+    Harness h(SchedulerPolicy::Continuous);
+    h.sched.submit(reqOf(1, "A"));
+    const PlanKey resident = keyOf("C"); // nothing queued for C
+    auto b = h.sched.nextBatch(&resident);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->key.model, "A");
+}
+
+TEST(BatchSchedulerContinuous, RespectsMaxBatch)
+{
+    Harness h(SchedulerPolicy::Continuous, /*max_batch=*/3);
+    for (uint64_t i = 1; i <= 7; ++i)
+        h.sched.submit(reqOf(i, "A"));
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 3u);
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 3u);
+    EXPECT_EQ(h.sched.nextBatch()->requests.size(), 1u);
+    EXPECT_EQ(h.sched.depth(), 0u);
+}
+
+/**
+ * Batch formation must *move* requests from the queue into the
+ * batch, never copy them. A copy would reallocate the (non-SSO)
+ * model string, so surviving heap pointers prove the whole
+ * submit -> queue -> batch path is copy-free — the pin for the old
+ * formPriority, which copied every selected request and then erased
+ * them one by one (O(n^2)).
+ */
+TEST(BatchScheduler, BatchFormationMovesRequestsWithoutCopying)
+{
+    const std::string longA(128, 'a'); // defeats SSO
+    const std::string longB(128, 'b');
+
+    for (const auto policy :
+         {SchedulerPolicy::Fifo, SchedulerPolicy::SizeBucketed,
+          SchedulerPolicy::Priority, SchedulerPolicy::Continuous}) {
+        Harness h(policy, /*max_batch=*/8, /*max_wait=*/0.0);
+
+        std::vector<const char *> heap;
+        for (uint64_t i = 1; i <= 6; ++i) {
+            InferenceRequest r = reqOf(
+                i, i % 2 ? longA : longB,
+                /*priority=*/static_cast<int>(i % 3));
+            heap.push_back(r.key.model.data());
+            h.sched.submit(std::move(r));
+        }
+
+        size_t matched = 0;
+        while (auto b = h.sched.nextBatch())
+            for (const auto &r : b->requests) {
+                ASSERT_GE(r.id, 1u);
+                EXPECT_EQ(r.key.model.data(), heap[r.id - 1])
+                    << schedulerPolicyName(policy) << " copied id "
+                    << r.id;
+                ++matched;
+            }
+        EXPECT_EQ(matched, 6u) << schedulerPolicyName(policy);
+    }
+}
+
+TEST(BatchSchedulerPriority, SustainedHighPriorityStarvesLow)
+{
+    // Characterization of the policy's known edge: Priority has no
+    // aging, so a sustained high-priority stream starves low
+    // priority until it pauses. (Production overload control demotes
+    // within the grace band only — see AdmissionController — so
+    // starvation is bounded by shedding, not by the scheduler.)
+    Harness h(SchedulerPolicy::Priority, /*max_batch=*/1);
+    h.sched.submit(reqOf(1, "L", 0));
+
+    uint64_t nextId = 2;
+    for (int round = 0; round < 50; ++round) {
+        h.sched.submit(reqOf(nextId++, "H", 5));
+        auto b = h.sched.nextBatch();
+        ASSERT_TRUE(b);
+        EXPECT_EQ(b->key.model, "H") << "round " << round;
+        EXPECT_EQ(h.sched.depth(), 1u); // L still waiting
+    }
+
+    // The moment the high-priority flow stops, L is served.
+    auto b = h.sched.nextBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->key.model, "L");
+    EXPECT_EQ(b->requests[0].id, 1u);
+}
+
+TEST(BatchSchedulerBucketed, MultipleDeadlinesFlushInArrivalOrder)
+{
+    // Two underfull buckets with staggered deadlines: the fake clock
+    // walks each deadline in turn and exactly one bucket flushes per
+    // expiry.
+    Harness h(SchedulerPolicy::SizeBucketed, /*max_batch=*/8,
+              /*max_wait=*/10.0);
+    h.sched.submit(reqOf(1, "A")); // deadline t=10
+    *h.now = 3.0;
+    h.sched.submit(reqOf(2, "B")); // deadline t=13
+    h.sched.submit(reqOf(3, "B"));
+
+    *h.now = 9.9;
+    EXPECT_FALSE(h.sched.nextBatch());
+
+    *h.now = 10.5; // only A has expired
+    auto b1 = h.sched.nextBatch();
+    ASSERT_TRUE(b1);
+    EXPECT_EQ(b1->key.model, "A");
+    EXPECT_FALSE(h.sched.nextBatch()); // B still under deadline
+
+    *h.now = 13.5;
+    auto b2 = h.sched.nextBatch();
+    ASSERT_TRUE(b2);
+    EXPECT_EQ(b2->key.model, "B");
+    EXPECT_EQ(b2->requests.size(), 2u);
+}
+
+TEST(BatchScheduler, WaitBatchWakesOnDeadlineExpiry)
+{
+    // Wall clock, no further submissions, no stop(): waitBatch must
+    // wake itself when the bucket's maxWaitSeconds deadline passes
+    // (timed wait), not hang until an external nudge.
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::SizeBucketed;
+    cfg.maxBatch = 8;
+    cfg.maxWaitSeconds = 0.02;
+    BatchScheduler sched(cfg);
+
+    sched.submit(reqOf(1, "A"));
+    auto b = sched.waitBatch();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->requests.size(), 1u);
+    // The request had waited out its deadline when dispatched.
+    EXPECT_GE(b->formedSeconds - b->requests[0].submitSeconds,
+              cfg.maxWaitSeconds);
 }
 
 } // namespace

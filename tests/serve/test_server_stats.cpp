@@ -200,6 +200,59 @@ TEST(ServerStats, EmptySnapshotHasNoPlansAndCarriesMetrics)
                   s.metrics.counters[i].name);
 }
 
+TEST(ServerStats, PlansAreSortedByKeyAtSnapshot)
+{
+    // The accumulation map is unordered (O(1) hot path); the
+    // snapshot must sort, so JSON/stats output is identical run over
+    // run regardless of hash order or insertion order.
+    ServerStats st;
+    st.recordPlanBatch("b", 0.01, 0.01, 1);
+    st.recordPlanBatch("a", 0.01, 0.01, 1);
+    st.recordPlanBatch("c", 0.01, 0.01, 1);
+
+    const auto s1 = st.snapshot(1.0);
+    ASSERT_EQ(s1.plans.size(), 3u);
+    EXPECT_EQ(s1.plans[0].key, "a");
+    EXPECT_EQ(s1.plans[1].key, "b");
+    EXPECT_EQ(s1.plans[2].key, "c");
+
+    // A second stats object fed in a different order snapshots to
+    // the same sequence.
+    ServerStats st2;
+    st2.recordPlanBatch("c", 0.01, 0.01, 1);
+    st2.recordPlanBatch("b", 0.01, 0.01, 1);
+    st2.recordPlanBatch("a", 0.01, 0.01, 1);
+    const auto s2 = st2.snapshot(1.0);
+    ASSERT_EQ(s2.plans.size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(s2.plans[i].key, s1.plans[i].key);
+}
+
+TEST(ServerStats, AdmissionCountersAndShedRate)
+{
+    ServerStats st;
+    for (int i = 0; i < 6; ++i)
+        st.recordAdmission(AdmissionDecision::Admit);
+    for (int i = 0; i < 2; ++i)
+        st.recordAdmission(AdmissionDecision::Deprioritize);
+    for (int i = 0; i < 2; ++i)
+        st.recordAdmission(AdmissionDecision::Shed);
+
+    const auto s = st.snapshot(1.0);
+    EXPECT_EQ(s.admitted, 8u); // deprioritized are admitted too
+    EXPECT_EQ(s.deprioritized, 2u);
+    EXPECT_EQ(s.shed, 2u);
+    EXPECT_NEAR(s.shedRate, 0.2, 1e-12);
+}
+
+TEST(ServerStats, ShedRateIsZeroWithoutDecisions)
+{
+    ServerStats st;
+    const auto s = st.snapshot(1.0);
+    EXPECT_EQ(s.admitted, 0u);
+    EXPECT_DOUBLE_EQ(s.shedRate, 0.0);
+}
+
 TEST(ServerStats, ConcurrentRecordersAreConsistent)
 {
     ServerStats st;

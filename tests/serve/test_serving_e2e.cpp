@@ -274,5 +274,133 @@ TEST(ServingE2E, ShutdownDrainsPendingWork)
     EXPECT_EQ(col.responses.size(), 10u);
 }
 
+TEST(ServingE2E, ContinuousPolicyServesEverythingOnce)
+{
+    PlanKey deit = tinyKey();
+    PlanKey levit;
+    levit.model = "LeViT-128";
+    levit.sparsity = 0.8;
+
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD", "ViTCoD"};
+    cfg.scheduler.policy = SchedulerPolicy::Continuous;
+    cfg.scheduler.maxBatch = 4;
+    cfg.scheduler.maxWaitSeconds = 1e-3;
+
+    Collector col;
+    InferenceServer server(cfg, col.callback());
+    server.warmup({deit, levit});
+
+    constexpr size_t kRequests = 120;
+    std::set<uint64_t> ids;
+    for (size_t i = 0; i < kRequests; ++i)
+        ids.insert(server.submit(i % 3 ? deit : levit));
+    server.drain();
+
+    // Exactly-once completion with valid ids (no shed: admission is
+    // off by default).
+    ASSERT_EQ(col.responses.size(), kRequests);
+    EXPECT_EQ(ids.size(), kRequests);
+    EXPECT_FALSE(ids.count(0));
+    std::set<uint64_t> doneIds;
+    for (const auto &r : col.responses) {
+        doneIds.insert(r.id);
+        EXPECT_LE(r.batchSize, 4u);
+        EXPECT_FALSE(r.deprioritized);
+        EXPECT_GT(r.predictedServiceSeconds, 0.0);
+    }
+    EXPECT_EQ(doneIds, ids);
+
+    const auto snap = server.snapshot();
+    EXPECT_EQ(snap.completed, kRequests);
+    EXPECT_EQ(snap.shed, 0u);
+    EXPECT_EQ(snap.admitted, kRequests);
+}
+
+TEST(ServingE2E, AdmissionShedsUnderRealtimeOverload)
+{
+    const PlanKey key = tinyKey();
+    const double service = PlanCache().get(key)->simEstimate.seconds;
+    ASSERT_GT(service, 0.0);
+
+    // Pace workers so one request occupies ~1ms of wall time, then
+    // submit a tight-loop burst far beyond what 2 workers can absorb
+    // within the SLO: admission must shed, and every accounting path
+    // (submit()==0, snapshot counters, traffic report) must agree.
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD", "ViTCoD"};
+    cfg.scheduler.policy = SchedulerPolicy::Continuous;
+    cfg.scheduler.maxBatch = 8;
+    cfg.realtimeFactor = 1e-3 / service;
+    cfg.admission.enabled = true;
+    cfg.admission.defaultSloSeconds = 10 * service;
+    cfg.admission.shedMultiplier = 2.0;
+
+    Collector col;
+    InferenceServer server(cfg, col.callback());
+    server.warmup({key});
+
+    constexpr size_t kRequests = 500;
+    size_t shed = 0;
+    for (size_t i = 0; i < kRequests; ++i)
+        if (server.submit(key) == 0)
+            ++shed;
+    server.drain();
+
+    // The SLO admits ~20 predicted-exit requests per worker; a
+    // 500-deep instantaneous burst must mostly shed.
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(col.responses.size(), kRequests - shed);
+
+    const auto snap = server.snapshot();
+    EXPECT_EQ(snap.shed, shed);
+    EXPECT_EQ(snap.admitted + snap.shed, kRequests);
+    EXPECT_EQ(snap.completed, kRequests - shed);
+    EXPECT_NEAR(snap.shedRate,
+                static_cast<double>(shed) / kRequests, 1e-12);
+
+    // Deprioritized (grace-band) requests carry the demoted
+    // priority and the flag end to end.
+    for (const auto &r : col.responses) {
+        if (r.deprioritized)
+            EXPECT_EQ(r.priority, -cfg.admission.deprioritizeDelta);
+    }
+
+    // Backlog fully retired once everything admitted completed.
+    EXPECT_EQ(server.admission().inflight(), 0u);
+    EXPECT_NEAR(server.admission().backlogSeconds(), 0.0, 1e-9);
+}
+
+TEST(ServingE2E, TrafficReportSeparatesOfferedAndCompletionRates)
+{
+    ServerConfig cfg;
+    cfg.backends = {"ViTCoD"};
+    cfg.scheduler.policy = SchedulerPolicy::Continuous;
+
+    InferenceServer server(cfg);
+
+    TrafficConfig traffic;
+    traffic.ratePerSec = 1e6; // burst mode: no pacing sleeps
+    traffic.requests = 100;
+    traffic.mix = {tinyKey()};
+    traffic.openLoop = false;
+
+    const TrafficReport rep = runTraffic(server, traffic);
+    EXPECT_EQ(rep.submitted, 100u);
+    EXPECT_EQ(rep.shed, 0u);
+    EXPECT_DOUBLE_EQ(rep.shedRate, 0.0);
+
+    // The submit window excludes drain time, so offered >= completion
+    // and both are self-consistent with their own denominators.
+    EXPECT_GT(rep.submitWindowSeconds, 0.0);
+    EXPECT_GE(rep.durationSeconds, rep.submitWindowSeconds);
+    EXPECT_NEAR(rep.offeredRps, 100.0 / rep.submitWindowSeconds,
+                1e-6);
+    EXPECT_NEAR(rep.completionRps, 100.0 / rep.durationSeconds,
+                1e-6);
+    EXPECT_GE(rep.offeredRps, rep.completionRps);
+    EXPECT_DOUBLE_EQ(rep.achievedRps, rep.completionRps);
+}
+
 } // namespace
 } // namespace vitcod::serve
