@@ -21,6 +21,7 @@ RunStats::operator+=(const RunStats &o)
     sramRead += o.sramRead;
     sramWrite += o.sramWrite;
     energy += o.energy;
+    pipeline += o.pipeline;
     return *this;
 }
 

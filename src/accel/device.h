@@ -18,6 +18,7 @@
 #include "common/units.h"
 #include "core/pipeline.h"
 #include "sim/energy.h"
+#include "sim/pipeline_model.h"
 
 namespace vitcod::accel {
 
@@ -54,6 +55,11 @@ struct RunStats
 
     /** MAC-array utilization where meaningful (else 0). */
     double utilization = 0.0;
+
+    /** Per-stage busy/stall/idle cycle accounting and FIFO high
+     *  waters; only populated by runs priced under
+     *  sim::SimMode::Pipelined (zero otherwise). */
+    sim::PipelineStats pipeline;
 
     /** Total DRAM traffic. */
     Bytes dramTotal() const { return dramRead + dramWrite; }

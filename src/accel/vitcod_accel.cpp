@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 #include "model/flops.h"
+#include "obs/metrics.h"
 #include "sim/tile_scheduler.h"
 
 namespace vitcod::accel {
@@ -34,6 +36,149 @@ scheduleParams(const ViTCoDConfig &cfg)
     return p;
 }
 
+namespace {
+
+/** Dense-streaming cycles on @p use_lines denser-engine lines. */
+Cycles
+denseCycles(const ViTCoDConfig &cfg, MacOps macs, size_t use_lines)
+{
+    if (macs == 0 || use_lines == 0)
+        return 0;
+    const double ideal = static_cast<double>(
+        ceilDiv(macs, use_lines * cfg.macArray.macsPerLine));
+    return static_cast<Cycles>(std::ceil(ideal / cfg.denseEff));
+}
+
+/** GEMM cycles on the whole reused array (proj/MLP/stem phases). */
+Cycles
+gemmCycles(const ViTCoDConfig &cfg, MacOps m)
+{
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(ceilDiv(
+                      m, cfg.macArray.macLines *
+                             cfg.macArray.macsPerLine)) /
+                  cfg.gemmEff));
+}
+
+/** The attention phases of one layer as pipelined work items. */
+struct AttentionItems
+{
+    std::vector<sim::PipeItem> attn; //!< [SDDMM, softmax, SpMM]
+    sim::PipeItem prediction;        //!< NLP dynamic-mask pass
+    bool hasPrediction = false;
+};
+
+/**
+ * Build the work items both simulator modes price: the analytic
+ * path turns each into a double-buffering tile (analyticTile), the
+ * pipelined path plays them through the stage graph. One builder
+ * means the two models share every cost expression and cannot
+ * drift (pinned by tests/sim/test_pipeline_model.cpp).
+ */
+AttentionItems
+buildAttentionItems(const ViTCoDConfig &cfg,
+                    const core::schedule::LayerSchedule &ls)
+{
+    const size_t lines = cfg.macArray.macLines;
+    const size_t mpl = cfg.macArray.macsPerLine;
+    AttentionItems out;
+
+    // ---- SDDMM: Q/K/index streams + gathers feeding the denser /
+    // sparser / decoder engines racing in parallel.
+    const Cycles decode =
+        (ls.aeOn && cfg.aeLines > 0)
+            ? ceilDiv(ls.decodeMacs,
+                      static_cast<MacOps>(
+                          static_cast<double>(cfg.aeLines * mpl) *
+                          cfg.aeDecodeRate))
+            : 0;
+    sim::PipeItem sddmm;
+    sddmm.loadBytes = ls.qkLoadBytes + ls.idxBytes;
+    sddmm.gatherCount = ls.gatherMisses;
+    sddmm.gatherGrainBytes = ls.gatherRowBytes;
+    sddmm.decodeCycles = decode;
+    if (cfg.twoPronged) {
+        sddmm.denserCycles =
+            denseCycles(cfg, ls.denserSddmmMacs, ls.sddmmDenserLines);
+        sddmm.sparserCycles = ls.sddmmSparserCycles;
+    } else {
+        // Monolithic engine: dense and sparse work serialize on one
+        // lane (plus the accumulation-mode switch between them).
+        sddmm.denserCycles =
+            denseCycles(cfg, ls.denserSddmmMacs, lines) +
+            ls.sddmmSparserCycles + cfg.reconfigCycles;
+    }
+
+    // ---- Softmax over stored scores, on both engines' lanes.
+    const size_t sm_lanes =
+        cfg.softmaxLanesPerEngine * (cfg.twoPronged ? 2 : 1);
+    sim::PipeItem softmax;
+    softmax.denserCycles = ceilDiv(2 * ls.softmaxElems, sm_lanes);
+    if (cfg.twoPronged)
+        softmax.sparserCycles = softmax.denserCycles;
+
+    // ---- SpMM: V streams in, V' streams out; the inter->intra-PE
+    // reconfiguration is a serial tail after the engines join.
+    sim::PipeItem spmm;
+    spmm.loadBytes = ls.vLoadBytes;
+    spmm.storeBytes = ls.outStoreBytes;
+    spmm.syncCycles = cfg.reconfigCycles;
+    if (cfg.twoPronged) {
+        spmm.denserCycles =
+            denseCycles(cfg, ls.denserSpmmMacs, ls.spmmDenserLines);
+        spmm.sparserCycles = ls.spmmSparserCycles;
+    } else {
+        spmm.denserCycles =
+            denseCycles(cfg, ls.denserSpmmMacs, lines) +
+            ls.spmmSparserCycles;
+    }
+
+    out.attn = {sddmm, softmax, spmm};
+
+    // ---- Optional on-the-fly mask prediction (NLP mode): a serial
+    // pass that drains the pipeline before the layer starts.
+    if (cfg.dynamicMaskPrediction) {
+        out.hasPrediction = true;
+        out.prediction.denserCycles =
+            denseCycles(cfg, ls.predictMacs, lines);
+        out.prediction.syncCycles = ls.predictOverhead;
+    }
+    return out;
+}
+
+/** The dense block phases (end-to-end runs) as pipelined items. */
+std::vector<sim::PipeItem>
+buildDenseItems(const ViTCoDConfig &cfg,
+                const core::schedule::LayerSchedule &ls)
+{
+    const size_t mpl = cfg.macArray.macsPerLine;
+    const core::schedule::DenseBlockSchedule &db = ls.dense;
+
+    sim::PipeItem proj; // QKV generation, encoder overlapped on AE
+    proj.loadBytes = db.projLoadBytes;
+    proj.storeBytes = db.projStoreBytes;
+    proj.denserCycles = gemmCycles(cfg, db.projMacs);
+    proj.decodeCycles =
+        ls.aeOn ? ceilDiv(db.encodeMacs, cfg.aeLines * mpl) : 0;
+
+    sim::PipeItem outproj;
+    outproj.loadBytes = db.outProjBytes;
+    outproj.denserCycles = gemmCycles(cfg, db.outProjMacs);
+
+    sim::PipeItem mlp;
+    mlp.loadBytes = db.mlpBytes;
+    mlp.denserCycles = gemmCycles(cfg, db.mlpMacs);
+
+    sim::PipeItem ln;
+    ln.denserCycles = static_cast<Cycles>(
+        static_cast<double>(db.lnElems) /
+        static_cast<double>(cfg.softmaxLanesPerEngine * 2));
+
+    return {proj, outproj, mlp, ln};
+}
+
+} // namespace
+
 ViTCoDAccelerator::ViTCoDAccelerator(ViTCoDConfig cfg)
     : cfg_(std::move(cfg))
 {
@@ -49,10 +194,8 @@ ViTCoDAccelerator::lruQMisses(const sparse::Csc &csc, size_t window_rows)
 
 LayerAttentionStats
 ViTCoDAccelerator::priceAttentionLayer(
-    const core::schedule::LayerSchedule &ls) const
+    const core::schedule::LayerSchedule &ls, sim::SimMode mode) const
 {
-    const size_t lines = cfg_.macArray.macLines;
-    const size_t mpl = cfg_.macArray.macsPerLine;
     const sim::DramModel dram(cfg_.dram);
 
     LayerAttentionStats st;
@@ -63,77 +206,34 @@ ViTCoDAccelerator::priceAttentionLayer(
     st.sparserLines = ls.sddmmSparserLines;
     st.qGatherMisses = ls.gatherMisses;
 
-    auto dense_cycles = [&](MacOps macs, size_t use_lines) -> Cycles {
-        if (macs == 0 || use_lines == 0)
-            return 0;
-        const double ideal = static_cast<double>(
-            ceilDiv(macs, use_lines * mpl));
-        return static_cast<Cycles>(std::ceil(ideal / cfg_.denseEff));
-    };
+    const AttentionItems items = buildAttentionItems(cfg_, ls);
+    st.sddmmCompute = sim::itemComputeCycles(items.attn[0]);
+    st.softmaxCompute = sim::itemComputeCycles(items.attn[1]);
+    st.spmmCompute = sim::itemComputeCycles(items.attn[2]);
+    if (items.hasPrediction)
+        st.prediction = sim::itemComputeCycles(items.prediction);
 
-    // ---- SDDMM: streams + gathers on the load side, the denser /
-    // sparser / decoder engines racing on the compute side.
-    const Bytes sddmm_in_bytes = ls.qkLoadBytes + ls.idxBytes;
-    Cycles sddmm_load = dram.streamCycles(sddmm_in_bytes);
-    if (ls.gatherMisses > 0)
-        sddmm_load +=
-            dram.gatherCycles(ls.gatherMisses, ls.gatherRowBytes);
-
-    const Cycles decode_cycles =
-        (ls.aeOn && cfg_.aeLines > 0)
-            ? ceilDiv(ls.decodeMacs,
-                      static_cast<MacOps>(
-                          static_cast<double>(cfg_.aeLines * mpl) *
-                          cfg_.aeDecodeRate))
-            : 0;
-    if (cfg_.twoPronged) {
-        st.sddmmCompute = std::max(
-            {dense_cycles(ls.denserSddmmMacs, ls.sddmmDenserLines),
-             ls.sddmmSparserCycles, decode_cycles});
+    // ---- Phase overlap within the layer: the closed-form recurrence
+    // or the event-driven machine, over the same items.
+    if (mode == sim::SimMode::Analytic) {
+        std::vector<sim::TileCost> tiles;
+        tiles.reserve(items.attn.size());
+        for (const sim::PipeItem &it : items.attn)
+            tiles.push_back(sim::analyticTile(it, dram));
+        st.total = sim::doubleBufferedCycles(tiles) + st.prediction;
     } else {
-        st.sddmmCompute =
-            std::max(dense_cycles(ls.denserSddmmMacs, lines) +
-                         ls.sddmmSparserCycles + cfg_.reconfigCycles,
-                     decode_cycles);
+        const sim::PipelineModel pm(cfg_.pipeline, cfg_.dram);
+        st.pipe = pm.run(items.attn);
+        if (items.hasPrediction)
+            st.pipe += pm.run({items.prediction});
+        st.total = st.pipe.totalCycles;
     }
-
-    // ---- Softmax over stored scores (dense region + sparser nnz).
-    const size_t sm_lanes =
-        cfg_.softmaxLanesPerEngine * (cfg_.twoPronged ? 2 : 1);
-    st.softmaxCompute = ceilDiv(2 * ls.softmaxElems, sm_lanes);
-
-    // ---- SpMM: V streams in, V' streams out, S spills if oversized.
-    const Cycles spmm_load = dram.streamCycles(ls.vLoadBytes);
-    const Cycles spmm_store = dram.streamCycles(ls.outStoreBytes);
-    Cycles spmm_compute;
-    if (cfg_.twoPronged) {
-        spmm_compute = std::max(
-            dense_cycles(ls.denserSpmmMacs, ls.spmmDenserLines),
-            ls.spmmSparserCycles);
-    } else {
-        spmm_compute = dense_cycles(ls.denserSpmmMacs, lines) +
-                       ls.spmmSparserCycles;
-    }
-    spmm_compute += cfg_.reconfigCycles; // inter->intra-PE switch
-    st.spmmCompute = spmm_compute;
-
-    // ---- Optional on-the-fly mask prediction (NLP mode).
-    if (cfg_.dynamicMaskPrediction)
-        st.prediction = dense_cycles(ls.predictMacs, lines) +
-                        ls.predictOverhead;
-
-    // ---- Phase overlap within the layer.
-    const std::vector<sim::TileCost> tiles = {
-        {sddmm_load, st.sddmmCompute, 0},
-        {0, st.softmaxCompute, 0},
-        {spmm_load, st.spmmCompute, spmm_store},
-    };
-    st.total = sim::doubleBufferedCycles(tiles) + st.prediction;
     const Cycles compute_sum =
         st.sddmmCompute + st.softmaxCompute + st.spmmCompute +
         st.prediction;
     st.exposedMemory = st.total - compute_sum;
 
+    const Bytes sddmm_in_bytes = ls.qkLoadBytes + ls.idxBytes;
     st.sddmmRead = sddmm_in_bytes;
     st.dramRead = sddmm_in_bytes + ls.vLoadBytes;
     st.dramWrite = ls.outStoreBytes;
@@ -151,12 +251,13 @@ ViTCoDAccelerator::simulateAttentionLayer(const core::ModelPlan &plan,
 }
 
 RunStats
-ViTCoDAccelerator::finalize(
-    const core::schedule::ModelSchedule &sched) const
+ViTCoDAccelerator::finalize(const core::schedule::ModelSchedule &sched,
+                            sim::SimMode mode) const
 {
-    const size_t mpl = cfg_.macArray.macsPerLine;
-    const size_t all_lines = cfg_.macArray.macLines;
     const auto eb = static_cast<double>(cfg_.elemBytes);
+    const bool pipelined = mode == sim::SimMode::Pipelined;
+    const sim::DramModel dram(cfg_.dram);
+    const sim::PipelineModel pm(cfg_.pipeline, cfg_.dram);
 
     RunStats rs;
     rs.device = name();
@@ -167,17 +268,8 @@ ViTCoDAccelerator::finalize(
     Cycles preprocess = 0;
     MacOps macs = 0;
 
-    const sim::DramModel dram(cfg_.dram);
-
-    auto gemm_cycles = [&](MacOps m) -> Cycles {
-        return static_cast<Cycles>(
-            std::ceil(static_cast<double>(
-                          ceilDiv(m, all_lines * mpl)) /
-                      cfg_.gemmEff));
-    };
-
     for (const core::schedule::LayerSchedule &ls : sched.layers) {
-        const LayerAttentionStats st = priceAttentionLayer(ls);
+        const LayerAttentionStats st = priceAttentionLayer(ls, mode);
         total += st.total;
         compute += st.sddmmCompute + st.softmaxCompute +
                    st.spmmCompute;
@@ -185,6 +277,8 @@ ViTCoDAccelerator::finalize(
         macs += st.attentionMacs + st.decodeMacs;
         rs.dramRead += st.dramRead;
         rs.dramWrite += st.dramWrite;
+        if (pipelined)
+            rs.pipeline += st.pipe;
 
         if (!sched.endToEnd)
             continue;
@@ -192,28 +286,23 @@ ViTCoDAccelerator::finalize(
         // ---- Dense phases of the block, on the reused MAC array
         // (encoder overlapped on its dedicated lines).
         const core::schedule::DenseBlockSchedule &db = ls.dense;
-        const Cycles proj_compute = std::max(
-            gemm_cycles(db.projMacs),
-            ls.aeOn ? ceilDiv(db.encodeMacs, cfg_.aeLines * mpl)
-                    : 0);
-        const Cycles ln_cycles = static_cast<Cycles>(
-            static_cast<double>(db.lnElems) /
-            static_cast<double>(cfg_.softmaxLanesPerEngine * 2));
-
-        const std::vector<sim::TileCost> dense_tiles = {
-            {dram.streamCycles(db.projLoadBytes), proj_compute,
-             dram.streamCycles(db.projStoreBytes)},
-            {dram.streamCycles(db.outProjBytes),
-             gemm_cycles(db.outProjMacs), 0},
-            {dram.streamCycles(db.mlpBytes), gemm_cycles(db.mlpMacs),
-             0},
-            {0, ln_cycles, 0},
-        };
-        const Cycles dense_total =
-            sim::doubleBufferedCycles(dense_tiles);
-        const Cycles dense_compute =
-            proj_compute + gemm_cycles(db.outProjMacs) +
-            gemm_cycles(db.mlpMacs) + ln_cycles;
+        const std::vector<sim::PipeItem> dense_items =
+            buildDenseItems(cfg_, ls);
+        Cycles dense_total;
+        if (pipelined) {
+            const sim::PipelineStats ds = pm.run(dense_items);
+            dense_total = ds.totalCycles;
+            rs.pipeline += ds;
+        } else {
+            std::vector<sim::TileCost> dense_tiles;
+            dense_tiles.reserve(dense_items.size());
+            for (const sim::PipeItem &it : dense_items)
+                dense_tiles.push_back(sim::analyticTile(it, dram));
+            dense_total = sim::doubleBufferedCycles(dense_tiles);
+        }
+        Cycles dense_compute = 0;
+        for (const sim::PipeItem &it : dense_items)
+            dense_compute += sim::itemComputeCycles(it);
         total += dense_total;
         compute += dense_compute;
         macs += db.projMacs + db.encodeMacs + db.outProjMacs +
@@ -224,9 +313,16 @@ ViTCoDAccelerator::finalize(
     }
 
     if (sched.endToEnd && sched.stemFlops > 0.0) {
-        const Cycles stem = gemm_cycles(sched.stemMacs);
-        total += stem;
-        compute += stem;
+        sim::PipeItem stem;
+        stem.denserCycles = gemmCycles(cfg_, sched.stemMacs);
+        if (pipelined) {
+            const sim::PipelineStats ss = pm.run({stem});
+            total += ss.totalCycles;
+            rs.pipeline += ss;
+        } else {
+            total += stem.denserCycles;
+        }
+        compute += stem.denserCycles;
         macs += sched.stemMacs;
     }
 
@@ -248,20 +344,45 @@ ViTCoDAccelerator::finalize(
     const sim::EnergyModel em(cfg_.energy);
     rs.energy = em.compute(macs, rs.sramRead, rs.sramWrite,
                            rs.dramTotal(), total);
+    const size_t all_macs =
+        cfg_.macArray.macLines * cfg_.macArray.macsPerLine;
     const double offered = static_cast<double>(total) *
-                           static_cast<double>(all_lines * mpl);
+                           static_cast<double>(all_macs);
     rs.utilization =
         offered > 0 ? static_cast<double>(macs) / offered : 0.0;
+
+    if (pipelined) {
+        auto &m = obs::metrics();
+        m.counter("vitcod_sim_pipelined_runs_total",
+                  "Schedules priced by the pipelined simulator")
+            .inc();
+        m.counter("vitcod_sim_pipeline_events_total",
+                  "Events processed by the pipelined simulator")
+            .inc(rs.pipeline.events);
+        m.counter("vitcod_sim_pipeline_fetch_stall_cycles_total",
+                  "Fetch-stage stall cycles (FIFO backpressure and "
+                  "operand-bank gating)")
+            .inc(rs.pipeline.fetch.stall);
+        m.counter("vitcod_sim_pipeline_denser_stall_cycles_total",
+                  "Denser-engine stall cycles (operand starvation, "
+                  "join imbalance, output blocking)")
+            .inc(rs.pipeline.denser.stall);
+        m.counter("vitcod_sim_pipeline_sparser_stall_cycles_total",
+                  "Sparser-engine stall cycles (operand starvation, "
+                  "join imbalance, output blocking)")
+            .inc(rs.pipeline.sparser.stall);
+    }
     return rs;
 }
 
 RunStats
 ViTCoDAccelerator::runSchedule(
-    const core::schedule::ModelSchedule &sched) const
+    const core::schedule::ModelSchedule &sched,
+    sim::SimMode mode) const
 {
     VITCOD_ASSERT(sched.params == scheduleParams(cfg_),
                   "schedule was built for different hardware");
-    return finalize(sched);
+    return finalize(sched, mode);
 }
 
 RunStats
@@ -269,7 +390,8 @@ ViTCoDAccelerator::runAttention(const core::ModelPlan &plan) const
 {
     const core::schedule::ScheduleBuilder builder(
         {.hw = scheduleParams(cfg_), .buildLayouts = false});
-    return finalize(builder.build(plan, /*end_to_end=*/false));
+    return finalize(builder.build(plan, /*end_to_end=*/false),
+                    sim::SimMode::Analytic);
 }
 
 RunStats
@@ -277,7 +399,8 @@ ViTCoDAccelerator::runEndToEnd(const core::ModelPlan &plan) const
 {
     const core::schedule::ScheduleBuilder builder(
         {.hw = scheduleParams(cfg_), .buildLayouts = false});
-    return finalize(builder.build(plan, /*end_to_end=*/true));
+    return finalize(builder.build(plan, /*end_to_end=*/true),
+                    sim::SimMode::Analytic);
 }
 
 } // namespace vitcod::accel

@@ -35,6 +35,7 @@
 #include "sim/dram.h"
 #include "sim/energy.h"
 #include "sim/mac_array.h"
+#include "sim/pipeline_model.h"
 
 namespace vitcod::accel {
 
@@ -112,6 +113,15 @@ struct ViTCoDConfig
     /** Low-precision factor of the prediction pass (4-bit ~ 1/4). */
     double predictionCostFactor = 0.25;
     /** @} */
+
+    /**
+     * Knobs of the event-driven pipelined mode (FIFO depths, chunk
+     * granularity, per-stage latency adders; see
+     * sim/pipeline_model.h and docs/SIMULATOR.md). Pricing-only:
+     * they never change the static schedule, so the DSE explorer
+     * sweeps them against memoized schedules for free.
+     */
+    sim::PipelineConfig pipeline;
 };
 
 /** Per-layer attention phase detail, exposed for tests/benches. */
@@ -139,6 +149,9 @@ struct LayerAttentionStats
     size_t denserLines = 0;
     size_t sparserLines = 0;
     uint64_t qGatherMisses = 0; //!< sparser-engine Q misses (no fwd)
+    /** Per-stage busy/stall/idle accounting of the layer; only
+     *  populated when priced under SimMode::Pipelined. */
+    sim::PipelineStats pipe;
 };
 
 /** @name Static schedule math
@@ -177,9 +190,15 @@ class ViTCoDAccelerator : public Device
      * its endToEnd flag). The schedule must have been built with
      * scheduleParams(config()) — the static decisions baked into it
      * are only meaningful for the hardware they were derived for.
+     * @param mode Analytic prices with the closed-form
+     *   double-buffering recurrence; Pipelined plays the same work
+     *   items through the event-driven stage graph
+     *   (sim/pipeline_model.h), surfacing stall/backpressure cycles
+     *   in RunStats::pipeline.
      */
-    RunStats runSchedule(
-        const core::schedule::ModelSchedule &sched) const;
+    RunStats runSchedule(const core::schedule::ModelSchedule &sched,
+                         sim::SimMode mode =
+                             sim::SimMode::Analytic) const;
 
     /** Detailed simulation of one layer's attention. */
     LayerAttentionStats
@@ -188,7 +207,8 @@ class ViTCoDAccelerator : public Device
 
     /** Price one layer's attention schedule. */
     LayerAttentionStats priceAttentionLayer(
-        const core::schedule::LayerSchedule &ls) const;
+        const core::schedule::LayerSchedule &ls,
+        sim::SimMode mode = sim::SimMode::Analytic) const;
 
     /**
      * Exact LRU simulation of sparser-engine Q-row residency over a
@@ -201,7 +221,8 @@ class ViTCoDAccelerator : public Device
 
   private:
     /** Price a whole schedule into RunStats. */
-    RunStats finalize(const core::schedule::ModelSchedule &sched) const;
+    RunStats finalize(const core::schedule::ModelSchedule &sched,
+                      sim::SimMode mode) const;
 
     ViTCoDConfig cfg_;
 };

@@ -30,6 +30,8 @@ HwConfigSpace::axisSize(size_t axis) const
     case 4: return qkvBufBytes.size();
     case 5: return sBufferBytes.size();
     case 6: return bandwidthGBps.size();
+    case 7: return pipeFifoDepth.size();
+    case 8: return pipeStageLatency.size();
     default: fatal("HwConfigSpace: axis ", axis, " out of range");
     }
 }
@@ -80,6 +82,12 @@ HwConfigSpace::configAt(size_t index) const
     cfg.qkvBufBytes = qkvBufBytes[d[4]];
     cfg.sBufferBytes = sBufferBytes[d[5]];
     cfg.dram.bandwidthGBps = bandwidthGBps[d[6]];
+    cfg.pipeline.fetchFifoDepth = pipeFifoDepth[d[7]];
+    cfg.pipeline.writebackFifoDepth = pipeFifoDepth[d[7]];
+    cfg.pipeline.fetchLatency = pipeStageLatency[d[8]];
+    cfg.pipeline.denserLatency = pipeStageLatency[d[8]];
+    cfg.pipeline.sparserLatency = pipeStageLatency[d[8]];
+    cfg.pipeline.writebackLatency = pipeStageLatency[d[8]];
     return cfg;
 }
 
@@ -89,7 +97,8 @@ HwConfigSpace::valid(size_t index) const
     const std::vector<size_t> d = decode(index);
     return macLines[d[0]] > aeLines[d[2]] && macLines[d[0]] > 0 &&
            macsPerLine[d[1]] > 0 && qkvBufBytes[d[4]] > 0 &&
-           sBufferBytes[d[5]] > 0 && bandwidthGBps[d[6]] > 0.0;
+           sBufferBytes[d[5]] > 0 && bandwidthGBps[d[6]] > 0.0 &&
+           pipeFifoDepth[d[7]] > 0;
 }
 
 void
@@ -103,6 +112,9 @@ HwConfigSpace::validate() const
                       "sparserLineFrac axis values must be in [0, 1)");
     for (double bw : bandwidthGBps)
         VITCOD_ASSERT(bw > 0.0, "bandwidth axis values must be > 0");
+    for (size_t depth : pipeFifoDepth)
+        VITCOD_ASSERT(depth > 0,
+                      "pipeFifoDepth axis values must be >= 1");
     size_t n_valid = 0;
     for (size_t i = 0; i < size(); ++i)
         n_valid += valid(i) ? 1 : 0;

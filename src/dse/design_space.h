@@ -69,13 +69,21 @@ struct HwConfigSpace
     std::vector<Bytes> qkvBufBytes = {128 * 1024};
     std::vector<Bytes> sBufferBytes = {96 * 1024};
     std::vector<double> bandwidthGBps = {76.8}; //!< off-chip GB/s
+    /** Inter-stage FIFO depth (chunks) of the pipelined model; sets
+     *  both the fetch and writeback FIFOs. Only the Pipelined
+     *  objective mode (ExplorerConfig::simMode) reacts to it —
+     *  pricing-only, so schedules memoize across the axis. */
+    std::vector<size_t> pipeFifoDepth = {64};
+    /** Per-stage latency adder (cycles) of the pipelined model;
+     *  applied to all four stages. Pricing-only, like the depth. */
+    std::vector<Cycles> pipeStageLatency = {0};
     /** @} */
 
     /** Every non-swept knob (frequency, energy, DRAM timing, ...). */
     accel::ViTCoDConfig base;
 
     /** Number of axes (digits) of the mixed-radix index. */
-    static constexpr size_t kAxes = 7;
+    static constexpr size_t kAxes = 9;
 
     /** Candidate count of one axis. @pre axis < kAxes. */
     size_t axisSize(size_t axis) const;

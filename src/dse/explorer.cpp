@@ -123,7 +123,8 @@ Explorer::evaluateConfig(const accel::ViTCoDConfig &cfg) const
     Objectives o;
     o.areaMm2 = areaProxyMm2(cfg);
     for (size_t w = 0; w < workloads_.size(); ++w) {
-        const accel::RunStats rs = acc.runSchedule(*scheduleFor(w, cfg));
+        const accel::RunStats rs =
+            acc.runSchedule(*scheduleFor(w, cfg), cfg_.simMode);
         o.latencySeconds += workloads_[w].spec.weight * rs.seconds;
         o.energyJoules +=
             workloads_[w].spec.weight * rs.energyJoules();
@@ -258,6 +259,12 @@ Explorer::coordinateDescent()
                         static_cast<double>(b.sBufferBytes));
     digits[6] =
         nearest(space_.bandwidthGBps, b.dram.bandwidthGBps);
+    digits[7] =
+        nearest(space_.pipeFifoDepth,
+                static_cast<double>(b.pipeline.fetchFifoDepth));
+    digits[8] =
+        nearest(space_.pipeStageLatency,
+                static_cast<double>(b.pipeline.fetchLatency));
     if (!space_.valid(space_.encode(digits))) {
         // Degenerate spaces: fall back to the first valid point.
         for (size_t i = 0; i < space_.size(); ++i)

@@ -13,8 +13,9 @@
  * Each workload's ModelPlan (mask generation + AE fitting) is built
  * exactly once per Explorer. Schedules are memoized by their
  * schedule-relevant HardwareParams, so pricing-only axes (off-chip
- * bandwidth — the only swept knob outside HardwareParams) re-price
- * a cached schedule instead of rebuilding it. Point evaluations are
+ * bandwidth and the pipeline FIFO/latency knobs — the only swept
+ * knobs outside HardwareParams) re-price a cached schedule instead
+ * of rebuilding it. Point evaluations are
  * independent and fan out over the engine ThreadPool; every search
  * algorithm is bitwise deterministic in (bundle, space, config) —
  * guided search draws from a seeded vitcod::Rng and results never
@@ -56,6 +57,15 @@ struct ExplorerConfig
 
     /** Max full axis sweeps of coordinate descent. */
     size_t descentSweeps = 6;
+
+    /**
+     * Simulator that prices every candidate (objective mode).
+     * Pipelined makes the FIFO-depth / stage-latency axes
+     * (HwConfigSpace::pipeFifoDepth/pipeStageLatency) matter and
+     * charges real backpressure stalls; pricing-only, so memoized
+     * schedules are shared across the new axes either way.
+     */
+    sim::SimMode simMode = sim::SimMode::Analytic;
 
     /** @name Scalarization weights (guided-search acceptance only)
      * Objectives are normalized by the base configuration's values,

@@ -45,6 +45,8 @@ HwPoint::of(const accel::ViTCoDConfig &cfg)
     p.qkvBufBytes = cfg.qkvBufBytes;
     p.sBufferBytes = cfg.sBufferBytes;
     p.bandwidthGBps = cfg.dram.bandwidthGBps;
+    p.pipeFifoDepth = cfg.pipeline.fetchFifoDepth;
+    p.pipeStageLatency = cfg.pipeline.fetchLatency;
     return p;
 }
 
@@ -58,6 +60,12 @@ HwPoint::apply(accel::ViTCoDConfig base) const
     base.qkvBufBytes = qkvBufBytes;
     base.sBufferBytes = sBufferBytes;
     base.dram.bandwidthGBps = bandwidthGBps;
+    base.pipeline.fetchFifoDepth = pipeFifoDepth;
+    base.pipeline.writebackFifoDepth = pipeFifoDepth;
+    base.pipeline.fetchLatency = pipeStageLatency;
+    base.pipeline.denserLatency = pipeStageLatency;
+    base.pipeline.sparserLatency = pipeStageLatency;
+    base.pipeline.writebackLatency = pipeStageLatency;
     return base;
 }
 
@@ -417,6 +425,8 @@ ParetoFrontier::writeJson(std::ostream &os) const
            << ", \"qkv_buf_bytes\": " << p.hw.qkvBufBytes
            << ", \"s_buf_bytes\": " << p.hw.sBufferBytes
            << ", \"bandwidth_gbps\": " << numStr(p.hw.bandwidthGBps)
+           << ", \"pipe_fifo_depth\": " << p.hw.pipeFifoDepth
+           << ", \"pipe_stage_latency\": " << p.hw.pipeStageLatency
            << ", \"latency_s\": " << numStr(p.obj.latencySeconds)
            << ", \"energy_j\": " << numStr(p.obj.energyJoules)
            << ", \"area_mm2\": " << numStr(p.obj.areaMm2) << '}';
@@ -469,6 +479,8 @@ ParetoFrontier::readJson(std::istream &is)
         p.hw.qkvBufBytes = pv.at("qkv_buf_bytes").asU64();
         p.hw.sBufferBytes = pv.at("s_buf_bytes").asU64();
         p.hw.bandwidthGBps = pv.at("bandwidth_gbps").asDouble();
+        p.hw.pipeFifoDepth = pv.at("pipe_fifo_depth").asU64();
+        p.hw.pipeStageLatency = pv.at("pipe_stage_latency").asU64();
         p.obj.latencySeconds = pv.at("latency_s").asDouble();
         p.obj.energyJoules = pv.at("energy_j").asDouble();
         p.obj.areaMm2 = pv.at("area_mm2").asDouble();
@@ -492,14 +504,15 @@ void
 ParetoFrontier::writeCsv(std::ostream &os) const
 {
     os << "index,mac_lines,macs_per_line,ae_lines,sparser_frac,"
-          "qkv_buf_bytes,s_buf_bytes,bandwidth_gbps,latency_s,"
-          "energy_j,area_mm2\n";
+          "qkv_buf_bytes,s_buf_bytes,bandwidth_gbps,pipe_fifo_depth,"
+          "pipe_stage_latency,latency_s,energy_j,area_mm2\n";
     for (const DsePoint &p : points_) {
         os << p.index << ',' << p.hw.macLines << ','
            << p.hw.macsPerLine << ',' << p.hw.aeLines << ','
            << numStr(p.hw.sparserLineFrac) << ',' << p.hw.qkvBufBytes
            << ',' << p.hw.sBufferBytes << ','
-           << numStr(p.hw.bandwidthGBps) << ','
+           << numStr(p.hw.bandwidthGBps) << ',' << p.hw.pipeFifoDepth
+           << ',' << p.hw.pipeStageLatency << ','
            << numStr(p.obj.latencySeconds) << ','
            << numStr(p.obj.energyJoules) << ','
            << numStr(p.obj.areaMm2) << '\n';

@@ -72,6 +72,8 @@ struct HwPoint
     Bytes qkvBufBytes = 128 * 1024; //!< Q/K/S/V buffer budget
     Bytes sBufferBytes = 96 * 1024; //!< S spill threshold
     double bandwidthGBps = 76.8;    //!< off-chip bandwidth
+    size_t pipeFifoDepth = 64;      //!< pipelined-mode FIFO depth
+    Cycles pipeStageLatency = 0;    //!< pipelined-mode stage latency
 
     bool operator==(const HwPoint &) const = default;
 

@@ -1,0 +1,365 @@
+#include "pipeline_model.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sim/event_queue.h"
+
+namespace vitcod::sim {
+
+const char *
+simModeName(SimMode mode)
+{
+    return mode == SimMode::Analytic ? "analytic" : "pipelined";
+}
+
+Cycles
+itemLoadCycles(const PipeItem &item, const DramModel &dram)
+{
+    Cycles c = dram.streamCycles(item.loadBytes);
+    if (item.gatherCount > 0)
+        c += dram.gatherCycles(item.gatherCount,
+                               item.gatherGrainBytes);
+    return c;
+}
+
+Cycles
+itemComputeCycles(const PipeItem &item)
+{
+    return std::max({item.denserCycles, item.sparserCycles,
+                     item.decodeCycles}) +
+           item.syncCycles;
+}
+
+Cycles
+itemStoreCycles(const PipeItem &item, const DramModel &dram)
+{
+    return dram.streamCycles(item.storeBytes);
+}
+
+TileCost
+analyticTile(const PipeItem &item, const DramModel &dram)
+{
+    return {itemLoadCycles(item, dram), itemComputeCycles(item),
+            itemStoreCycles(item, dram)};
+}
+
+StageCounters &
+StageCounters::operator+=(const StageCounters &o)
+{
+    busy += o.busy;
+    stall += o.stall;
+    idle += o.idle;
+    return *this;
+}
+
+PipelineStats &
+PipelineStats::operator+=(const PipelineStats &o)
+{
+    totalCycles += o.totalCycles;
+    fetch += o.fetch;
+    denser += o.denser;
+    sparser += o.sparser;
+    writeback += o.writeback;
+    fetchFifoHighWater =
+        std::max(fetchFifoHighWater, o.fetchFifoHighWater);
+    writebackFifoHighWater =
+        std::max(writebackFifoHighWater, o.writebackFifoHighWater);
+    items += o.items;
+    events += o.events;
+    return *this;
+}
+
+std::string
+PipelineStats::str() const
+{
+    std::ostringstream oss;
+    oss << "total " << totalCycles << " items " << items << " events "
+        << events << '\n';
+    const auto stage = [&](const char *name,
+                           const StageCounters &c) {
+        oss << name << " busy " << c.busy << " stall " << c.stall
+            << " idle " << c.idle << '\n';
+    };
+    stage("fetch", fetch);
+    stage("denser", denser);
+    stage("sparser", sparser);
+    stage("writeback", writeback);
+    oss << "fifo_high_water fetch " << fetchFifoHighWater
+        << " writeback " << writebackFifoHighWater << '\n';
+    return oss.str();
+}
+
+PipelineModel::PipelineModel(PipelineConfig cfg, DramConfig dram)
+    : cfg_(cfg), dram_(dram)
+{
+    VITCOD_ASSERT(cfg_.fetchFifoDepth > 0 &&
+                      cfg_.writebackFifoDepth > 0,
+                  "pipeline FIFO depths must be >= 1 chunk");
+    VITCOD_ASSERT(cfg_.fifoChunkBytes > 0,
+                  "pipeline FIFO chunk size must be positive");
+}
+
+namespace {
+
+/**
+ * One group's event-driven execution. The structure mirrors the
+ * analytic recurrence's PipelineSim (tile_scheduler.cpp) — in-order
+ * units, two-bank structural gates — generalized with finite FIFO
+ * capacity, per-stage latency adders and exact busy/stall
+ * accounting. Every start time is a max/plus composition of item
+ * durations and capacity releases, so completion times are monotone
+ * in FIFO depth and DRAM bandwidth and bounded below by the
+ * analytic schedule (pinned by tests/sim/test_pipeline_model.cpp).
+ */
+class GroupSim
+{
+  public:
+    GroupSim(const PipelineConfig &cfg, const DramModel &dram,
+             const std::vector<PipeItem> &items)
+        : cfg_(cfg), n_(items.size())
+    {
+        load_.resize(n_);
+        occ_.resize(n_);
+        denserOcc_.resize(n_);
+        sparserOcc_.resize(n_);
+        store_.resize(n_);
+        loadChunks_.resize(n_);
+        storeChunks_.resize(n_);
+        loadDone_.assign(n_, false);
+        computeDone_.assign(n_, false);
+        storeDone_.assign(n_, false);
+
+        size_t max_chunks_in = 1;
+        size_t max_chunks_out = 1;
+        for (size_t i = 0; i < n_; ++i) {
+            const PipeItem &it = items[i];
+            load_[i] = itemLoadCycles(it, dram);
+            if (it.loadBytes > 0)
+                load_[i] += cfg_.fetchLatency;
+            loadChunks_[i] =
+                ceilDiv(it.loadBytes, cfg_.fifoChunkBytes);
+            max_chunks_in = std::max(max_chunks_in, loadChunks_[i]);
+
+            denserOcc_[i] = it.denserCycles > 0
+                                ? it.denserCycles + cfg_.denserLatency
+                                : 0;
+            sparserOcc_[i] =
+                it.sparserCycles > 0
+                    ? it.sparserCycles + cfg_.sparserLatency
+                    : 0;
+            occ_[i] = std::max({denserOcc_[i], sparserOcc_[i],
+                                it.decodeCycles}) +
+                      it.syncCycles;
+
+            store_[i] = itemStoreCycles(it, dram);
+            if (it.storeBytes > 0)
+                store_[i] += cfg_.writebackLatency;
+            storeChunks_[i] =
+                ceilDiv(it.storeBytes, cfg_.fifoChunkBytes);
+            max_chunks_out =
+                std::max(max_chunks_out, storeChunks_[i]);
+        }
+        // A single item must always fit, else the machine deadlocks;
+        // the clamp keeps shallow depths meaningful (they throttle
+        // cross-item prefetch) without ever wedging.
+        capIn_ = std::max(cfg_.fetchFifoDepth, max_chunks_in);
+        capOut_ = std::max(cfg_.writebackFifoDepth, max_chunks_out);
+    }
+
+    PipelineStats
+    run()
+    {
+        PipelineStats ps;
+        ps.items = n_;
+        if (n_ == 0)
+            return ps;
+        tryFetch();
+        tryCompute();
+        const Tick total = eq_.runUntilEmpty();
+        for (size_t i = 0; i < n_; ++i)
+            VITCOD_ASSERT(storeDone_[i],
+                          "pipeline deadlock: item ", i,
+                          " never retired");
+
+        ps.totalCycles = total;
+        ps.fetch = fetch_;
+        ps.denser = denser_;
+        ps.sparser = sparser_;
+        ps.writeback = writeback_;
+        ps.fetchFifoHighWater = highIn_;
+        ps.writebackFifoHighWater = highOut_;
+        ps.events = eq_.processedCount();
+        for (StageCounters *c :
+             {&ps.fetch, &ps.denser, &ps.sparser, &ps.writeback}) {
+            VITCOD_ASSERT(c->busy + c->stall <= total,
+                          "pipeline stage over-accounted: busy ",
+                          c->busy, " + stall ", c->stall, " > total ",
+                          total);
+            c->idle = total - c->busy - c->stall;
+        }
+        return ps;
+    }
+
+  private:
+    // ---- Fetch: the shared DRAM read port, in order, one item at a
+    // time. Gate: the structural two-bank window (item i waits for
+    // compute i-2) and FIFO space for the whole item.
+    void
+    tryFetch()
+    {
+        bool kicked = false;
+        while (!fetchBusy_ && nextFetch_ < n_) {
+            const size_t i = nextFetch_;
+            if (i >= 2 && !computeDone_[i - 2])
+                break; // both operand banks still claimed
+            if (loadChunks_[i] == 0) {
+                // Nothing to stream: passes the port instantly.
+                loadDone_[i] = true;
+                ++nextFetch_;
+                kicked = true;
+                continue;
+            }
+            if (inUse_ + loadChunks_[i] > capIn_)
+                break; // FIFO backpressure
+            const Tick now = eq_.curTick();
+            fetch_.stall += now - fetchFree_;
+            inUse_ += loadChunks_[i];
+            highIn_ = std::max(highIn_, inUse_);
+            fetchBusy_ = true;
+            ++nextFetch_;
+            eq_.scheduleAfter(load_[i], [this, i] {
+                fetchBusy_ = false;
+                fetch_.busy += load_[i];
+                fetchFree_ = eq_.curTick();
+                loadDone_[i] = true;
+                tryFetch();
+                tryCompute();
+            });
+        }
+        if (kicked)
+            tryCompute();
+    }
+
+    // ---- Compute: the fork-join PE complex, in order. Gates: all
+    // operands resident, the result bank of item i-2 drained.
+    void
+    tryCompute()
+    {
+        if (computeBusy_ || nextCompute_ >= n_)
+            return;
+        const size_t i = nextCompute_;
+        if (!loadDone_[i])
+            return; // starved by fetch
+        if (i >= 2 && !storeDone_[i - 2])
+            return; // both result banks still claimed
+        const Tick now = eq_.curTick();
+        denser_.stall += now - peFree_;
+        sparser_.stall += now - peFree_;
+        // Lane accounting over the occupancy window: each lane is
+        // busy for its own cycles and join-stalled for the rest;
+        // lanes with no work in this item idle through it.
+        if (denserOcc_[i] > 0) {
+            denser_.busy += denserOcc_[i];
+            denser_.stall += occ_[i] - denserOcc_[i];
+        }
+        if (sparserOcc_[i] > 0) {
+            sparser_.busy += sparserOcc_[i];
+            sparser_.stall += occ_[i] - sparserOcc_[i];
+        }
+        computeBusy_ = true;
+        ++nextCompute_;
+        eq_.scheduleAfter(occ_[i], [this, i] {
+            rawEnd_ = eq_.curTick();
+            tryRelease(i);
+        });
+    }
+
+    /** Raw compute end of item @p i: hand the result over to the
+     *  writeback FIFO; the PE is held until it fits. */
+    void
+    tryRelease(size_t i)
+    {
+        if (storeChunks_[i] > 0) {
+            if (outUse_ + storeChunks_[i] > capOut_) {
+                pendingRelease_ = i; // output-blocked: PE held
+                return;
+            }
+            outUse_ += storeChunks_[i];
+            highOut_ = std::max(highOut_, outUse_);
+            wbQueue_.push_back(i);
+        }
+        const Tick now = eq_.curTick();
+        denser_.stall += now - rawEnd_;
+        sparser_.stall += now - rawEnd_;
+        computeBusy_ = false;
+        computeDone_[i] = true;
+        peFree_ = now;
+        inUse_ -= loadChunks_[i]; // operand bank freed
+        if (storeChunks_[i] == 0)
+            storeDone_[i] = true;
+        else
+            tryWriteback();
+        tryFetch();
+        tryCompute();
+    }
+
+    // ---- Writeback: the DRAM write port, draining the result FIFO
+    // in order.
+    void
+    tryWriteback()
+    {
+        if (wbBusy_ || wbQueue_.empty())
+            return;
+        const size_t i = wbQueue_.front();
+        wbQueue_.pop_front();
+        wbBusy_ = true;
+        eq_.scheduleAfter(store_[i], [this, i] {
+            wbBusy_ = false;
+            writeback_.busy += store_[i];
+            outUse_ -= storeChunks_[i];
+            storeDone_[i] = true;
+            if (pendingRelease_) {
+                const size_t p = *pendingRelease_;
+                pendingRelease_.reset();
+                tryRelease(p);
+            }
+            tryCompute();
+            tryWriteback();
+        });
+    }
+
+    const PipelineConfig &cfg_;
+    const size_t n_;
+    EventQueue eq_;
+
+    std::vector<Cycles> load_, occ_, denserOcc_, sparserOcc_, store_;
+    std::vector<size_t> loadChunks_, storeChunks_;
+    std::vector<char> loadDone_, computeDone_, storeDone_;
+
+    size_t capIn_ = 0, capOut_ = 0;
+    size_t inUse_ = 0, outUse_ = 0;
+    size_t highIn_ = 0, highOut_ = 0;
+
+    size_t nextFetch_ = 0, nextCompute_ = 0;
+    bool fetchBusy_ = false, computeBusy_ = false, wbBusy_ = false;
+    Tick fetchFree_ = 0, peFree_ = 0, rawEnd_ = 0;
+    std::optional<size_t> pendingRelease_;
+    std::deque<size_t> wbQueue_;
+
+    StageCounters fetch_, denser_, sparser_, writeback_;
+};
+
+} // namespace
+
+PipelineStats
+PipelineModel::run(const std::vector<PipeItem> &items) const
+{
+    GroupSim sim(cfg_, dram_, items);
+    return sim.run();
+}
+
+} // namespace vitcod::sim

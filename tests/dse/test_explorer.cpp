@@ -174,6 +174,69 @@ TEST(Explorer, WeightedBundleAggregatesObjectives)
     EXPECT_DOUBLE_EQ(o3.areaMm2, o1.areaMm2);
 }
 
+TEST(Explorer, PipelinedModeSweepsFifoDepthAxis)
+{
+    // Under SimMode::Pipelined the FIFO-depth axis becomes a real
+    // latency knob: on a starved DRAM a shallow FIFO costs cycles a
+    // deep one saves, so the exhaustive frontier must carry at least
+    // one point from the depth axis, and every pipelined latency
+    // must bound its analytic twin from above. The depth axis rides
+    // on memoized schedules (pricing-only), so evaluation count
+    // equals the valid grid size without schedule rebuilds.
+    // Depth 1 clamps to single-item capacity (no cross-item
+    // prefetch); 1024 chunks of 1 KiB hold two items, restoring the
+    // analytic double-buffer overlap. End-to-end scope: the dense
+    // block's back-to-back loaded phases (proj -> outproj -> mlp)
+    // are where prefetch depth can matter at all — in the attention
+    // group every cross-item edge is already structurally gated.
+    const std::vector<WorkloadSpec> bundle = {
+        {"DeiT-Tiny", 0.9, true, true, 1.0}};
+    HwConfigSpace space = HwConfigSpace::smokeSpace();
+    space.bandwidthGBps = {12.8};
+    space.pipeFifoDepth = {1, 1024};
+    space.pipeStageLatency = {0, 16};
+    space.base.pipeline.fifoChunkBytes = 1024;
+
+    ExplorerConfig pc = testConfig();
+    pc.simMode = sim::SimMode::Pipelined;
+    Explorer pipelined(bundle, space, pc);
+    Explorer analytic(bundle, space, testConfig());
+
+    const DseResult rp = pipelined.exhaustive();
+    const DseResult ra = analytic.exhaustive();
+    ASSERT_FALSE(rp.frontier.points().empty());
+
+    bool depth_axis_on_frontier = false;
+    for (const DsePoint &p : rp.frontier.points())
+        if (p.hw.pipeFifoDepth != space.pipeFifoDepth.front() ||
+            p.hw.pipeStageLatency != 0)
+            depth_axis_on_frontier = true;
+    EXPECT_TRUE(depth_axis_on_frontier)
+        << "pipelined frontier ignored the FIFO-depth axis";
+
+    for (size_t i = 0; i < space.size(); ++i) {
+        if (!space.valid(i))
+            continue;
+        EXPECT_GE(pipelined.evaluateIndex(i).obj.latencySeconds,
+                  analytic.evaluateIndex(i).obj.latencySeconds)
+            << "point " << i << " priced below the analytic bound";
+    }
+
+    // The depth knob is a real latency lever under backpressure:
+    // same point, shallow vs deep FIFO, strictly slower shallow.
+    std::vector<size_t> shallow(HwConfigSpace::kAxes, 0);
+    std::vector<size_t> deep = shallow;
+    deep[7] = 1;
+    EXPECT_LT(pipelined.evaluateIndex(space.encode(deep))
+                  .obj.latencySeconds,
+              pipelined.evaluateIndex(space.encode(shallow))
+                  .obj.latencySeconds);
+
+    // Determinism holds in pipelined mode too.
+    Explorer again(bundle, space, pc);
+    EXPECT_EQ(again.exhaustive().frontier, rp.frontier);
+}
+
 TEST(ExplorerGolden, FrontierMatchesCheckedInFixture)
 {
     // Pinned: DeiT-Tiny @ 90% on the smoke grid, exhaustive. Any

@@ -107,6 +107,57 @@ TEST(EventQueue, ProcessedCount)
     EXPECT_EQ(eq.processedCount(), 10u);
 }
 
+TEST(EventQueue, SameTickInsertionOrderIsStable)
+{
+    // The pipelined model (sim/pipeline_model.h) relies on same-tick
+    // events draining in insertion order: a completion handler that
+    // kicks several follow-ups at the current tick must see them run
+    // FIFO, or stall accounting becomes replay-dependent. Pin the
+    // exact order under a dense same-tick cascade.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        // Handlers enqueue at the current tick, interleaved with a
+        // higher-priority (lower value) latecomer.
+        eq.scheduleAfter(0, [&] {
+            order.push_back(1);
+            eq.scheduleAfter(0, [&] { order.push_back(4); });
+        });
+        eq.scheduleAfter(0, [&] { order.push_back(2); }, 1);
+        eq.scheduleAfter(0, [&] { order.push_back(3); });
+    });
+    eq.runUntilEmpty();
+    // Priority 0 events run in insertion order (1, 3, then the
+    // nested 4); the priority-1 event waits for all of them.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 4, 2}));
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, SameTickFifoStress)
+{
+    // 1000 same-tick events across three priority classes: drain
+    // order must be (priority, insertion seq) — i.e. a stable sort
+    // of the insertion sequence, regardless of heap internals.
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<int> expected;
+    constexpr int kPerClass = 333;
+    for (int pri = 0; pri < 3; ++pri)
+        for (int i = 0; i < kPerClass; ++i)
+            expected.push_back(pri * kPerClass + i);
+    // Insert round-robin across priorities so heap insertion order
+    // disagrees with drain order within every class.
+    for (int i = 0; i < kPerClass; ++i)
+        for (int pri = 0; pri < 3; ++pri) {
+            const int id = pri * kPerClass + i;
+            eq.schedule(5, [&order, id] { order.push_back(id); },
+                        pri);
+        }
+    eq.runUntilEmpty();
+    EXPECT_EQ(order, expected);
+}
+
 TEST(EventQueueDeath, SchedulingIntoPastPanics)
 {
     EventQueue eq;
